@@ -1,0 +1,28 @@
+//! Statistics, fits, and table rendering for consensus experiments.
+//!
+//! Everything the experiment harness needs to turn raw trial data into the
+//! paper-shaped tables of `EXPERIMENTS.md`:
+//!
+//! * [`Summary`] — descriptive statistics with quantiles and normal-theory
+//!   confidence intervals.
+//! * [`wilson_interval`] — binomial proportion intervals for agreement
+//!   rates.
+//! * [`fit`] — least-squares fits against the paper's predicted shapes
+//!   (`a·lg n + b`, `a·n + b`), with `R²` to judge the fit.
+//! * [`Table`] / [`Series`] — plain-text rendering for experiment output.
+//! * [`theory`] — the paper's closed-form bounds (Theorem 5, 7, 10
+//!   constants) for printing "paper vs measured" columns.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fit;
+mod histogram;
+mod summary;
+mod table;
+pub mod theory;
+
+pub use fit::{fit_linear, fit_log2, fit_power, Fit, PowerFit};
+pub use histogram::Histogram;
+pub use summary::{wilson_interval, ConfidenceInterval, Summary};
+pub use table::{Series, Table};

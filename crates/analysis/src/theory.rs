@@ -1,0 +1,119 @@
+//! The paper's closed-form bounds, for "paper vs measured" columns.
+
+/// Theorem 7's agreement-probability lower bound for the impatient
+/// first-mover conciliator: `(1 − e^{−1/4}) · (1/4) ≈ 0.0553`.
+pub fn impatient_agreement_lower_bound() -> f64 {
+    (1.0 - (-0.25f64).exp()) * 0.25
+}
+
+/// `⌈lg x⌉` for `x ≥ 1`.
+pub fn ceil_lg(x: u64) -> u64 {
+    assert!(x >= 1, "lg of zero");
+    64 - (x - 1).leading_zeros() as u64
+}
+
+/// Theorem 7's worst-case individual work for the impatient conciliator:
+/// `2⌈lg n⌉ + 4` operations.
+pub fn impatient_individual_work_bound(n: u64) -> u64 {
+    2 * ceil_lg(n.max(1)) + 4
+}
+
+/// Theorem 7's expected total work bound for the impatient conciliator:
+/// `6n` operations.
+pub fn impatient_total_work_bound(n: u64) -> u64 {
+    6 * n
+}
+
+/// §6.2 item 1: operations of the binary ratifier.
+pub const BINARY_RATIFIER_OPS: u64 = 4;
+
+/// §6.2 item 1: registers of the binary ratifier.
+pub const BINARY_RATIFIER_REGISTERS: u64 = 3;
+
+/// §6.2 item 3: registers of the bit-vector `m`-valued ratifier,
+/// `2⌈lg m⌉ + 1` (including the proposal register).
+pub fn bitvector_ratifier_registers(m: u64) -> u64 {
+    2 * ceil_lg(m.max(2)) + 1
+}
+
+/// §6.2 item 3: worst-case operations of the bit-vector ratifier,
+/// `2⌈lg m⌉ + 2`.
+pub fn bitvector_ratifier_ops(m: u64) -> u64 {
+    2 * ceil_lg(m.max(2)) + 2
+}
+
+/// §4.1.1: expected number of conciliator rounds before agreement, `1/δ`.
+pub fn expected_rounds(delta: f64) -> f64 {
+    assert!(delta > 0.0 && delta <= 1.0, "δ must be in (0, 1]");
+    1.0 / delta
+}
+
+/// Theorem 5: probability that the bounded construction reaches its
+/// fallback after `k` conciliator rounds, `(1 − δ)^k`.
+pub fn fallback_probability(delta: f64, k: u32) -> f64 {
+    assert!((0.0..=1.0).contains(&delta), "δ must be in [0, 1]");
+    (1.0 - delta).powi(k as i32)
+}
+
+/// Theorem 5: rounds needed to push the fallback probability below
+/// `epsilon` — the `k = O(log n)` of the bounded construction.
+pub fn rounds_for_fallback_probability(delta: f64, epsilon: f64) -> u32 {
+    assert!(delta > 0.0 && delta < 1.0, "δ must be in (0, 1)");
+    assert!(epsilon > 0.0 && epsilon < 1.0, "ε must be in (0, 1)");
+    (epsilon.ln() / (1.0 - delta).ln()).ceil() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_matches_paper_value() {
+        let d = impatient_agreement_lower_bound();
+        assert!((d - 0.0553).abs() < 0.0001, "δ = {d}");
+    }
+
+    #[test]
+    fn ceil_lg_values() {
+        assert_eq!(ceil_lg(1), 0);
+        assert_eq!(ceil_lg(2), 1);
+        assert_eq!(ceil_lg(3), 2);
+        assert_eq!(ceil_lg(4), 2);
+        assert_eq!(ceil_lg(5), 3);
+        assert_eq!(ceil_lg(1 << 20), 20);
+        assert_eq!(ceil_lg((1 << 20) + 1), 21);
+    }
+
+    #[test]
+    fn work_bounds() {
+        assert_eq!(impatient_individual_work_bound(16), 12);
+        assert_eq!(impatient_individual_work_bound(1), 4);
+        assert_eq!(impatient_total_work_bound(10), 60);
+    }
+
+    #[test]
+    fn ratifier_bounds() {
+        assert_eq!(bitvector_ratifier_registers(2), 3);
+        assert_eq!(bitvector_ratifier_registers(16), 9);
+        assert_eq!(bitvector_ratifier_ops(16), 10);
+    }
+
+    #[test]
+    fn round_expectations() {
+        assert_eq!(expected_rounds(0.5), 2.0);
+        let delta = impatient_agreement_lower_bound();
+        assert!(expected_rounds(delta) < 19.0);
+        assert!((fallback_probability(0.5, 3) - 0.125).abs() < 1e-12);
+        assert_eq!(fallback_probability(1.0, 5), 0.0);
+        // k = Θ(log(1/ε)) rounds suffice.
+        let k = rounds_for_fallback_probability(delta, 1e-6);
+        assert!(k > 0 && k < 300, "k = {k}");
+        assert!(fallback_probability(delta, k) <= 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "lg of zero")]
+    fn lg_zero_rejected() {
+        ceil_lg(0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Criterion bench backing E10/E11: design-choice ablations — fast path
+//! on/off for unanimous inputs, write-probability schedules, success
+//! detection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mc_core::protocol::ConsensusBuilder;
+use mc_core::{FirstMoverConciliator, WriteSchedule};
+use mc_sim::adversary::RandomScheduler;
+use mc_sim::harness::{self, inputs};
+use mc_sim::EngineConfig;
+use std::hint::black_box;
+
+fn bench_fast_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fast_path_unanimous");
+    group.sample_size(40);
+    let n = 32;
+    for (name, fast) in [("on", true), ("off", false)] {
+        let builder = ConsensusBuilder::binary();
+        let spec = if fast {
+            builder
+        } else {
+            builder.without_fast_path()
+        }
+        .build();
+        group.bench_function(name, |b| {
+            let mut seed = 0u64;
+            let ins = inputs::unanimous(n, 1);
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                let out = harness::run_object(
+                    &spec,
+                    &ins,
+                    &mut RandomScheduler::new(seed),
+                    seed,
+                    &EngineConfig::default(),
+                )
+                .unwrap();
+                black_box(out.metrics.total_work())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_schedules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule");
+    group.sample_size(40);
+    let n = 64;
+    for (name, schedule) in [
+        ("fixed_1n", WriteSchedule::fixed(1.0)),
+        ("doubling", WriteSchedule::impatient()),
+        ("quadrupling", WriteSchedule::geometric(1.0, 4.0)),
+    ] {
+        let spec = FirstMoverConciliator::with_schedule(schedule);
+        group.bench_function(name, |b| {
+            let mut seed = 0u64;
+            let ins = inputs::alternating(n, 2);
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                let out = harness::run_object(
+                    &spec,
+                    &ins,
+                    &mut RandomScheduler::new(seed),
+                    seed,
+                    &EngineConfig::default(),
+                )
+                .unwrap();
+                black_box(out.metrics.total_work())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detection");
+    group.sample_size(40);
+    let n = 64;
+    let config = EngineConfig::default().with_detectable_prob_writes();
+    for (name, spec) in [
+        ("standard", FirstMoverConciliator::impatient()),
+        (
+            "detecting",
+            FirstMoverConciliator::impatient().detecting_success(),
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            let mut seed = 0u64;
+            let ins = inputs::alternating(n, 2);
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                let out = harness::run_object(
+                    &spec,
+                    &ins,
+                    &mut RandomScheduler::new(seed),
+                    seed,
+                    &config,
+                )
+                .unwrap();
+                black_box(out.metrics.total_work())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fast_path, bench_schedules, bench_detection);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench backing E13: state-space throughput of the exhaustive
+//! checker.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mc_check::{CheckConfig, Explorer};
+use mc_core::{FirstMoverConciliator, Ratifier};
+use std::hint::black_box;
+
+fn bench_checker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checker");
+    group.sample_size(20);
+
+    group.bench_function("ratifier_n2_safety", |b| {
+        b.iter(|| {
+            let report = Explorer::new(Ratifier::binary(), vec![0, 1])
+                .with_config(CheckConfig {
+                    check_acceptance: true,
+                    ..CheckConfig::default()
+                })
+                .verify_safety()
+                .unwrap();
+            black_box(report.complete_paths)
+        });
+    });
+
+    group.bench_function("ratifier_n3_safety", |b| {
+        b.iter(|| {
+            let report = Explorer::new(Ratifier::binary(), vec![0, 1, 1])
+                .verify_safety()
+                .unwrap();
+            black_box(report.complete_paths)
+        });
+    });
+
+    group.bench_function("conciliator_n2_exact_delta", |b| {
+        b.iter(|| {
+            let value = Explorer::new(FirstMoverConciliator::impatient(), vec![0, 1])
+                .worst_case_agreement()
+                .unwrap();
+            black_box(value.probability)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_checker);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench backing E2/E6: wall-clock cost of one conciliator run in
+//! the simulator, impatient vs fixed schedules, across n.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mc_core::FirstMoverConciliator;
+use mc_sim::adversary::RandomScheduler;
+use mc_sim::harness::{self, inputs};
+use mc_sim::EngineConfig;
+use std::hint::black_box;
+
+fn bench_conciliators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conciliator");
+    group.sample_size(30);
+    for n in [8usize, 32, 128] {
+        let config = EngineConfig::default();
+        let ins = inputs::alternating(n, 2);
+        group.bench_with_input(BenchmarkId::new("impatient", n), &n, |b, _| {
+            let spec = FirstMoverConciliator::impatient();
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                let out = harness::run_object(
+                    &spec,
+                    &ins,
+                    &mut RandomScheduler::new(seed),
+                    seed,
+                    &config,
+                )
+                .unwrap();
+                black_box(out.metrics.total_work())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("fixed", n), &n, |b, _| {
+            let spec = FirstMoverConciliator::fixed(1.0);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                let out = harness::run_object(
+                    &spec,
+                    &ins,
+                    &mut RandomScheduler::new(seed),
+                    seed,
+                    &config,
+                )
+                .unwrap();
+                black_box(out.metrics.total_work())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conciliators);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench backing E4/E5: end-to-end consensus in the simulator,
+//! across n and m.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mc_core::protocol::ConsensusBuilder;
+use mc_sim::adversary::RandomScheduler;
+use mc_sim::harness::{self, inputs};
+use mc_sim::EngineConfig;
+use std::hint::black_box;
+
+fn bench_consensus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consensus");
+    group.sample_size(30);
+    for n in [8usize, 32, 128] {
+        for m in [2u64, 64] {
+            let spec = ConsensusBuilder::multivalued(m).build();
+            group.bench_with_input(BenchmarkId::new(format!("m{m}"), n), &n, |b, &n| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    let ins = inputs::random(n, m, seed);
+                    let out = harness::run_object(
+                        &spec,
+                        &ins,
+                        &mut RandomScheduler::new(seed),
+                        seed,
+                        &EngineConfig::default(),
+                    )
+                    .unwrap();
+                    black_box(out.metrics.total_work())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_consensus);
+criterion_main!(benches);

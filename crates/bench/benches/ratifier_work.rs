@@ -1,0 +1,43 @@
+//! Criterion bench backing E3: wall-clock cost of a ratifier run per quorum
+//! scheme, across the value-alphabet size m.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mc_core::Ratifier;
+use mc_sim::adversary::RandomScheduler;
+use mc_sim::harness::{self, inputs};
+use mc_sim::EngineConfig;
+use std::hint::black_box;
+
+fn bench_ratifiers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ratifier");
+    group.sample_size(50);
+    let n = 8;
+    for m in [2u64, 64, 4096] {
+        for (scheme, make) in [
+            ("binomial", Ratifier::binomial as fn(u64) -> Ratifier),
+            ("bitvector", Ratifier::bitvector as fn(u64) -> Ratifier),
+        ] {
+            group.bench_with_input(BenchmarkId::new(scheme, m), &m, |b, &m| {
+                let spec = make(m);
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    let ins = inputs::random(n, m, seed);
+                    let out = harness::run_object(
+                        &spec,
+                        &ins,
+                        &mut RandomScheduler::new(seed),
+                        seed,
+                        &EngineConfig::default(),
+                    )
+                    .unwrap();
+                    black_box(out.metrics.individual_work())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ratifiers);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion bench backing E12: one complete consensus instance on real
+//! threads (spawn + decide + join), across thread counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mc_runtime::Consensus;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_runtime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime");
+    group.sample_size(30);
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("binary_instance", threads),
+            &threads,
+            |b, &threads| {
+                let mut instance = 0u64;
+                b.iter(|| {
+                    instance = instance.wrapping_add(1);
+                    let consensus = Arc::new(Consensus::binary(threads));
+                    let handles: Vec<_> = (0..threads as u64)
+                        .map(|t| {
+                            let c = Arc::clone(&consensus);
+                            std::thread::spawn(move || {
+                                let mut rng = SmallRng::seed_from_u64(instance * 100 + t);
+                                c.decide(t % 2, &mut rng)
+                            })
+                        })
+                        .collect();
+                    let first = handles
+                        .into_iter()
+                        .map(|h| h.join().unwrap())
+                        .next()
+                        .unwrap();
+                    black_box(first)
+                });
+            },
+        );
+    }
+
+    // Decide latency without thread spawn overhead: a single thread racing
+    // nobody (the solo fast path).
+    group.bench_function("solo_decide", |b| {
+        let mut rng = SmallRng::seed_from_u64(7);
+        b.iter(|| {
+            let consensus = Consensus::binary(1);
+            black_box(consensus.decide(1, &mut rng))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

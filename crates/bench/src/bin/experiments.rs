@@ -1,0 +1,59 @@
+//! Regenerates every table and figure of the reproduction.
+//!
+//! ```text
+//! experiments all            # every experiment, full trial counts
+//! experiments all --quick    # every experiment, reduced trials (CI smoke)
+//! experiments e1 e3 --quick  # a subset
+//! experiments --list         # show the experiment index
+//! ```
+
+use std::process::ExitCode;
+
+use mc_bench::{run_experiment, Mode, EXPERIMENTS};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let list = args.iter().any(|a| a == "--list");
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+
+    if list {
+        print_index();
+        return ExitCode::SUCCESS;
+    }
+
+    let mode = if quick { Mode::Quick } else { Mode::Full };
+    let selected: Vec<&str> = if ids.is_empty() || ids.contains(&"all") {
+        EXPERIMENTS.iter().map(|(id, _, _)| *id).collect()
+    } else {
+        ids
+    };
+
+    println!(
+        "modular-consensus experiments ({} mode)\n\
+         reproducing: Aspnes, A Modular Approach to Shared-Memory Consensus (PODC 2010)\n",
+        if quick { "quick" } else { "full" }
+    );
+    for id in selected {
+        match run_experiment(id, mode) {
+            Ok(report) => println!("{report}\n{}", "-".repeat(78)),
+            Err(err) => {
+                eprintln!("error: {err}");
+                print_index();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_index() {
+    println!("experiments:");
+    for (id, claim, _) in EXPERIMENTS {
+        println!("  {id:<4} {claim}");
+    }
+}

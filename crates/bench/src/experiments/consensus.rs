@@ -1,0 +1,239 @@
+//! Full-protocol experiments: E4, E5, E8, E10.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use mc_analysis::{fit_linear, theory, Table};
+use mc_core::protocol::ConsensusBuilder;
+use mc_core::ChainProbe;
+use mc_model::properties;
+use mc_sim::adversary::RandomScheduler;
+use mc_sim::harness::{self, inputs};
+use mc_sim::EngineConfig;
+
+use super::Mode;
+
+/// E4 — consensus work scaling in n and m.
+pub fn e4_consensus_scaling(mode: Mode) -> String {
+    let trials = mode.trials(300);
+    let ns = mode.cap(&[4usize, 16, 64, 256], 3);
+    let ms = mode.cap(&[2u64, 16, 256], 3);
+    let mut out = String::from(
+        "Headline claim (§1): consensus in the probabilistic-write model with\n\
+         O(log n) expected individual work and O(n log m) expected total work.\n\n",
+    );
+    let mut table = Table::new(
+        "E4: consensus work vs n and m",
+        &[
+            "n",
+            "m",
+            "indiv mean",
+            "total mean",
+            "total/(n·max(1,lg m))",
+        ],
+    );
+    for &n in &ns {
+        for &m in &ms {
+            let spec = ConsensusBuilder::multivalued(m).build();
+            let stats = harness::run_trials(
+                &spec,
+                trials,
+                0xE4,
+                &EngineConfig::default(),
+                |t| inputs::random(n, m, t as u64 * 13 + 1),
+                |s| Box::new(RandomScheduler::new(s)),
+            )
+            .expect("trials run");
+            assert_eq!(stats.all_decided, stats.trials, "every run must decide");
+            let norm = n as f64 * (theory::ceil_lg(m).max(1)) as f64;
+            table.row(&[
+                n.to_string(),
+                m.to_string(),
+                format!("{:.1}", stats.mean_individual_work()),
+                format!("{:.1}", stats.mean_total_work()),
+                format!("{:.2}", stats.mean_total_work() / norm),
+            ]);
+        }
+    }
+    let _ = writeln!(out, "{table}");
+    out.push_str(
+        "The normalized column is flat-ish in n and falls in m (the binomial\n\
+         ratifier needs fewer than lg m + lg m ops): total work is O(n log m).\n\
+         Individual work grows only with lg n and lg m.\n",
+    );
+    out
+}
+
+/// E5 — binary consensus total work is Θ(n).
+pub fn e5_linear_total_work(mode: Mode) -> String {
+    let trials = mode.trials(400);
+    let ns = mode.cap(&[4usize, 8, 16, 32, 64, 128, 256, 512], 5);
+    let spec = ConsensusBuilder::binary().build();
+    let mut table = Table::new(
+        "E5: binary consensus total work vs n",
+        &["n", "total mean", "total/n", "indiv mean"],
+    );
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for &n in &ns {
+        let stats = harness::run_trials(
+            &spec,
+            trials,
+            0xE5,
+            &EngineConfig::default(),
+            |_| inputs::alternating(n, 2),
+            |s| Box::new(RandomScheduler::new(s)),
+        )
+        .expect("trials run");
+        table.row(&[
+            n.to_string(),
+            format!("{:.1}", stats.mean_total_work()),
+            format!("{:.2}", stats.mean_total_work() / n as f64),
+            format!("{:.2}", stats.mean_individual_work()),
+        ]);
+        xs.push(n as f64);
+        ys.push(stats.mean_total_work());
+    }
+    let fit = fit_linear(&xs, &ys);
+    format!(
+        "{table}\nlinear fit: total ≈ {fit}\n\
+         A constant total/n column demonstrates the O(n) bound that makes the\n\
+         Attiya–Censor lower bound asymptotically tight in this model (§1).\n"
+    )
+}
+
+/// E8 — Theorem 5: fallback probability of the bounded construction.
+pub fn e8_bounded_fallback(mode: Mode) -> String {
+    let trials = mode.trials(1500);
+    let n = 6;
+    let mut out = format!(
+        "Theorem 5: truncating after k conciliator rounds reaches the fallback K\n\
+         with probability (1−δ)^k. We measure the per-round agreement rate δ̂\n\
+         empirically, then compare measured fallback rates to (1−δ̂)^k.\n\
+         n = {n}, {trials} trials per k, split inputs, random scheduler.\n\n"
+    );
+
+    // Estimate per-round conciliator agreement probability in context.
+    let c_stats = harness::run_trials(
+        &mc_core::FirstMoverConciliator::impatient(),
+        trials,
+        0xE8,
+        &EngineConfig::default(),
+        |_| inputs::alternating(n, 2),
+        |s| Box::new(RandomScheduler::new(s)),
+    )
+    .expect("trials run");
+    let delta_hat = c_stats.agreement_rate();
+    let _ = writeln!(out, "measured per-round δ̂ = {delta_hat:.3}\n");
+
+    let mut table = Table::new(
+        "E8: fallback rate vs rounds k",
+        &["k", "fallback rate", "predicted (1−δ̂)^k", "still correct"],
+    );
+    for k in [1usize, 2, 3, 5, 8] {
+        let probe = ChainProbe::new();
+        let spec = ConsensusBuilder::binary()
+            .bounded(k)
+            .probe(Arc::clone(&probe))
+            .build();
+        let mut fallbacks = 0;
+        let mut correct = true;
+        for t in 0..trials {
+            probe.reset();
+            let ins = inputs::alternating(n, 2);
+            let seed = t as u64 * 7 + 3;
+            let res = harness::run_object(
+                &spec,
+                &ins,
+                &mut RandomScheduler::new(seed),
+                seed,
+                &EngineConfig::default(),
+            )
+            .expect("run completes");
+            correct &= properties::check_consensus(&ins, &res.outputs).is_ok();
+            if probe.max_stage() >= 2 + 2 * k {
+                fallbacks += 1;
+            }
+        }
+        table.row(&[
+            k.to_string(),
+            format!("{:.4}", fallbacks as f64 / trials as f64),
+            format!("{:.4}", theory::fallback_probability(delta_hat, k as u32)),
+            if correct { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    let _ = writeln!(out, "{table}");
+    out.push_str("k = Θ(log n) rounds make the fallback contribution negligible (Theorem 5).\n");
+    out
+}
+
+/// E10 — the fast path (§4.1.1).
+pub fn e10_fast_path(mode: Mode) -> String {
+    let trials = mode.trials(500);
+    let n = 16;
+    let mut out = format!(
+        "§4.1.1: the prefix R₋₁; R₀ decides without running any conciliator when\n\
+         the fastest processes already agree — unanimity costs ≤ 8 ops per\n\
+         process. n = {n}, {trials} trials per row.\n\n"
+    );
+    let mut table = Table::new(
+        "E10: fast path on/off",
+        &[
+            "inputs",
+            "fast path",
+            "indiv mean",
+            "total mean",
+            "max stage",
+        ],
+    );
+    for unanimous in [true, false] {
+        for fast in [true, false] {
+            let probe = ChainProbe::new();
+            let builder = ConsensusBuilder::binary().probe(Arc::clone(&probe));
+            let spec = if fast {
+                builder
+            } else {
+                builder.without_fast_path()
+            }
+            .build();
+            let mut max_stage = 0;
+            let mut indiv = Vec::new();
+            let mut total = Vec::new();
+            for t in 0..trials {
+                probe.reset();
+                let seed = t as u64;
+                let ins = if unanimous {
+                    inputs::unanimous(n, 1)
+                } else {
+                    inputs::alternating(n, 2)
+                };
+                let res = harness::run_object(
+                    &spec,
+                    &ins,
+                    &mut RandomScheduler::new(seed),
+                    seed,
+                    &EngineConfig::default(),
+                )
+                .expect("run completes");
+                properties::check_consensus(&ins, &res.outputs).expect("consensus holds");
+                max_stage = max_stage.max(probe.max_stage());
+                indiv.push(res.metrics.individual_work());
+                total.push(res.metrics.total_work());
+            }
+            let mean = |v: &[u64]| v.iter().map(|&x| x as f64).sum::<f64>() / v.len().max(1) as f64;
+            table.row(&[
+                if unanimous { "unanimous" } else { "split" }.to_string(),
+                if fast { "on" } else { "off" }.to_string(),
+                format!("{:.2}", mean(&indiv)),
+                format!("{:.1}", mean(&total)),
+                max_stage.to_string(),
+            ]);
+        }
+    }
+    let _ = writeln!(out, "{table}");
+    out.push_str(
+        "With unanimous inputs and the fast path on, no run leaves stages 0–1 and\n\
+         work stays constant; without it every run pays for a conciliator.\n",
+    );
+    out
+}

@@ -1,0 +1,173 @@
+//! The experiment registry: one function per experiment id (E1–E15).
+
+mod conciliator;
+mod consensus;
+mod crashes;
+mod exact;
+mod ratifier;
+mod restricted;
+mod runtime;
+mod synthesis;
+
+/// How much statistical effort to spend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Reduced trial counts for CI and smoke runs (seconds per experiment).
+    Quick,
+    /// Full trial counts used for the numbers in `EXPERIMENTS.md`.
+    Full,
+}
+
+impl Mode {
+    /// Scales a full-mode trial count down in quick mode.
+    pub fn trials(self, full: usize) -> usize {
+        match self {
+            Mode::Quick => (full / 10).max(30),
+            Mode::Full => full,
+        }
+    }
+
+    /// Drops the largest sweep entries in quick mode.
+    pub fn cap<T: Copy>(self, values: &[T], quick_len: usize) -> Vec<T> {
+        match self {
+            Mode::Quick => values.iter().copied().take(quick_len).collect(),
+            Mode::Full => values.to_vec(),
+        }
+    }
+}
+
+/// An experiment entry: id, claim, runner.
+pub type Experiment = (&'static str, &'static str, fn(Mode) -> String);
+
+/// The experiment ids, their claims, and their runner functions.
+pub const EXPERIMENTS: &[Experiment] = &[
+    (
+        "e1",
+        "Theorem 7: conciliator agreement probability ≥ (1−e^{−1/4})/4 under every adversary",
+        conciliator::e1_agreement_probability,
+    ),
+    (
+        "e2",
+        "Theorem 7: conciliator work — individual ≤ 2⌈lg n⌉+4, expected total ≤ 6n",
+        conciliator::e2_work_bounds,
+    ),
+    (
+        "e3",
+        "Theorem 10: m-valued ratifier registers and work across quorum schemes",
+        ratifier::e3_ratifier_costs,
+    ),
+    (
+        "e4",
+        "§1: consensus work — O(log n) individual, O(n log m) total",
+        consensus::e4_consensus_scaling,
+    ),
+    (
+        "e5",
+        "§1: binary consensus total work is Θ(n) (Attiya–Censor tight)",
+        consensus::e5_linear_total_work,
+    ),
+    (
+        "e6",
+        "§5.2: impatient (2^k/n) vs classic fixed (1/n) individual work; crossover",
+        conciliator::e6_baseline_comparison,
+    ),
+    (
+        "e7",
+        "Theorem 6: CoinConciliator inherits δ from a weak shared coin (adaptive adversary)",
+        conciliator::e7_coin_conciliator,
+    ),
+    (
+        "e8",
+        "Theorem 5: bounded construction reaches fallback with probability (1−δ)^k",
+        consensus::e8_bounded_fallback,
+    ),
+    (
+        "e9",
+        "§4.2: ratifier-only consensus under noisy and priority schedulers",
+        restricted::e9_ratifier_only,
+    ),
+    (
+        "e10",
+        "§4.1.1: the fast path decides unanimous inputs without conciliators",
+        consensus::e10_fast_path,
+    ),
+    (
+        "e11",
+        "Ablations: success detection (footnote 2), schedule ratio, fast path",
+        conciliator::e11_ablations,
+    ),
+    (
+        "e12",
+        "Runtime: the same algorithms on real threads — correctness and throughput",
+        runtime::e12_runtime,
+    ),
+    (
+        "e13",
+        "Exhaustive checking: exact worst-case δ* at n = 2; safety on every schedule",
+        exact::e13_exact_small_n,
+    ),
+    (
+        "e14",
+        "Adversary synthesis: searched oblivious schedules still respect Theorem 7's δ",
+        synthesis::e14_adversary_synthesis,
+    ),
+    (
+        "e15",
+        "Wait-freedom: consensus tolerates up to n − 1 crash failures (§1)",
+        crashes::e15_crash_tolerance,
+    ),
+];
+
+/// Runs one experiment by id (e.g. `"e3"`). Returns its printed report.
+///
+/// # Errors
+///
+/// Returns an error listing valid ids if `id` is unknown.
+pub fn run_experiment(id: &str, mode: Mode) -> Result<String, String> {
+    for (eid, claim, runner) in EXPERIMENTS {
+        if *eid == id {
+            let mut out = String::new();
+            out.push_str(&format!("== {} — {claim}\n\n", eid.to_uppercase()));
+            out.push_str(&runner(mode));
+            return Ok(out);
+        }
+    }
+    Err(format!(
+        "unknown experiment {id:?}; valid ids: {}",
+        EXPERIMENTS
+            .iter()
+            .map(|(id, _, _)| *id)
+            .collect::<Vec<_>>()
+            .join(", ")
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_unique() {
+        assert_eq!(EXPERIMENTS.len(), 15);
+        let mut ids: Vec<&str> = EXPERIMENTS.iter().map(|(id, _, _)| *id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 15);
+    }
+
+    #[test]
+    fn unknown_id_is_reported() {
+        let err = run_experiment("e99", Mode::Quick).unwrap_err();
+        assert!(err.contains("e99"));
+        assert!(err.contains("e12"));
+    }
+
+    #[test]
+    fn mode_scaling() {
+        assert_eq!(Mode::Quick.trials(1000), 100);
+        assert_eq!(Mode::Quick.trials(100), 30);
+        assert_eq!(Mode::Full.trials(1000), 1000);
+        assert_eq!(Mode::Quick.cap(&[1, 2, 3, 4], 2), vec![1, 2]);
+        assert_eq!(Mode::Full.cap(&[1, 2, 3, 4], 2), vec![1, 2, 3, 4]);
+    }
+}

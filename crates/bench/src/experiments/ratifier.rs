@@ -1,0 +1,146 @@
+//! Ratifier experiments: E3.
+
+use std::fmt::Write as _;
+
+use mc_analysis::{theory, Table};
+use mc_core::{CollectRatifier, Ratifier};
+use mc_model::{properties, ObjectSpec};
+use mc_quorums::verify;
+use mc_quorums::{BinomialScheme, BitVectorScheme};
+use mc_sim::adversary::RandomScheduler;
+use mc_sim::harness::{self, inputs};
+use mc_sim::EngineConfig;
+
+use super::Mode;
+
+/// E3 — Theorem 10: register and work costs of the m-valued ratifier.
+pub fn e3_ratifier_costs(mode: Mode) -> String {
+    let ms = mode.cap(&[2u64, 6, 16, 70, 256, 4096, 1 << 20], 5);
+    let trials = mode.trials(200);
+    let mut out = String::from(
+        "Theorem 10: an m-valued ratifier needs only O(log m) registers and work.\n\
+         binomial: ⌈lg m⌉ + Θ(log log m) registers (optimal, Bollobás/Thm 9);\n\
+         bit-vector: 2⌈lg m⌉ + 1 registers; binary: 3 registers, ≤ 4 ops;\n\
+         cheap-collect: 4 ops for any m (different model).\n\n",
+    );
+
+    let mut regs = Table::new(
+        "E3a: registers vs m",
+        &[
+            "m",
+            "⌈lg m⌉",
+            "binomial",
+            "bitvector (2⌈lg m⌉+1)",
+            "binomial ops",
+            "bitvector ops",
+        ],
+    );
+    for &m in &ms {
+        let binom = Ratifier::binomial(m);
+        let bitv = Ratifier::bitvector(m);
+        regs.row(&[
+            m.to_string(),
+            theory::ceil_lg(m).to_string(),
+            binom.register_count().to_string(),
+            bitv.register_count().to_string(),
+            binom.individual_work_bound().to_string(),
+            bitv.individual_work_bound().to_string(),
+        ]);
+    }
+    let _ = writeln!(out, "{regs}");
+
+    // Cross-intersection validity of the schemes behind the table.
+    for &m in &ms {
+        let b = BinomialScheme::for_capacity(m).expect("m > 0");
+        let v = BitVectorScheme::for_capacity(m).expect("m > 0");
+        if m <= 4096 {
+            verify::check_cross_intersection(&b, 256).expect("binomial scheme valid");
+            verify::check_cross_intersection(&v, 256).expect("bitvector scheme valid");
+        } else {
+            verify::check_cross_intersection_sampled(&b, 300, 7).expect("binomial scheme valid");
+            verify::check_cross_intersection_sampled(&v, 300, 7).expect("bitvector scheme valid");
+        }
+    }
+    let bollobas = verify::bollobas_sum(&BinomialScheme::with_pool(10), u64::MAX);
+    let _ = writeln!(
+        out,
+        "Bollobás sum for the binomial scheme (k = 10): {bollobas:.6} — exactly 1,\n\
+         witnessing that no scheme packs more values into the same registers.\n"
+    );
+
+    // Measured work + acceptance/coherence checks in the model.
+    let n = 8;
+    let mut work = Table::new(
+        "E3b: measured ratifier work (n = 8, split inputs, random scheduler)",
+        &[
+            "m",
+            "scheme",
+            "indiv max",
+            "bound",
+            "acceptance",
+            "coherence",
+        ],
+    );
+    for &m in &ms {
+        if m > 4096 {
+            continue; // inputs::random with huge m is fine, but keep runtime sane
+        }
+        for ratifier in [Ratifier::binomial(m), Ratifier::bitvector(m)] {
+            let bound = ratifier.individual_work_bound();
+            let mut worst = 0;
+            let mut acceptance_ok = true;
+            let mut coherence_ok = true;
+            for t in 0..trials as u64 {
+                // Alternate split and unanimous inputs to exercise both
+                // acceptance and conflict detection.
+                let ins = if t % 2 == 0 {
+                    inputs::random(n, m, t)
+                } else {
+                    inputs::unanimous(n, t % m)
+                };
+                let out = harness::run_object(
+                    &ratifier,
+                    &ins,
+                    &mut RandomScheduler::new(t),
+                    t,
+                    &EngineConfig::default(),
+                )
+                .expect("run completes");
+                worst = worst.max(out.metrics.individual_work());
+                acceptance_ok &= properties::check_acceptance(&ins, &out.outputs).is_ok();
+                coherence_ok &= properties::check_coherence(&out.outputs).is_ok();
+            }
+            work.row(&[
+                m.to_string(),
+                ratifier.name(),
+                worst.to_string(),
+                bound.to_string(),
+                if acceptance_ok { "ok" } else { "VIOLATED" }.to_string(),
+                if coherence_ok { "ok" } else { "VIOLATED" }.to_string(),
+            ]);
+        }
+    }
+    let _ = writeln!(out, "{work}");
+
+    // The cheap-collect row (§6.2 item 4).
+    let collect_config = EngineConfig::default().with_cheap_collect();
+    let mut worst = 0;
+    for t in 0..trials as u64 {
+        let ins = inputs::random(n, 1 << 40, t);
+        let res = harness::run_object(
+            &CollectRatifier::new(),
+            &ins,
+            &mut RandomScheduler::new(t),
+            t,
+            &collect_config,
+        )
+        .expect("run completes");
+        worst = worst.max(res.metrics.individual_work());
+    }
+    let _ = writeln!(
+        out,
+        "E3c: cheap-collect ratifier, m = 2^40: worst individual work = {worst} (paper: 4 ops\n\
+         regardless of m, in the cheap-snapshot model).\n"
+    );
+    out
+}

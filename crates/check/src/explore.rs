@@ -1,0 +1,445 @@
+//! Exhaustive exploration of the execution tree.
+
+use std::error::Error;
+use std::fmt;
+
+use mc_model::{properties, Decision, ObjectSpec, PropertyViolation, Value};
+
+use crate::replay::{run_path, CoinPolicy, Need, PathEvent};
+
+/// Exploration limits and policies.
+#[derive(Debug, Clone)]
+pub struct CheckConfig {
+    /// Maximum operations per execution; longer paths count as truncated.
+    pub max_steps: usize,
+    /// Abort with [`CheckError::PathBudgetExhausted`] after this many
+    /// complete paths (a runaway-state-space guard).
+    pub max_paths: usize,
+    /// Session-local randomness policy.
+    pub coin_policy: CoinPolicy,
+    /// Also check acceptance (unanimous inputs ⇒ everyone decides them) —
+    /// the defining *ratifier* property. Off by default because
+    /// conciliators legitimately never decide.
+    pub check_acceptance: bool,
+}
+
+impl Default for CheckConfig {
+    fn default() -> CheckConfig {
+        CheckConfig {
+            max_steps: 64,
+            max_paths: 5_000_000,
+            coin_policy: CoinPolicy::Forbid,
+            check_acceptance: false,
+        }
+    }
+}
+
+/// Why exploration could not complete.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckError {
+    /// A session drew local randomness under [`CoinPolicy::Forbid`].
+    LocalCoinUsed,
+    /// More than `max_paths` leaves; raise the limit or shrink the system.
+    PathBudgetExhausted {
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::LocalCoinUsed => write!(
+                f,
+                "protocol uses session-local coins; exhaustive checking needs \
+                 CoinPolicy::Fixed or a coin-free protocol"
+            ),
+            CheckError::PathBudgetExhausted { limit } => {
+                write!(f, "exploration exceeded the path budget of {limit}")
+            }
+        }
+    }
+}
+
+impl Error for CheckError {}
+
+/// Outcome of a safety exploration.
+#[derive(Debug, Clone, Default)]
+pub struct SafetyReport {
+    /// Complete executions explored.
+    pub complete_paths: usize,
+    /// Executions cut off by the step bound.
+    pub truncated_paths: usize,
+    /// The first violation found on any complete execution, with the path
+    /// that produces it.
+    pub violation: Option<(Vec<PathEvent>, PropertyViolation)>,
+}
+
+impl SafetyReport {
+    /// True if no violation was found and nothing was truncated — the
+    /// properties hold on *every* execution within the bound.
+    pub fn is_exhaustive_pass(&self) -> bool {
+        self.violation.is_none() && self.truncated_paths == 0
+    }
+}
+
+/// The worst-case agreement value of a conciliator-like object.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgreementValue {
+    /// The game value: minimum over adversary strategies of the probability
+    /// that all outputs agree. Exact when `truncated == 0`, otherwise a
+    /// sound lower bound (truncated subtrees score 0).
+    pub probability: f64,
+    /// Complete executions explored.
+    pub complete_paths: usize,
+    /// Executions cut off by the step bound (each contributing 0).
+    pub truncated: usize,
+}
+
+/// Exhaustively explores all executions of one deciding object on fixed
+/// inputs. See the crate docs for the branching model and soundness notes.
+pub struct Explorer<S> {
+    spec: S,
+    inputs: Vec<Value>,
+    config: CheckConfig,
+}
+
+impl<S: ObjectSpec> Explorer<S> {
+    /// Creates an explorer with default limits.
+    pub fn new(spec: S, inputs: Vec<Value>) -> Explorer<S> {
+        Explorer {
+            spec,
+            inputs,
+            config: CheckConfig::default(),
+        }
+    }
+
+    /// Replaces the exploration config.
+    pub fn with_config(mut self, config: CheckConfig) -> Explorer<S> {
+        self.config = config;
+        self
+    }
+
+    /// Checks validity and coherence on every complete execution — plus
+    /// acceptance if [`CheckConfig::check_acceptance`] is set.
+    ///
+    /// Stops at the first violation (recorded with its witness path).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError`] if the protocol draws local coins under
+    /// [`CoinPolicy::Forbid`] or the path budget is exhausted.
+    pub fn verify_safety(&self) -> Result<SafetyReport, CheckError> {
+        let mut report = SafetyReport::default();
+        let mut path = Vec::new();
+        self.dfs_safety(&mut path, &mut report)?;
+        Ok(report)
+    }
+
+    fn check_leaf(&self, outputs: &[Decision]) -> Result<(), PropertyViolation> {
+        properties::check_validity(&self.inputs, outputs)?;
+        properties::check_coherence(outputs)?;
+        if self.config.check_acceptance {
+            properties::check_acceptance(&self.inputs, outputs)?;
+        }
+        Ok(())
+    }
+
+    fn dfs_safety(
+        &self,
+        path: &mut Vec<PathEvent>,
+        report: &mut SafetyReport,
+    ) -> Result<(), CheckError> {
+        if report.violation.is_some() {
+            return Ok(());
+        }
+        if report.complete_paths + report.truncated_paths >= self.config.max_paths {
+            return Err(CheckError::PathBudgetExhausted {
+                limit: self.config.max_paths,
+            });
+        }
+        match run_path(
+            &self.spec,
+            &self.inputs,
+            self.config.coin_policy,
+            self.config.max_steps,
+            path,
+        ) {
+            Need::Done(outputs) => {
+                report.complete_paths += 1;
+                if let Err(violation) = self.check_leaf(&outputs) {
+                    report.violation = Some((path.clone(), violation));
+                }
+                Ok(())
+            }
+            Need::OutOfSteps => {
+                report.truncated_paths += 1;
+                Ok(())
+            }
+            Need::LocalCoinUsed => Err(CheckError::LocalCoinUsed),
+            Need::Sched(live) => {
+                for pid in live {
+                    path.push(PathEvent::Sched(pid));
+                    self.dfs_safety(path, report)?;
+                    path.pop();
+                    if report.violation.is_some() {
+                        break;
+                    }
+                }
+                Ok(())
+            }
+            Need::Coin { .. } => {
+                for outcome in [true, false] {
+                    path.push(PathEvent::Coin(outcome));
+                    self.dfs_safety(path, report)?;
+                    path.pop();
+                    if report.violation.is_some() {
+                        break;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Computes the worst-case agreement probability: the adversary picks
+    /// each scheduling choice to *minimize* the probability that all
+    /// outputs agree; coin nodes average over outcomes.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError`] as for [`verify_safety`](Explorer::verify_safety).
+    pub fn worst_case_agreement(&self) -> Result<AgreementValue, CheckError> {
+        let mut value = AgreementValue {
+            probability: 0.0,
+            complete_paths: 0,
+            truncated: 0,
+        };
+        let mut path = Vec::new();
+        value.probability = self.dfs_value(&mut path, &mut value)?;
+        Ok(value)
+    }
+
+    fn dfs_value(
+        &self,
+        path: &mut Vec<PathEvent>,
+        stats: &mut AgreementValue,
+    ) -> Result<f64, CheckError> {
+        if stats.complete_paths + stats.truncated >= self.config.max_paths {
+            return Err(CheckError::PathBudgetExhausted {
+                limit: self.config.max_paths,
+            });
+        }
+        match run_path(
+            &self.spec,
+            &self.inputs,
+            self.config.coin_policy,
+            self.config.max_steps,
+            path,
+        ) {
+            Need::Done(outputs) => {
+                stats.complete_paths += 1;
+                Ok(f64::from(u8::from(
+                    properties::check_agreement(&outputs).is_ok(),
+                )))
+            }
+            Need::OutOfSteps => {
+                stats.truncated += 1;
+                Ok(0.0)
+            }
+            Need::LocalCoinUsed => Err(CheckError::LocalCoinUsed),
+            Need::Sched(live) => {
+                let mut worst = f64::INFINITY;
+                for pid in live {
+                    path.push(PathEvent::Sched(pid));
+                    let v = self.dfs_value(path, stats)?;
+                    path.pop();
+                    worst = worst.min(v);
+                    if worst == 0.0 {
+                        break; // the adversary cannot do better than 0
+                    }
+                }
+                Ok(worst)
+            }
+            Need::Coin { prob } => {
+                path.push(PathEvent::Coin(true));
+                let success = self.dfs_value(path, stats)?;
+                path.pop();
+                path.push(PathEvent::Coin(false));
+                let failure = self.dfs_value(path, stats)?;
+                path.pop();
+                Ok(prob * success + (1.0 - prob) * failure)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_model::{
+        Action, Ctx, DecidingObject, InstantiateCtx, Op, ProcessId, RegisterId, Response, Session,
+    };
+    use std::sync::Arc;
+
+    /// Always halts immediately with its input, never deciding.
+    struct CopySpec;
+    struct CopyObj;
+    struct CopySession;
+
+    impl DecidingObject for CopyObj {
+        fn session(&self, _pid: ProcessId) -> Box<dyn Session + Send> {
+            Box::new(CopySession)
+        }
+    }
+    impl Session for CopySession {
+        fn begin(&mut self, input: u64, _ctx: &mut Ctx<'_>) -> Action {
+            Action::Halt(Decision::continue_with(input))
+        }
+        fn poll(&mut self, _r: Response, _ctx: &mut Ctx<'_>) -> Action {
+            unreachable!()
+        }
+    }
+    impl ObjectSpec for CopySpec {
+        fn instantiate(&self, _ctx: &mut InstantiateCtx<'_>) -> Arc<dyn DecidingObject> {
+            Arc::new(CopyObj)
+        }
+    }
+
+    /// A broken object: decides its own input unconditionally — violates
+    /// coherence on split inputs.
+    struct BrokenSpec;
+    struct BrokenObj {
+        reg: RegisterId,
+    }
+    struct BrokenSession {
+        reg: RegisterId,
+        input: u64,
+    }
+
+    impl DecidingObject for BrokenObj {
+        fn session(&self, _pid: ProcessId) -> Box<dyn Session + Send> {
+            Box::new(BrokenSession {
+                reg: self.reg,
+                input: 0,
+            })
+        }
+    }
+    impl Session for BrokenSession {
+        fn begin(&mut self, input: u64, _ctx: &mut Ctx<'_>) -> Action {
+            self.input = input;
+            Action::Invoke(Op::Write {
+                reg: self.reg,
+                value: input,
+            })
+        }
+        fn poll(&mut self, _r: Response, _ctx: &mut Ctx<'_>) -> Action {
+            Action::Halt(Decision::decide(self.input))
+        }
+    }
+    impl ObjectSpec for BrokenSpec {
+        fn instantiate(&self, ctx: &mut InstantiateCtx<'_>) -> Arc<dyn DecidingObject> {
+            Arc::new(BrokenObj {
+                reg: ctx.alloc.alloc_block(1),
+            })
+        }
+    }
+
+    #[test]
+    fn copy_object_passes_safety_trivially() {
+        let report = Explorer::new(CopySpec, vec![1, 2]).verify_safety().unwrap();
+        assert!(report.is_exhaustive_pass());
+        assert_eq!(report.complete_paths, 1); // no operations => one path
+    }
+
+    #[test]
+    fn copy_object_has_zero_worst_case_agreement_on_split_inputs() {
+        let v = Explorer::new(CopySpec, vec![1, 2])
+            .worst_case_agreement()
+            .unwrap();
+        assert_eq!(v.probability, 0.0);
+        let v = Explorer::new(CopySpec, vec![3, 3])
+            .worst_case_agreement()
+            .unwrap();
+        assert_eq!(v.probability, 1.0);
+    }
+
+    #[test]
+    fn checker_finds_coherence_violation_with_witness() {
+        let report = Explorer::new(BrokenSpec, vec![0, 1])
+            .verify_safety()
+            .unwrap();
+        let (path, violation) = report.violation.expect("violation found");
+        assert!(matches!(violation, PropertyViolation::Coherence { .. }));
+        assert!(!path.is_empty());
+    }
+
+    /// Benign multi-op object: write input to own register, read it back
+    /// twice, halt without deciding. Many interleavings, no violations.
+    struct BusySpec;
+    struct BusyObj {
+        base: RegisterId,
+    }
+    struct BusySession {
+        base: RegisterId,
+        pid: ProcessId,
+        input: u64,
+        reads: u8,
+    }
+
+    impl DecidingObject for BusyObj {
+        fn session(&self, pid: ProcessId) -> Box<dyn Session + Send> {
+            Box::new(BusySession {
+                base: self.base,
+                pid,
+                input: 0,
+                reads: 0,
+            })
+        }
+    }
+    impl Session for BusySession {
+        fn begin(&mut self, input: u64, _ctx: &mut Ctx<'_>) -> Action {
+            self.input = input;
+            Action::Invoke(Op::Write {
+                reg: self.base.offset(self.pid.index() as u64),
+                value: input,
+            })
+        }
+        fn poll(&mut self, _r: Response, _ctx: &mut Ctx<'_>) -> Action {
+            if self.reads < 2 {
+                self.reads += 1;
+                Action::Invoke(Op::Read(self.base.offset(self.pid.index() as u64)))
+            } else {
+                Action::Halt(Decision::continue_with(self.input))
+            }
+        }
+    }
+    impl ObjectSpec for BusySpec {
+        fn instantiate(&self, ctx: &mut InstantiateCtx<'_>) -> Arc<dyn DecidingObject> {
+            Arc::new(BusyObj {
+                base: ctx.alloc.alloc_block(8),
+            })
+        }
+    }
+
+    #[test]
+    fn path_budget_guard_triggers() {
+        let config = CheckConfig {
+            max_paths: 2,
+            ..CheckConfig::default()
+        };
+        let err = Explorer::new(BusySpec, vec![0, 1, 2])
+            .with_config(config)
+            .verify_safety()
+            .unwrap_err();
+        assert!(matches!(err, CheckError::PathBudgetExhausted { limit: 2 }));
+    }
+
+    #[test]
+    fn busy_object_explores_many_paths_cleanly() {
+        let report = Explorer::new(BusySpec, vec![0, 1]).verify_safety().unwrap();
+        assert!(report.is_exhaustive_pass());
+        // 3 ops per process, 2 processes: C(6,3) = 20 interleavings.
+        assert_eq!(report.complete_paths, 20);
+    }
+}

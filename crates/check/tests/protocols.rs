@@ -1,0 +1,188 @@
+//! Exhaustive verification of the paper's actual objects at small n.
+//!
+//! These are the strongest correctness statements in the repository: for
+//! the systems below, *every* schedule the strongest coin-blind adversary
+//! can produce, crossed with *every* outcome of every probabilistic-write
+//! coin, satisfies the claimed properties.
+
+use std::sync::Arc;
+
+use mc_check::{CheckConfig, CheckError, CoinPolicy, Explorer};
+
+fn ratifier_config() -> CheckConfig {
+    CheckConfig {
+        check_acceptance: true,
+        ..CheckConfig::default()
+    }
+}
+use mc_core::{
+    Chain, CoinConciliator, FirstMoverConciliator, Ratifier, VotingSharedCoin, WriteSchedule,
+};
+
+/// Theorem 8, exhaustively: the binary ratifier satisfies validity,
+/// coherence, and acceptance on every interleaving for n = 2 and n = 3,
+/// for every input vector.
+#[test]
+fn binary_ratifier_is_safe_on_all_schedules() {
+    for inputs in [
+        vec![0, 0],
+        vec![0, 1],
+        vec![1, 0],
+        vec![1, 1],
+        vec![0, 0, 0],
+        vec![0, 1, 1],
+        vec![1, 0, 1],
+        vec![0, 1, 0],
+    ] {
+        let report = Explorer::new(Ratifier::binary(), inputs.clone())
+            .with_config(ratifier_config())
+            .verify_safety()
+            .unwrap();
+        assert!(
+            report.is_exhaustive_pass(),
+            "inputs {inputs:?}: {:?}",
+            report.violation
+        );
+        assert!(report.complete_paths > 1);
+    }
+}
+
+/// Theorem 8 for the m-valued schemes: exhaustive at n = 2, m = 4 and a
+/// three-process mixed-value instance.
+#[test]
+fn multivalued_ratifiers_are_safe_on_all_schedules() {
+    for ratifier in [Ratifier::binomial(4), Ratifier::bitvector(4)] {
+        for inputs in [vec![0u64, 3], vec![2, 2], vec![1, 3, 2]] {
+            let report = Explorer::new(ratifier.clone(), inputs.clone())
+                .with_config(ratifier_config())
+                .verify_safety()
+                .unwrap();
+            assert!(
+                report.is_exhaustive_pass(),
+                "{inputs:?}: {:?}",
+                report.violation
+            );
+        }
+    }
+}
+
+/// The impatient conciliator terminates within its Theorem 7 step bound on
+/// every schedule (no truncated paths), and never violates validity or
+/// coherence. (n = 2 is the exhaustive frontier: the checker re-executes
+/// paths from scratch, and the n = 3 tree has > 5M leaves.)
+#[test]
+fn impatient_conciliator_is_safe_and_bounded_on_all_schedules() {
+    for inputs in [vec![0u64, 1], vec![5, 5]] {
+        let n = inputs.len();
+        // 2⌈lg n⌉ + 4 ops per process is the hard bound.
+        let per_proc = 2 * (n as u64).next_power_of_two().trailing_zeros() as usize + 4;
+        let config = CheckConfig {
+            max_steps: per_proc * n,
+            ..CheckConfig::default()
+        };
+        let report = Explorer::new(FirstMoverConciliator::impatient(), inputs.clone())
+            .with_config(config)
+            .verify_safety()
+            .unwrap();
+        assert!(
+            report.is_exhaustive_pass(),
+            "inputs {inputs:?}: truncated={} violation={:?}",
+            report.truncated_paths,
+            report.violation
+        );
+    }
+}
+
+/// The exact worst-case agreement probability of the paper's conciliator
+/// at n = 2 against the strongest coin-blind adversary — compared with
+/// Theorem 7's closed-form lower bound.
+#[test]
+fn exact_worst_case_agreement_at_n2_beats_theorem_bound() {
+    let value = Explorer::new(FirstMoverConciliator::impatient(), vec![0, 1])
+        .worst_case_agreement()
+        .unwrap();
+    assert_eq!(value.truncated, 0, "value must be exact");
+    let theorem = (1.0 - (-0.25f64).exp()) * 0.25;
+    assert!(
+        value.probability >= theorem,
+        "exact δ* = {} below the theorem bound {theorem}",
+        value.probability
+    );
+    // The bound is known to be loose; the exact value is at least 25%.
+    assert!(value.probability >= 0.25, "δ* = {}", value.probability);
+    // And unanimous inputs always agree.
+    let unanimous = Explorer::new(FirstMoverConciliator::impatient(), vec![4, 4])
+        .worst_case_agreement()
+        .unwrap();
+    assert_eq!(unanimous.probability, 1.0);
+}
+
+/// Corollary 4, exhaustively: the composition (conciliator; ratifier) is a
+/// weak consensus object on every schedule and coin outcome at n = 2.
+#[test]
+fn conciliator_ratifier_composition_is_safe_on_all_schedules() {
+    let spec = Chain::pair(
+        Arc::new(FirstMoverConciliator::impatient()),
+        Arc::new(Ratifier::binary()),
+    );
+    for inputs in [vec![0u64, 1], vec![1, 1]] {
+        let report = Explorer::new(spec.clone(), inputs.clone())
+            .verify_safety()
+            .unwrap();
+        assert!(
+            report.is_exhaustive_pass(),
+            "inputs {inputs:?}: truncated={} violation={:?}",
+            report.truncated_paths,
+            report.violation
+        );
+    }
+}
+
+/// A non-saturating schedule yields unbounded executions: the checker
+/// reports truncation instead of looping, and the truncated value is still
+/// a sound lower bound.
+#[test]
+fn fixed_schedule_reports_truncation() {
+    let spec = FirstMoverConciliator::with_schedule(WriteSchedule::fixed(1.0));
+    let config = CheckConfig {
+        max_steps: 12,
+        ..CheckConfig::default()
+    };
+    let report = Explorer::new(spec.clone(), vec![0, 1])
+        .with_config(config.clone())
+        .verify_safety()
+        .unwrap();
+    assert!(report.truncated_paths > 0);
+    assert!(report.violation.is_none());
+    let value = Explorer::new(spec, vec![0, 1])
+        .with_config(config)
+        .worst_case_agreement()
+        .unwrap();
+    assert!(value.truncated > 0);
+    assert!(value.probability <= 1.0);
+}
+
+/// Protocols with session-local coins are rejected under the exhaustive
+/// policy and accepted (conditionally) with a fixed seed.
+#[test]
+fn local_coin_protocols_are_rejected_then_sampled() {
+    let spec = CoinConciliator::new(Arc::new(VotingSharedCoin::with_quorum_factor(1)));
+    let err = Explorer::new(spec.clone(), vec![0, 1])
+        .verify_safety()
+        .unwrap_err();
+    assert_eq!(err, CheckError::LocalCoinUsed);
+
+    // With a fixed coin seed the voting coin becomes deterministic and the
+    // safety sweep covers all schedules for that seed.
+    let config = CheckConfig {
+        coin_policy: CoinPolicy::Fixed(7),
+        max_steps: 400,
+        max_paths: 2_000_000,
+        ..CheckConfig::default()
+    };
+    let report = Explorer::new(spec, vec![0, 1])
+        .with_config(config)
+        .verify_safety()
+        .unwrap();
+    assert!(report.violation.is_none(), "{:?}", report.violation);
+}

@@ -1,0 +1,246 @@
+//! The dummy-register reduction of §2.1: probabilistic writes implemented
+//! with plain writes under a location-oblivious adversary.
+
+use std::sync::Arc;
+
+use mc_model::{
+    Action, Ctx, DecidingObject, Decision, InstantiateCtx, ObjectSpec, Op, ProcessId, RegisterId,
+    Response, Session, Value,
+};
+use rand::RngExt;
+
+use super::schedule::WriteSchedule;
+
+/// The first-mover conciliator with probabilistic writes *implemented* via
+/// the paper's reduction (§2.1): instead of the engine-level
+/// [`Op::ProbWrite`], the process flips a local coin and then performs an
+/// ordinary write — to the real register on success, to a private dummy
+/// register otherwise.
+///
+/// Under a location-oblivious adversary the two writes are
+/// indistinguishable (same kind, same visible value, hidden location), so
+/// the adversary cannot condition its schedule on the coin — which is
+/// exactly the guarantee [`Op::ProbWrite`] provides natively. Against
+/// *stronger* adversaries the reduction leaks: an adaptive adversary sees
+/// the target location and can delay exactly the real writes. This object
+/// exists to demonstrate both directions experimentally.
+///
+/// Work per process is identical to
+/// [`FirstMoverConciliator`](super::FirstMoverConciliator) (dummy writes
+/// cost one operation, like failed probabilistic writes).
+#[derive(Debug, Clone)]
+pub struct DummyWriteConciliator {
+    schedule: WriteSchedule,
+}
+
+impl DummyWriteConciliator {
+    /// The reduction applied to the paper's impatient schedule.
+    pub fn impatient() -> DummyWriteConciliator {
+        DummyWriteConciliator {
+            schedule: WriteSchedule::impatient(),
+        }
+    }
+
+    /// The reduction applied to an arbitrary schedule.
+    pub fn with_schedule(schedule: WriteSchedule) -> DummyWriteConciliator {
+        DummyWriteConciliator { schedule }
+    }
+}
+
+struct DummyWriteObject {
+    reg: RegisterId,
+    /// One private dummy register per process.
+    dummies: RegisterId,
+    n: usize,
+    schedule: WriteSchedule,
+}
+
+impl DecidingObject for DummyWriteObject {
+    fn session(&self, pid: ProcessId) -> Box<dyn Session + Send> {
+        Box::new(DummyWriteSession {
+            reg: self.reg,
+            dummy: self.dummies.offset(pid.index() as u64),
+            n: self.n,
+            schedule: self.schedule,
+            input: 0,
+            k: 0,
+            awaiting_write: false,
+        })
+    }
+}
+
+struct DummyWriteSession {
+    reg: RegisterId,
+    dummy: RegisterId,
+    n: usize,
+    schedule: WriteSchedule,
+    input: Value,
+    k: u32,
+    awaiting_write: bool,
+}
+
+impl Session for DummyWriteSession {
+    fn begin(&mut self, input: Value, _ctx: &mut Ctx<'_>) -> Action {
+        self.input = input;
+        Action::Invoke(Op::Read(self.reg))
+    }
+
+    fn poll(&mut self, response: Response, ctx: &mut Ctx<'_>) -> Action {
+        if self.awaiting_write {
+            debug_assert!(matches!(response, Response::Write));
+            self.awaiting_write = false;
+            return Action::Invoke(Op::Read(self.reg));
+        }
+        match response.expect_read() {
+            Some(v) => Action::Halt(Decision::continue_with(v)),
+            None => {
+                let prob = self.schedule.probability(self.k, self.n);
+                self.k += 1;
+                self.awaiting_write = true;
+                // The reduction: resolve the coin locally, then emit an
+                // ordinary write whose *location* encodes the outcome.
+                let target = if ctx.rng.random_bool(prob.get()) {
+                    self.reg
+                } else {
+                    self.dummy
+                };
+                Action::Invoke(Op::Write {
+                    reg: target,
+                    value: self.input,
+                })
+            }
+        }
+    }
+}
+
+impl ObjectSpec for DummyWriteConciliator {
+    fn instantiate(&self, ctx: &mut InstantiateCtx<'_>) -> Arc<dyn DecidingObject> {
+        Arc::new(DummyWriteObject {
+            reg: ctx.alloc.alloc_block(1),
+            dummies: ctx.alloc.alloc_block(ctx.n as u64),
+            n: ctx.n,
+            schedule: self.schedule,
+        })
+    }
+
+    fn name(&self) -> String {
+        format!("first-mover-dummy({})", self.schedule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conciliator::FirstMoverConciliator;
+    use mc_model::properties;
+    use mc_sim::adversary::{Adversary, Capability, RandomScheduler, View};
+    use mc_sim::harness::{self, inputs};
+    use mc_sim::EngineConfig;
+
+    #[test]
+    fn reduction_preserves_weak_consensus() {
+        for seed in 0..40 {
+            let ins = inputs::alternating(8, 3);
+            let out = harness::run_object(
+                &DummyWriteConciliator::impatient(),
+                &ins,
+                &mut RandomScheduler::new(seed),
+                seed,
+                &EngineConfig::default(),
+            )
+            .unwrap();
+            properties::check_weak_consensus(&ins, &out.outputs).unwrap();
+        }
+    }
+
+    #[test]
+    fn reduction_matches_native_probwrite_costs() {
+        let n = 32;
+        let run = |spec: &dyn mc_model::ObjectSpec| {
+            harness::run_trials(
+                spec,
+                400,
+                9,
+                &EngineConfig::default(),
+                |_| inputs::alternating(n, 2),
+                |s| Box::new(RandomScheduler::new(s)),
+            )
+            .unwrap()
+        };
+        let native = run(&FirstMoverConciliator::impatient());
+        let reduced = run(&DummyWriteConciliator::impatient());
+        // Same work distribution to within sampling noise…
+        let ratio = reduced.mean_total_work() / native.mean_total_work();
+        assert!((0.8..1.25).contains(&ratio), "work ratio {ratio}");
+        // …and comparable agreement under an oblivious scheduler.
+        assert!(
+            (reduced.agreement_rate() - native.agreement_rate()).abs() < 0.15,
+            "agreement: native {} vs reduced {}",
+            native.agreement_rate(),
+            reduced.agreement_rate()
+        );
+    }
+
+    /// An adaptive adversary that exploits the reduction's leak: it sees
+    /// write *locations*, so it stalls every pending write to the real
+    /// register while any other operation is available.
+    struct RealWriteStaller {
+        target: u64,
+        cursor: usize,
+    }
+
+    impl Adversary for RealWriteStaller {
+        fn capability(&self) -> Capability {
+            Capability::Adaptive
+        }
+        fn choose(&mut self, view: &View<'_>) -> mc_model::ProcessId {
+            let harmless = view.pending.iter().find(|p| {
+                p.kind != Some(mc_model::OpKind::Write)
+                    || p.reg != Some(mc_model::RegisterId(self.target))
+            });
+            let choice = match harmless {
+                Some(p) => p.pid,
+                None => view.pending[self.cursor % view.pending.len()].pid,
+            };
+            self.cursor += 1;
+            choice
+        }
+        fn name(&self) -> String {
+            "real-write-staller".into()
+        }
+    }
+
+    #[test]
+    fn adaptive_adversary_exploits_the_leaked_location() {
+        // Against the adaptive staller, the dummy-write reduction's
+        // agreement degrades relative to the oblivious case: the adversary
+        // lines up several pending real writes and releases them together.
+        // (It cannot drive agreement to 0 — with all writes pending it must
+        // release one — but the gap to the native ProbWrite object, whose
+        // coins it cannot see, demonstrates the §2.1 caveat.)
+        let n = 8;
+        let run = |spec: &dyn mc_model::ObjectSpec| {
+            harness::run_trials(
+                spec,
+                500,
+                17,
+                &EngineConfig::default(),
+                |_| inputs::alternating(n, 2),
+                |_| {
+                    Box::new(RealWriteStaller {
+                        target: 0,
+                        cursor: 0,
+                    })
+                },
+            )
+            .unwrap()
+            .agreement_rate()
+        };
+        let reduced = run(&DummyWriteConciliator::impatient());
+        let native = run(&FirstMoverConciliator::impatient());
+        assert!(
+            reduced < native,
+            "staller should hurt the reduction more: reduced {reduced} vs native {native}"
+        );
+    }
+}

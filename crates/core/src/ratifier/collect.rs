@@ -1,0 +1,205 @@
+//! The cheap-collect ratifier (§6.2 item 4).
+
+use std::sync::Arc;
+
+use mc_model::{
+    Action, Ctx, DecidingObject, Decision, InstantiateCtx, ObjectSpec, Op, ProcessId, RegisterId,
+    Response, Session, Value,
+};
+
+/// The ratifier for the cheap-snapshot/cheap-collect model (§6.2 item 4):
+/// each process announces its value in its own single-writer register
+/// (a size-1 write quorum) and detects conflicts with a single `O(1)`-cost
+/// collect over all `n` announcement registers (a read quorum of everything
+/// else).
+///
+/// Individual work is 4 operations as in the binary case, for *any* `m` —
+/// which is what makes this model useful for calibrating lower bounds, even
+/// though `O(1)` collects are not realistic (§6.2).
+///
+/// Requires the engine's cheap-collect model
+/// (`EngineConfig::with_cheap_collect` in `mc-sim`);
+/// in the default model the run fails with `CollectDisallowed`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CollectRatifier;
+
+impl CollectRatifier {
+    /// Creates the cheap-collect ratifier.
+    pub fn new() -> CollectRatifier {
+        CollectRatifier
+    }
+
+    /// Worst-case operations per process: announce, proposal read, proposal
+    /// write, collect.
+    pub fn individual_work_bound(&self) -> u64 {
+        4
+    }
+}
+
+struct CollectObject {
+    announce: RegisterId,
+    proposal: RegisterId,
+    n: u64,
+}
+
+impl DecidingObject for CollectObject {
+    fn session(&self, pid: ProcessId) -> Box<dyn Session + Send> {
+        Box::new(CollectSession {
+            announce: self.announce,
+            proposal: self.proposal,
+            n: self.n,
+            pid,
+            input: 0,
+            preference: 0,
+            state: State::Announcing,
+        })
+    }
+}
+
+enum State {
+    Announcing,
+    ReadingProposal,
+    WritingProposal,
+    Collecting,
+}
+
+struct CollectSession {
+    announce: RegisterId,
+    proposal: RegisterId,
+    n: u64,
+    pid: ProcessId,
+    input: Value,
+    preference: Value,
+    state: State,
+}
+
+impl Session for CollectSession {
+    fn begin(&mut self, input: Value, _ctx: &mut Ctx<'_>) -> Action {
+        self.input = input;
+        self.state = State::Announcing;
+        Action::Invoke(Op::Write {
+            reg: self.announce.offset(self.pid.index() as u64),
+            value: input,
+        })
+    }
+
+    fn poll(&mut self, response: Response, _ctx: &mut Ctx<'_>) -> Action {
+        match self.state {
+            State::Announcing => {
+                debug_assert!(matches!(response, Response::Write));
+                self.state = State::ReadingProposal;
+                Action::Invoke(Op::Read(self.proposal))
+            }
+            State::ReadingProposal => match response.expect_read() {
+                Some(u) => {
+                    self.preference = u;
+                    self.state = State::Collecting;
+                    Action::Invoke(Op::Collect {
+                        base: self.announce,
+                        len: self.n,
+                    })
+                }
+                None => {
+                    self.preference = self.input;
+                    self.state = State::WritingProposal;
+                    Action::Invoke(Op::Write {
+                        reg: self.proposal,
+                        value: self.preference,
+                    })
+                }
+            },
+            State::WritingProposal => {
+                debug_assert!(matches!(response, Response::Write));
+                self.state = State::Collecting;
+                Action::Invoke(Op::Collect {
+                    base: self.announce,
+                    len: self.n,
+                })
+            }
+            State::Collecting => {
+                let seen = response.expect_collect();
+                let conflict = seen.into_iter().flatten().any(|v| v != self.preference);
+                if conflict {
+                    Action::Halt(Decision::continue_with(self.preference))
+                } else {
+                    Action::Halt(Decision::decide(self.preference))
+                }
+            }
+        }
+    }
+}
+
+impl ObjectSpec for CollectRatifier {
+    fn instantiate(&self, ctx: &mut InstantiateCtx<'_>) -> Arc<dyn DecidingObject> {
+        let announce = ctx.alloc.alloc_block(ctx.n as u64);
+        let proposal = ctx.alloc.alloc_block(1);
+        Arc::new(CollectObject {
+            announce,
+            proposal,
+            n: ctx.n as u64,
+        })
+    }
+
+    fn name(&self) -> String {
+        "ratifier(cheap-collect)".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_model::properties;
+    use mc_sim::adversary::{RandomScheduler, SplitKeeper};
+    use mc_sim::harness::{self, inputs};
+    use mc_sim::{EngineConfig, RunError};
+
+    fn config() -> EngineConfig {
+        EngineConfig::default().with_cheap_collect()
+    }
+
+    #[test]
+    fn acceptance_with_constant_work_for_any_m() {
+        for m in [2u64, 100, 1 << 30] {
+            let ins = inputs::unanimous(6, m - 1);
+            let out = harness::run_object(
+                &CollectRatifier::new(),
+                &ins,
+                &mut RandomScheduler::new(1),
+                1,
+                &config(),
+            )
+            .unwrap();
+            properties::check_acceptance(&ins, &out.outputs).unwrap();
+            assert!(out.metrics.individual_work() <= 4);
+        }
+    }
+
+    #[test]
+    fn weak_consensus_under_adaptive_attack() {
+        for seed in 0..25 {
+            let ins = inputs::alternating(6, 4);
+            let out = harness::run_object(
+                &CollectRatifier::new(),
+                &ins,
+                &mut SplitKeeper::new(seed),
+                seed,
+                &config(),
+            )
+            .unwrap();
+            properties::check_weak_consensus(&ins, &out.outputs).unwrap();
+        }
+    }
+
+    #[test]
+    fn rejected_outside_cheap_collect_model() {
+        let err = harness::run_object(
+            &CollectRatifier::new(),
+            &inputs::unanimous(3, 0),
+            &mut RandomScheduler::new(0),
+            0,
+            &EngineConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RunError::CollectDisallowed { .. }));
+    }
+}

@@ -1,0 +1,414 @@
+//! The quorum-based deterministic ratifier (Procedure Ratifier, Theorem 8).
+
+use std::sync::Arc;
+
+use mc_model::{
+    Action, Ctx, DecidingObject, Decision, InstantiateCtx, ObjectSpec, Op, ProcessId, RegisterId,
+    Response, Session, Value,
+};
+use mc_quorums::{BinaryScheme, BinomialScheme, BitVectorScheme, QuorumScheme};
+
+/// Procedure Ratifier (§6.1):
+///
+/// ```text
+/// shared data: register proposal, initially ⊥; binary registers r_i, initially 0
+/// foreach r_i ∈ W_v do r_i ← 1                       // announce v
+/// u ← proposal
+/// if u ≠ ⊥ then preference ← u
+/// else { preference ← v; proposal ← preference }
+/// if r_i ≠ 0 for some r_i ∈ R_preference then return (0, preference)
+/// else return (1, preference)
+/// ```
+///
+/// Theorem 8: with quorums satisfying `W_v′ ∩ R_v = ∅ ⟺ v′ = v`, this is a
+/// ratifier — it satisfies termination, validity, coherence, and acceptance
+/// for any number of processes.
+///
+/// Cost is `|W_v| + |R_pref| + 2` operations and `pool + 1` registers; the
+/// choice of [`QuorumScheme`] instantiates the paper's variants:
+///
+/// * [`Ratifier::binary`] — 3 registers, ≤ 4 operations (§6.2 item 1);
+/// * [`Ratifier::binomial`] — `⌈lg m⌉ + Θ(log log m)` registers/work,
+///   optimal by Bollobás's theorem (§6.2 item 2, Theorem 10);
+/// * [`Ratifier::bitvector`] — `2⌈lg m⌉ + 1` registers, ≤ `2⌈lg m⌉ + 2`
+///   operations (§6.2 item 3).
+///
+/// The scan short-circuits at the first conflicting announcement (the bound
+/// is on the worst case, so early exit only helps).
+///
+/// # Example
+///
+/// ```
+/// use mc_core::Ratifier;
+/// use mc_model::properties;
+/// use mc_sim::{adversary::RoundRobin, harness, EngineConfig};
+///
+/// // Unanimous inputs: everyone must decide them (acceptance).
+/// let outcome = harness::run_object(
+///     &Ratifier::binomial(100),
+///     &[42; 5],
+///     &mut RoundRobin::new(),
+///     0,
+///     &EngineConfig::default(),
+/// )
+/// .unwrap();
+/// properties::check_acceptance(&[42; 5], &outcome.outputs).unwrap();
+/// ```
+#[derive(Clone)]
+pub struct Ratifier {
+    scheme: Arc<dyn QuorumScheme>,
+}
+
+impl Ratifier {
+    /// Builds a ratifier over an arbitrary quorum scheme.
+    ///
+    /// The scheme is trusted to satisfy Theorem 8's hypothesis; verify new
+    /// schemes with [`mc_quorums::verify::check_cross_intersection`].
+    pub fn with_scheme(scheme: Arc<dyn QuorumScheme>) -> Ratifier {
+        Ratifier { scheme }
+    }
+
+    /// The 2-valued ratifier: 3 registers, at most 4 operations.
+    pub fn binary() -> Ratifier {
+        Ratifier::with_scheme(Arc::new(BinaryScheme::new()))
+    }
+
+    /// The optimal `m`-valued ratifier via `⌊k/2⌋`-subset quorums.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn binomial(m: u64) -> Ratifier {
+        Ratifier::with_scheme(Arc::new(
+            BinomialScheme::for_capacity(m).expect("m must be positive"),
+        ))
+    }
+
+    /// The simpler `m`-valued ratifier via bit-pair quorums.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn bitvector(m: u64) -> Ratifier {
+        Ratifier::with_scheme(Arc::new(
+            BitVectorScheme::for_capacity(m).expect("m must be positive"),
+        ))
+    }
+
+    /// Number of values this ratifier supports.
+    pub fn capacity(&self) -> u64 {
+        self.scheme.capacity()
+    }
+
+    /// Registers used: the announcement pool plus the proposal register.
+    pub fn register_count(&self) -> u64 {
+        self.scheme.pool_size() + 1
+    }
+
+    /// Worst-case operations per process.
+    pub fn individual_work_bound(&self) -> u64 {
+        self.scheme.individual_work_bound()
+    }
+}
+
+impl std::fmt::Debug for Ratifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ratifier")
+            .field("scheme", &self.scheme.name())
+            .finish()
+    }
+}
+
+struct RatifierObject {
+    scheme: Arc<dyn QuorumScheme>,
+    /// Announcement pool base; slot `i` of the scheme is `pool.offset(i)`.
+    pool: RegisterId,
+    proposal: RegisterId,
+}
+
+impl DecidingObject for RatifierObject {
+    fn session(&self, _pid: ProcessId) -> Box<dyn Session + Send> {
+        Box::new(RatifierSession {
+            scheme: Arc::clone(&self.scheme),
+            pool: self.pool,
+            proposal: self.proposal,
+            input: 0,
+            preference: 0,
+            write_quorum: Vec::new(),
+            read_quorum: Vec::new(),
+            ix: 0,
+            state: State::Announcing,
+        })
+    }
+}
+
+enum State {
+    Announcing,
+    ReadingProposal,
+    WritingProposal,
+    Scanning,
+}
+
+struct RatifierSession {
+    scheme: Arc<dyn QuorumScheme>,
+    pool: RegisterId,
+    proposal: RegisterId,
+    input: Value,
+    preference: Value,
+    write_quorum: Vec<u64>,
+    read_quorum: Vec<u64>,
+    ix: usize,
+    state: State,
+}
+
+impl RatifierSession {
+    fn announce_next(&mut self) -> Action {
+        let slot = self.write_quorum[self.ix];
+        Action::Invoke(Op::Write {
+            reg: self.pool.offset(slot),
+            value: 1,
+        })
+    }
+
+    fn start_scan(&mut self) -> Action {
+        self.read_quorum = self.scheme.read_quorum(self.preference);
+        self.ix = 0;
+        self.state = State::Scanning;
+        if self.read_quorum.is_empty() {
+            // Degenerate scheme with nothing to scan: no conflict observable.
+            return Action::Halt(Decision::decide(self.preference));
+        }
+        Action::Invoke(Op::Read(self.pool.offset(self.read_quorum[0])))
+    }
+}
+
+impl Session for RatifierSession {
+    fn begin(&mut self, input: Value, _ctx: &mut Ctx<'_>) -> Action {
+        assert!(
+            input < self.scheme.capacity(),
+            "input {input} exceeds ratifier capacity {}",
+            self.scheme.capacity()
+        );
+        self.input = input;
+        self.write_quorum = self.scheme.write_quorum(input);
+        self.ix = 0;
+        self.state = State::Announcing;
+        debug_assert!(!self.write_quorum.is_empty());
+        self.announce_next()
+    }
+
+    fn poll(&mut self, response: Response, _ctx: &mut Ctx<'_>) -> Action {
+        match self.state {
+            State::Announcing => {
+                debug_assert!(matches!(response, Response::Write));
+                self.ix += 1;
+                if self.ix < self.write_quorum.len() {
+                    self.announce_next()
+                } else {
+                    self.state = State::ReadingProposal;
+                    Action::Invoke(Op::Read(self.proposal))
+                }
+            }
+            State::ReadingProposal => match response.expect_read() {
+                Some(u) => {
+                    // Adopt the earlier proposal.
+                    self.preference = u;
+                    self.start_scan()
+                }
+                None => {
+                    self.preference = self.input;
+                    self.state = State::WritingProposal;
+                    Action::Invoke(Op::Write {
+                        reg: self.proposal,
+                        value: self.preference,
+                    })
+                }
+            },
+            State::WritingProposal => {
+                debug_assert!(matches!(response, Response::Write));
+                self.start_scan()
+            }
+            State::Scanning => {
+                if response.expect_read().is_some() {
+                    // A conflicting value has been announced.
+                    return Action::Halt(Decision::continue_with(self.preference));
+                }
+                self.ix += 1;
+                if self.ix < self.read_quorum.len() {
+                    Action::Invoke(Op::Read(self.pool.offset(self.read_quorum[self.ix])))
+                } else {
+                    Action::Halt(Decision::decide(self.preference))
+                }
+            }
+        }
+    }
+}
+
+impl ObjectSpec for Ratifier {
+    fn instantiate(&self, ctx: &mut InstantiateCtx<'_>) -> Arc<dyn DecidingObject> {
+        let pool = ctx.alloc.alloc_block(self.scheme.pool_size());
+        let proposal = ctx.alloc.alloc_block(1);
+        Arc::new(RatifierObject {
+            scheme: Arc::clone(&self.scheme),
+            pool,
+            proposal,
+        })
+    }
+
+    fn name(&self) -> String {
+        format!("ratifier({})", self.scheme.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_model::properties;
+    use mc_sim::adversary::{RandomScheduler, RoundRobin, SplitKeeper, WriteBlocker};
+    use mc_sim::harness::{self, inputs};
+    use mc_sim::EngineConfig;
+
+    #[test]
+    fn acceptance_on_unanimous_inputs() {
+        for ratifier in [
+            Ratifier::binary(),
+            Ratifier::binomial(8),
+            Ratifier::bitvector(8),
+        ] {
+            for seed in 0..10 {
+                let ins = inputs::unanimous(7, 1);
+                let out = harness::run_object(
+                    &ratifier,
+                    &ins,
+                    &mut RandomScheduler::new(seed),
+                    seed,
+                    &EngineConfig::default(),
+                )
+                .unwrap();
+                properties::check_acceptance(&ins, &out.outputs).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn weak_consensus_properties_under_attack() {
+        let attackers: Vec<fn(u64) -> Box<dyn mc_sim::Adversary>> = vec![
+            |s| Box::new(RandomScheduler::new(s)),
+            |s| Box::new(SplitKeeper::new(s)),
+            |_| Box::new(WriteBlocker::new()),
+        ];
+        for ratifier in [
+            Ratifier::binary(),
+            Ratifier::binomial(4),
+            Ratifier::bitvector(4),
+        ] {
+            for mk in &attackers {
+                for seed in 0..20 {
+                    let ins = inputs::alternating(6, ratifier.capacity().min(4));
+                    let mut adv = mk(seed);
+                    let out = harness::run_object(
+                        &ratifier,
+                        &ins,
+                        adv.as_mut(),
+                        seed,
+                        &EngineConfig::default(),
+                    )
+                    .unwrap();
+                    properties::check_weak_consensus(&ins, &out.outputs)
+                        .unwrap_or_else(|e| panic!("{}: {e}", ratifier.name()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binary_ratifier_matches_paper_costs() {
+        let r = Ratifier::binary();
+        assert_eq!(r.register_count(), 3);
+        assert_eq!(r.individual_work_bound(), 4);
+        let out = harness::run_object(
+            &r,
+            &inputs::unanimous(4, 0),
+            &mut RoundRobin::new(),
+            0,
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        assert!(out.metrics.individual_work() <= 4);
+        assert_eq!(out.metrics.registers_allocated, 3);
+    }
+
+    #[test]
+    fn observed_work_within_bound_for_all_schemes() {
+        for m in [2u64, 5, 16, 100] {
+            for ratifier in [Ratifier::binomial(m), Ratifier::bitvector(m)] {
+                let bound = ratifier.individual_work_bound();
+                for seed in 0..10 {
+                    let ins = inputs::alternating(5, m.min(5));
+                    let out = harness::run_object(
+                        &ratifier,
+                        &ins,
+                        &mut RandomScheduler::new(seed),
+                        seed,
+                        &EngineConfig::default(),
+                    )
+                    .unwrap();
+                    assert!(
+                        out.metrics.individual_work() <= bound,
+                        "{}: {} > {bound}",
+                        ratifier.name(),
+                        out.metrics.individual_work()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lone_fast_process_decides_despite_laggards() {
+        // p0 runs solo (priority scheduling): it must decide its own value
+        // even though p1 with a different input exists but hasn't moved —
+        // this is the acceptance-style property the fast path of §4.1.1
+        // leans on.
+        let out = harness::run_object(
+            &Ratifier::binary(),
+            &[0, 1],
+            &mut mc_sim::sched::PriorityScheduler::descending(2),
+            0,
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        assert!(out.outputs[0].is_decided());
+        assert_eq!(out.outputs[0].value(), 0);
+        // And coherence then forces p1 to 0 as well.
+        properties::check_coherence(&out.outputs).unwrap();
+    }
+
+    #[test]
+    fn register_counts_match_theorem_10() {
+        for m in [2u64, 4, 16, 256, 4096] {
+            let lg = (m as f64).log2().ceil() as u64;
+            let binom = Ratifier::binomial(m);
+            let bitv = Ratifier::bitvector(m);
+            assert!(binom.register_count() >= lg);
+            assert!(
+                binom.register_count() <= lg + 8,
+                "m={m}: {}",
+                binom.register_count()
+            );
+            assert_eq!(bitv.register_count(), 2 * lg.max(1) + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds ratifier capacity")]
+    fn oversized_input_rejected() {
+        let _ = harness::run_object(
+            &Ratifier::binary(),
+            &[0, 5],
+            &mut RoundRobin::new(),
+            0,
+            &EngineConfig::default(),
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Outputs of deciding objects.
+
+use std::fmt;
+
+use crate::Value;
+
+/// The annotated output `(d, v)` of a deciding object (§3).
+///
+/// A deciding object returns its value together with a *decision bit*:
+/// `(1, v)` means "decide `v` and terminate immediately"; `(0, v)` means
+/// "continue to the next object in the composition, using `v` as input".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Decision {
+    decided: bool,
+    value: Value,
+}
+
+impl Decision {
+    /// Constructs the deciding output `(1, value)`.
+    pub fn decide(value: Value) -> Decision {
+        Decision {
+            decided: true,
+            value,
+        }
+    }
+
+    /// Constructs the non-deciding output `(0, value)`.
+    pub fn continue_with(value: Value) -> Decision {
+        Decision {
+            decided: false,
+            value,
+        }
+    }
+
+    /// Returns the decision bit: true iff the output is `(1, v)`.
+    #[inline]
+    pub fn is_decided(self) -> bool {
+        self.decided
+    }
+
+    /// Returns the value component `v`.
+    #[inline]
+    pub fn value(self) -> Value {
+        self.value
+    }
+}
+
+impl fmt::Display for Decision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", u8::from(self.decided), self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let d = Decision::decide(3);
+        assert!(d.is_decided());
+        assert_eq!(d.value(), 3);
+        let c = Decision::continue_with(4);
+        assert!(!c.is_decided());
+        assert_eq!(c.value(), 4);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Decision::decide(7).to_string(), "(1, 7)");
+        assert_eq!(Decision::continue_with(0).to_string(), "(0, 0)");
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests of the correctness-property checkers themselves:
+//! the logical implications between the paper's properties must hold for
+//! arbitrary input/output vectors.
+
+use mc_model::{properties, Decision, Value};
+use proptest::prelude::*;
+
+fn arb_decision() -> impl Strategy<Value = Decision> {
+    (any::<bool>(), 0u64..6).prop_map(|(d, v)| {
+        if d {
+            Decision::decide(v)
+        } else {
+            Decision::continue_with(v)
+        }
+    })
+}
+
+proptest! {
+    /// Full consensus implies weak consensus.
+    #[test]
+    fn consensus_implies_weak_consensus(
+        inputs in prop::collection::vec(0u64..6, 1..8),
+        outputs in prop::collection::vec(arb_decision(), 1..8),
+    ) {
+        if properties::check_consensus(&inputs, &outputs).is_ok() {
+            prop_assert!(properties::check_weak_consensus(&inputs, &outputs).is_ok());
+        }
+    }
+
+    /// Agreement plus a decider implies coherence.
+    #[test]
+    fn agreement_implies_coherence(outputs in prop::collection::vec(arb_decision(), 0..8)) {
+        if properties::check_agreement(&outputs).is_ok() {
+            prop_assert!(properties::check_coherence(&outputs).is_ok());
+        }
+    }
+
+    /// Coherence with at least one decider implies agreement.
+    #[test]
+    fn coherence_with_decider_implies_agreement(outputs in prop::collection::vec(arb_decision(), 0..8)) {
+        let decided = outputs.iter().any(|d| d.is_decided());
+        if decided && properties::check_coherence(&outputs).is_ok() {
+            prop_assert!(properties::check_agreement(&outputs).is_ok());
+        }
+    }
+
+    /// Acceptance passing on unanimous inputs implies agreement and full
+    /// decision.
+    #[test]
+    fn acceptance_on_unanimous_implies_decided_agreement(
+        v in 0u64..6,
+        n in 1usize..8,
+        outputs in prop::collection::vec(arb_decision(), 1..8),
+    ) {
+        let inputs: Vec<Value> = vec![v; n];
+        if outputs.len() == n && properties::check_acceptance(&inputs, &outputs).is_ok() {
+            prop_assert!(properties::check_agreement(&outputs).is_ok());
+            prop_assert!(properties::check_all_decided(&outputs).is_ok());
+            prop_assert!(properties::check_validity(&inputs, &outputs).is_ok());
+        }
+    }
+
+    /// Validity is monotone in the input set: adding inputs never breaks it.
+    #[test]
+    fn validity_is_monotone_in_inputs(
+        inputs in prop::collection::vec(0u64..6, 1..8),
+        extra in prop::collection::vec(0u64..6, 0..4),
+        outputs in prop::collection::vec(arb_decision(), 0..8),
+    ) {
+        if properties::check_validity(&inputs, &outputs).is_ok() {
+            let mut bigger = inputs.clone();
+            bigger.extend(extra);
+            prop_assert!(properties::check_validity(&bigger, &outputs).is_ok());
+        }
+    }
+
+    /// The checkers never panic on arbitrary vectors (total functions).
+    #[test]
+    fn checkers_are_total(
+        inputs in prop::collection::vec(any::<u64>(), 0..8),
+        outputs in prop::collection::vec(arb_decision(), 0..8),
+    ) {
+        let _ = properties::check_validity(&inputs, &outputs);
+        let _ = properties::check_agreement(&outputs);
+        let _ = properties::check_coherence(&outputs);
+        let _ = properties::check_acceptance(&inputs, &outputs);
+        let _ = properties::check_all_decided(&outputs);
+        let _ = properties::check_consensus(&inputs, &outputs);
+        let _ = properties::check_weak_consensus(&inputs, &outputs);
+    }
+}

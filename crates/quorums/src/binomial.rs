@@ -1,0 +1,141 @@
+//! Binomial coefficients and pool sizing.
+
+/// Computes `C(n, k)` exactly, saturating at `u64::MAX` on overflow.
+///
+/// Saturation (rather than panicking) is the right behaviour here: pool
+/// sizing only ever asks "is `C(k, ⌊k/2⌋)` at least `m`", and `m` fits in a
+/// `u64`.
+///
+/// # Example
+///
+/// ```
+/// use mc_quorums::binomial;
+/// assert_eq!(binomial(6, 3), 20);
+/// assert_eq!(binomial(5, 0), 1);
+/// assert_eq!(binomial(3, 5), 0);
+/// ```
+pub fn binomial(n: u64, k: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        // acc * (n - i) cannot overflow u128 while acc ≤ u64::MAX and
+        // n ≤ u64::MAX; clamp afterwards.
+        acc = acc.saturating_mul((n - i) as u128) / (i as u128 + 1);
+        if acc > u64::MAX as u128 {
+            return u64::MAX;
+        }
+    }
+    acc as u64
+}
+
+/// Computes the central binomial coefficient `C(k, ⌊k/2⌋)`, saturating.
+pub fn central_binomial(k: u64) -> u64 {
+    binomial(k, k / 2)
+}
+
+/// Returns the smallest pool size `k` such that `C(k, ⌊k/2⌋) ≥ m` — the
+/// register count of the optimal (binomial) quorum scheme for `m` values.
+///
+/// This is the paper's `⌈lg m⌉ + Θ(log log m)` (§6.2 item 2): the central
+/// binomial coefficient is `Θ(2^k / √k)`, so `k` exceeds `lg m` by an
+/// additive `Θ(log log m)` term.
+///
+/// # Panics
+///
+/// Panics if `m == 0` (there is no quorum system for zero values).
+///
+/// # Example
+///
+/// ```
+/// use mc_quorums::optimal_pool_size;
+/// assert_eq!(optimal_pool_size(2), 2);  // C(2,1) = 2
+/// assert_eq!(optimal_pool_size(6), 4);  // C(4,2) = 6
+/// assert_eq!(optimal_pool_size(7), 5);  // C(5,2) = 10 ≥ 7
+/// ```
+pub fn optimal_pool_size(m: u64) -> u64 {
+    assert!(m > 0, "capacity must be positive");
+    if m == 1 {
+        // A single value needs no conflict detection, but the ratifier still
+        // wants non-empty quorums; k = 2 gives W = {0}, R = {1}.
+        return 2;
+    }
+    let mut k = 1;
+    while central_binomial(k) < m {
+        k += 1;
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values() {
+        assert_eq!(binomial(0, 0), 1);
+        assert_eq!(binomial(4, 2), 6);
+        assert_eq!(binomial(10, 5), 252);
+        assert_eq!(binomial(52, 5), 2_598_960);
+    }
+
+    #[test]
+    fn symmetry() {
+        for n in 0..20u64 {
+            for k in 0..=n {
+                assert_eq!(binomial(n, k), binomial(n, n - k));
+            }
+        }
+    }
+
+    #[test]
+    fn pascal_identity() {
+        for n in 1..30u64 {
+            for k in 1..n {
+                assert_eq!(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k));
+            }
+        }
+    }
+
+    #[test]
+    fn saturates_instead_of_overflowing() {
+        assert_eq!(binomial(200, 100), u64::MAX);
+        assert_eq!(central_binomial(200), u64::MAX);
+    }
+
+    #[test]
+    fn pool_size_monotone_and_sufficient() {
+        let mut prev = 0;
+        for m in 1..10_000u64 {
+            let k = optimal_pool_size(m);
+            assert!(central_binomial(k) >= m);
+            if k > 1 {
+                assert!(
+                    central_binomial(k - 1) < m.max(2),
+                    "k not minimal for m={m}"
+                );
+            }
+            assert!(k >= prev);
+            prev = k;
+        }
+    }
+
+    #[test]
+    fn pool_size_is_lg_m_plus_loglog_term() {
+        // k − ⌈lg m⌉ grows, but very slowly (Θ(log log m)).
+        for (m, max_excess) in [(1u64 << 10, 5), (1 << 20, 6), (1 << 40, 7)] {
+            let lg = 64 - (m - 1).leading_zeros() as u64;
+            let k = optimal_pool_size(m);
+            assert!(k >= lg, "k={k} < lg m={lg}");
+            assert!(k - lg <= max_excess, "excess {} too big for m={m}", k - lg);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        optimal_pool_size(0);
+    }
+}

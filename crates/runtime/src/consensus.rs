@@ -1,0 +1,272 @@
+//! The full consensus object on real threads.
+
+use std::sync::Arc;
+
+use mc_core::conciliator::WriteSchedule;
+use mc_quorums::{BinaryScheme, BinomialScheme, QuorumScheme};
+use parking_lot::RwLock;
+use rand::Rng;
+
+use crate::conciliator::ImpatientConciliator;
+use crate::ratifier::AtomicRatifier;
+
+/// Configuration for a thread-runtime [`Consensus`] object.
+#[derive(Clone)]
+pub struct ConsensusOptions {
+    /// Maximum number of participating threads.
+    pub n: usize,
+    /// Quorum scheme for the ratifiers (determines the value capacity).
+    pub scheme: Arc<dyn QuorumScheme>,
+    /// Write-probability schedule for the conciliators.
+    pub schedule: WriteSchedule,
+    /// Whether to run the `R₋₁; R₀` fast path before the first conciliator.
+    pub fast_path: bool,
+}
+
+impl std::fmt::Debug for ConsensusOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConsensusOptions")
+            .field("n", &self.n)
+            .field("scheme", &self.scheme.name())
+            .field("schedule", &self.schedule)
+            .field("fast_path", &self.fast_path)
+            .finish()
+    }
+}
+
+enum Stage {
+    Ratifier(AtomicRatifier),
+    Conciliator(ImpatientConciliator),
+}
+
+/// A one-shot randomized consensus object for up to `n` threads: the
+/// unbounded construction `R₋₁; R₀; C₁; R₁; C₂; R₂; …` of §4.1.1, with
+/// stages materialized lazily as threads reach them.
+///
+/// Each thread calls [`decide`](Consensus::decide) exactly once with its
+/// proposal; all calls return the same value, equal to some thread's
+/// proposal, with probability 1 in finite expected time (`O(log n)` expected
+/// register operations per thread, `O(n log m)` total).
+///
+/// Stage materialization takes a short [`parking_lot::RwLock`] write lock;
+/// everything on the hot path is lock-free loads/stores. Strictly speaking
+/// this makes the implementation lock-based at stage boundaries — the price
+/// of unbounded lazily-allocated stages in a practical runtime.
+pub struct Consensus {
+    options: ConsensusOptions,
+    stages: RwLock<Vec<Arc<Stage>>>,
+}
+
+impl Consensus {
+    /// Binary consensus for up to `n` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn binary(n: usize) -> Consensus {
+        Consensus::with_options(ConsensusOptions {
+            n,
+            scheme: Arc::new(BinaryScheme::new()),
+            schedule: WriteSchedule::impatient(),
+            fast_path: true,
+        })
+    }
+
+    /// `m`-valued consensus for up to `n` threads (binomial quorums).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `m < 2`.
+    pub fn multivalued(n: usize, m: u64) -> Consensus {
+        assert!(m >= 2, "consensus needs at least 2 values");
+        Consensus::with_options(ConsensusOptions {
+            n,
+            scheme: Arc::new(BinomialScheme::for_capacity(m).expect("m ≥ 2")),
+            schedule: WriteSchedule::impatient(),
+            fast_path: true,
+        })
+    }
+
+    /// Consensus with explicit options.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options.n == 0`.
+    pub fn with_options(options: ConsensusOptions) -> Consensus {
+        assert!(options.n > 0, "need at least one thread");
+        Consensus {
+            options,
+            stages: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// Number of distinct proposal values supported.
+    pub fn capacity(&self) -> u64 {
+        self.options.scheme.capacity()
+    }
+
+    /// Number of stages materialized so far (diagnostics).
+    pub fn stages_used(&self) -> usize {
+        self.stages.read().len()
+    }
+
+    fn stage(&self, ix: usize) -> Arc<Stage> {
+        if let Some(stage) = self.stages.read().get(ix) {
+            return Arc::clone(stage);
+        }
+        let mut stages = self.stages.write();
+        while stages.len() <= ix {
+            let next = stages.len();
+            stages.push(Arc::new(self.make_stage(next)));
+        }
+        Arc::clone(&stages[ix])
+    }
+
+    fn make_stage(&self, ix: usize) -> Stage {
+        let prefix = if self.options.fast_path { 2 } else { 0 };
+        let is_ratifier = ix < prefix || (ix - prefix) % 2 == 1;
+        if is_ratifier {
+            Stage::Ratifier(AtomicRatifier::with_scheme(Arc::clone(
+                &self.options.scheme,
+            )))
+        } else {
+            Stage::Conciliator(ImpatientConciliator::with_schedule(
+                self.options.n,
+                self.options.schedule,
+            ))
+        }
+    }
+
+    /// Proposes `value` and returns the agreed decision.
+    ///
+    /// One-shot semantics: each thread calls this at most once per object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value ≥ capacity()`.
+    pub fn decide(&self, value: u64, rng: &mut dyn Rng) -> u64 {
+        assert!(
+            value < self.capacity(),
+            "value {value} exceeds consensus capacity {}",
+            self.capacity()
+        );
+        let mut current = value;
+        let mut ix = 0;
+        loop {
+            match &*self.stage(ix) {
+                Stage::Ratifier(r) => {
+                    let d = r.ratify(current);
+                    if d.is_decided() {
+                        return d.value();
+                    }
+                    current = d.value();
+                }
+                Stage::Conciliator(c) => {
+                    current = c.propose(current, rng);
+                }
+            }
+            ix += 1;
+        }
+    }
+}
+
+impl std::fmt::Debug for Consensus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Consensus")
+            .field("options", &self.options)
+            .field("stages_used", &self.stages_used())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn run_consensus(consensus: Arc<Consensus>, proposals: Vec<u64>, seed: u64) -> Vec<u64> {
+        let handles: Vec<_> = proposals
+            .into_iter()
+            .enumerate()
+            .map(|(t, v)| {
+                let c = Arc::clone(&consensus);
+                std::thread::spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(seed * 1000 + t as u64);
+                    c.decide(v, &mut rng)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn binary_agreement_and_validity() {
+        for trial in 0..100 {
+            let c = Arc::new(Consensus::binary(6));
+            let proposals: Vec<u64> = (0..6).map(|t| (t as u64 + trial) % 2).collect();
+            let results = run_consensus(c, proposals.clone(), trial);
+            let first = results[0];
+            assert!(
+                results.iter().all(|&r| r == first),
+                "trial {trial}: {results:?}"
+            );
+            assert!(proposals.contains(&first), "trial {trial}: invalid {first}");
+        }
+    }
+
+    #[test]
+    fn multivalued_agreement_and_validity() {
+        for trial in 0..50 {
+            let m = 20;
+            let c = Arc::new(Consensus::multivalued(8, m));
+            let proposals: Vec<u64> = (0..8).map(|t| (t as u64 * 3 + trial) % m).collect();
+            let results = run_consensus(c, proposals.clone(), trial);
+            let first = results[0];
+            assert!(
+                results.iter().all(|&r| r == first),
+                "trial {trial}: {results:?}"
+            );
+            assert!(proposals.contains(&first));
+        }
+    }
+
+    #[test]
+    fn unanimous_proposals_use_only_the_fast_path() {
+        let c = Arc::new(Consensus::binary(8));
+        let results = run_consensus(Arc::clone(&c), vec![1; 8], 0);
+        assert!(results.iter().all(|&r| r == 1));
+        // Fast path: at most the two prefix ratifiers materialized.
+        assert!(c.stages_used() <= 2, "{} stages", c.stages_used());
+    }
+
+    #[test]
+    fn single_thread_decides_its_own_value() {
+        let c = Consensus::multivalued(1, 16);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(c.decide(11, &mut rng), 11);
+    }
+
+    #[test]
+    fn stages_are_reported() {
+        let c = Consensus::binary(2);
+        assert_eq!(c.stages_used(), 0);
+        let mut rng = SmallRng::seed_from_u64(0);
+        c.decide(0, &mut rng);
+        assert!(c.stages_used() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds consensus capacity")]
+    fn oversized_proposal_rejected() {
+        let c = Consensus::binary(2);
+        let mut rng = SmallRng::seed_from_u64(0);
+        c.decide(9, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 values")]
+    fn tiny_capacity_rejected() {
+        Consensus::multivalued(2, 1);
+    }
+}

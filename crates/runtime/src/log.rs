@@ -1,0 +1,222 @@
+//! A replicated log: the standard application built from repeated
+//! consensus.
+
+use parking_lot::RwLock;
+use rand::Rng;
+use std::sync::Arc;
+
+use crate::consensus::Consensus;
+
+/// An append-only totally-ordered log agreed on by up to `n` threads, one
+/// consensus instance per slot (slots materialize lazily).
+///
+/// Every replica proposes its next command for the lowest slot it has not
+/// yet learned; whatever consensus decides occupies the slot on *all*
+/// replicas identically. This is the replicated-state-machine pattern the
+/// consensus problem exists for, packaged as a reusable object.
+///
+/// Entries are `u64` command codes below `capacity`; layer your own
+/// encoding on top (see [`TypedConsensus`](crate::TypedConsensus) for the
+/// pattern).
+///
+/// # Example
+///
+/// ```
+/// use mc_runtime::ReplicatedLog;
+/// use rand::{rngs::SmallRng, SeedableRng};
+/// use std::sync::Arc;
+///
+/// let log = Arc::new(ReplicatedLog::new(2, 16));
+/// let writer = {
+///     let log = Arc::clone(&log);
+///     std::thread::spawn(move || {
+///         let mut rng = SmallRng::seed_from_u64(1);
+///         log.append(7, &mut rng)
+///     })
+/// };
+/// let mut rng = SmallRng::seed_from_u64(2);
+/// let my_slot = log.append(9, &mut rng);
+/// let their_slot = writer.join().unwrap();
+/// // Both commands landed, in the same two slots, on one shared log.
+/// assert_ne!(my_slot, their_slot);
+/// ```
+pub struct ReplicatedLog {
+    n: usize,
+    capacity: u64,
+    slots: RwLock<Vec<Arc<Consensus>>>,
+    /// Decided entries, filled in slot order as threads learn them.
+    learned: RwLock<Vec<Option<u64>>>,
+}
+
+impl ReplicatedLog {
+    /// Creates a log for up to `n` threads over command codes `0..capacity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `capacity < 2`.
+    pub fn new(n: usize, capacity: u64) -> ReplicatedLog {
+        assert!(n > 0, "need at least one replica");
+        assert!(capacity >= 2, "need at least two command codes");
+        ReplicatedLog {
+            n,
+            capacity,
+            slots: RwLock::new(Vec::new()),
+            learned: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// Number of command codes supported.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn slot(&self, ix: usize) -> Arc<Consensus> {
+        if let Some(slot) = self.slots.read().get(ix) {
+            return Arc::clone(slot);
+        }
+        let mut slots = self.slots.write();
+        while slots.len() <= ix {
+            slots.push(Arc::new(Consensus::multivalued(self.n, self.capacity)));
+        }
+        Arc::clone(&slots[ix])
+    }
+
+    fn learn(&self, ix: usize, value: u64) {
+        let mut learned = self.learned.write();
+        if learned.len() <= ix {
+            learned.resize(ix + 1, None);
+        }
+        debug_assert!(learned[ix].is_none_or(|v| v == value), "slot {ix} diverged");
+        learned[ix] = Some(value);
+    }
+
+    /// Appends `command`, returning the slot index where it landed.
+    ///
+    /// The caller drives consensus on successive slots — learning other
+    /// replicas' entries along the way — until one slot decides its own
+    /// command. Wait-free relative to the underlying consensus instances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `command ≥ capacity()`.
+    pub fn append(&self, command: u64, rng: &mut dyn Rng) -> usize {
+        assert!(
+            command < self.capacity,
+            "command {command} exceeds capacity {}",
+            self.capacity
+        );
+        let mut ix = self.first_unknown();
+        loop {
+            let decided = self.slot(ix).decide(command, rng);
+            self.learn(ix, decided);
+            if decided == command {
+                return ix;
+            }
+            ix += 1;
+        }
+    }
+
+    /// First slot index this log has not yet learned.
+    fn first_unknown(&self) -> usize {
+        let learned = self.learned.read();
+        learned
+            .iter()
+            .position(|e| e.is_none())
+            .unwrap_or(learned.len())
+    }
+
+    /// The decided prefix of the log: entries for every learned slot, in
+    /// order, stopping at the first unlearned slot.
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.learned.read().iter().map_while(|e| *e).collect()
+    }
+
+    /// The entry decided in `slot`, if this log has learned it.
+    pub fn get(&self, slot: usize) -> Option<u64> {
+        self.learned.read().get(slot).copied().flatten()
+    }
+}
+
+impl std::fmt::Debug for ReplicatedLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicatedLog")
+            .field("n", &self.n)
+            .field("capacity", &self.capacity)
+            .field("learned", &self.snapshot())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sequential_appends_fill_slots_in_order() {
+        let log = ReplicatedLog::new(1, 16);
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(log.append(5, &mut rng), 0);
+        assert_eq!(log.append(9, &mut rng), 1);
+        assert_eq!(log.append(5, &mut rng), 2);
+        assert_eq!(log.snapshot(), vec![5, 9, 5]);
+        assert_eq!(log.get(1), Some(9));
+        assert_eq!(log.get(7), None);
+    }
+
+    #[test]
+    fn concurrent_appends_land_every_command_exactly_once() {
+        for trial in 0..30 {
+            let threads = 4;
+            let log = Arc::new(ReplicatedLog::new(threads, 64));
+            let handles: Vec<_> = (0..threads as u64)
+                .map(|t| {
+                    let log = Arc::clone(&log);
+                    std::thread::spawn(move || {
+                        let mut rng = SmallRng::seed_from_u64(trial * 100 + t);
+                        // Distinct commands so we can count placements.
+                        log.append(10 + t, &mut rng)
+                    })
+                })
+                .collect();
+            let slots: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            // All commands landed in distinct slots.
+            let mut sorted = slots.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), threads, "trial {trial}: slots {slots:?}");
+            // And each append's slot really holds its command.
+            for (t, &slot) in slots.iter().enumerate() {
+                assert_eq!(log.get(slot), Some(10 + t as u64), "trial {trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_commands_occupy_separate_slots() {
+        let threads = 3;
+        let log = Arc::new(ReplicatedLog::new(threads, 4));
+        let handles: Vec<_> = (0..threads as u64)
+            .map(|t| {
+                let log = Arc::clone(&log);
+                std::thread::spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(t);
+                    log.append(1, &mut rng)
+                })
+            })
+            .collect();
+        let mut slots: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        slots.sort_unstable();
+        slots.dedup();
+        assert_eq!(slots.len(), threads);
+        assert_eq!(log.snapshot(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn oversized_command_rejected() {
+        let log = ReplicatedLog::new(1, 4);
+        log.append(4, &mut SmallRng::seed_from_u64(0));
+    }
+}

@@ -1,0 +1,92 @@
+//! Atomic multiwriter registers on `AtomicU64`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An atomic multiwriter register holding ⊥ or a value in `0..u64::MAX`.
+///
+/// ⊥ is represented by the reserved word `u64::MAX`; writing that value is
+/// rejected. Loads and stores use sequentially consistent ordering — the
+/// paper's model is atomic registers with interleaving semantics, and SeqCst
+/// is the faithful (and simplest) mapping.
+#[derive(Debug)]
+pub struct AtomicRegister {
+    cell: AtomicU64,
+}
+
+const EMPTY: u64 = u64::MAX;
+
+impl AtomicRegister {
+    /// Creates a register holding ⊥.
+    pub fn new() -> AtomicRegister {
+        AtomicRegister {
+            cell: AtomicU64::new(EMPTY),
+        }
+    }
+
+    /// Reads the register: `None` is ⊥.
+    #[inline]
+    pub fn read(&self) -> Option<u64> {
+        match self.cell.load(Ordering::SeqCst) {
+            EMPTY => None,
+            v => Some(v),
+        }
+    }
+
+    /// Writes `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value == u64::MAX` (reserved for ⊥).
+    #[inline]
+    pub fn write(&self, value: u64) {
+        assert_ne!(value, EMPTY, "u64::MAX is reserved for the null value");
+        self.cell.store(value, Ordering::SeqCst);
+    }
+}
+
+impl Default for AtomicRegister {
+    fn default() -> Self {
+        AtomicRegister::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_empty() {
+        assert_eq!(AtomicRegister::new().read(), None);
+    }
+
+    #[test]
+    fn last_write_wins() {
+        let r = AtomicRegister::new();
+        r.write(3);
+        r.write(9);
+        assert_eq!(r.read(), Some(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn reserved_word_rejected() {
+        AtomicRegister::new().write(u64::MAX);
+    }
+
+    #[test]
+    fn concurrent_reads_see_some_write() {
+        use std::sync::Arc;
+        let r = Arc::new(AtomicRegister::new());
+        let writers: Vec<_> = (0..4u64)
+            .map(|v| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || r.write(v))
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        let v = r.read().unwrap();
+        assert!(v < 4);
+    }
+}

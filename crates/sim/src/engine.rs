@@ -1,0 +1,564 @@
+//! The execution engine: interleaving semantics driven by an adversary.
+
+use std::error::Error;
+use std::fmt;
+
+use mc_model::{
+    Action, BlockAlloc, Ctx, Decision, InstantiateCtx, ObjectSpec, Op, OpKind, ProcessId, Response,
+    Session, Value,
+};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::adversary::{Adversary, Capability, PendingInfo, View};
+use crate::memory::Memory;
+use crate::metrics::WorkMetrics;
+use crate::trace::{Event, Trace};
+
+/// Engine configuration: model variants and safety limits.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Abort the run with [`RunError::StepLimitExceeded`] after this many
+    /// operations. Randomized wait-free protocols terminate only with
+    /// probability 1, so a limit distinguishes "astronomically unlucky"
+    /// from "livelocked by a bug".
+    pub max_steps: u64,
+    /// Allow [`Op::Collect`] (the cheap-snapshot model of §6.2 item 4).
+    pub cheap_collect: bool,
+    /// Let processes observe whether their probabilistic write took effect
+    /// (footnote 2 of the paper: saves 2 operations in the conciliator).
+    pub detect_prob_writes: bool,
+    /// Record a full [`Trace`] of the execution.
+    pub record_trace: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            max_steps: 10_000_000,
+            cheap_collect: false,
+            detect_prob_writes: false,
+            record_trace: false,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Returns the config with the step limit replaced.
+    pub fn with_max_steps(mut self, max_steps: u64) -> EngineConfig {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Returns the config with cheap collects enabled.
+    pub fn with_cheap_collect(mut self) -> EngineConfig {
+        self.cheap_collect = true;
+        self
+    }
+
+    /// Returns the config with detectable probabilistic writes enabled.
+    pub fn with_detectable_prob_writes(mut self) -> EngineConfig {
+        self.detect_prob_writes = true;
+        self
+    }
+
+    /// Returns the config with trace recording enabled.
+    pub fn with_trace(mut self) -> EngineConfig {
+        self.record_trace = true;
+        self
+    }
+}
+
+/// Why a run could not be completed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The configured step limit was reached before every process halted.
+    StepLimitExceeded {
+        /// The limit that was hit.
+        limit: u64,
+    },
+    /// A session issued [`Op::Collect`] but the engine is not configured for
+    /// the cheap-collect model.
+    CollectDisallowed {
+        /// The offending process.
+        pid: ProcessId,
+    },
+    /// The adversary chose a process that is not live.
+    AdversaryChoseInvalid {
+        /// The invalid choice.
+        pid: ProcessId,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::StepLimitExceeded { limit } => {
+                write!(f, "execution exceeded the step limit of {limit}")
+            }
+            RunError::CollectDisallowed { pid } => write!(
+                f,
+                "{pid} issued a collect but the engine is not in the cheap-collect model"
+            ),
+            RunError::AdversaryChoseInvalid { pid } => {
+                write!(f, "adversary chose non-live process {pid}")
+            }
+        }
+    }
+}
+
+impl Error for RunError {}
+
+/// The result of a completed execution.
+#[derive(Debug)]
+pub struct EngineOutput {
+    /// Each process's deciding-object output, indexed by pid.
+    pub outputs: Vec<Decision>,
+    /// Operation counts.
+    pub metrics: WorkMetrics,
+    /// The recorded trace, if enabled.
+    pub trace: Option<Trace>,
+}
+
+/// The result of a run stopped before every process halted (crash-failure
+/// executions).
+#[derive(Debug)]
+pub struct PartialOutput {
+    /// Each process's output, `None` for processes that never halted
+    /// (crashed or still running at the stop point).
+    pub decisions: Vec<Option<Decision>>,
+    /// Operation counts (crashed processes' operations included).
+    pub metrics: WorkMetrics,
+    /// The recorded trace, if enabled.
+    pub trace: Option<Trace>,
+}
+
+struct Proc {
+    session: Box<dyn Session + Send>,
+    rng: SmallRng,
+    pending: Option<Op>,
+    decision: Option<Decision>,
+    ops_done: u64,
+}
+
+/// Executes one instance of a deciding object under an adversary, one
+/// operation at a time.
+///
+/// Most callers want [`harness::run_object`](crate::harness::run_object);
+/// the engine type itself is exposed for step-level tests and tools.
+pub struct Engine<'a> {
+    memory: Memory,
+    alloc: BlockAlloc,
+    procs: Vec<Proc>,
+    adversary: &'a mut dyn Adversary,
+    config: EngineConfig,
+    step: u64,
+    metrics: WorkMetrics,
+    trace: Option<Trace>,
+    pending_buf: Vec<PendingInfo>,
+}
+
+impl<'a> Engine<'a> {
+    /// Instantiates `spec` for `inputs.len()` processes and starts every
+    /// session (establishing each process's first pending operation).
+    ///
+    /// `seed` derives every process's private coin stream; the adversary
+    /// carries its own randomness.
+    pub fn new(
+        spec: &dyn ObjectSpec,
+        inputs: &[Value],
+        adversary: &'a mut dyn Adversary,
+        seed: u64,
+        config: EngineConfig,
+    ) -> Engine<'a> {
+        let n = inputs.len();
+        let mut alloc = BlockAlloc::new();
+        let object = spec.instantiate(&mut InstantiateCtx::new(n, &mut alloc));
+        let mut metrics = WorkMetrics::new(n);
+        let trace = config.record_trace.then(Trace::new);
+        let mut procs = Vec::with_capacity(n);
+        for (ix, &input) in inputs.iter().enumerate() {
+            let pid = ProcessId(ix);
+            let mut rng = SmallRng::seed_from_u64(mix_seed(seed, ix as u64));
+            let mut session = object.session(pid);
+            let action = {
+                let mut ctx = Ctx::new(&mut rng, &mut alloc);
+                session.begin(input, &mut ctx)
+            };
+            let (pending, decision) = match action {
+                Action::Invoke(op) => (Some(op), None),
+                Action::Halt(d) => (None, Some(d)),
+            };
+            procs.push(Proc {
+                session,
+                rng,
+                pending,
+                decision,
+                ops_done: 0,
+            });
+        }
+        metrics.registers_allocated = alloc.allocated();
+        Engine {
+            memory: Memory::new(),
+            alloc,
+            procs,
+            adversary,
+            config,
+            step: 0,
+            metrics,
+            trace,
+            pending_buf: Vec::with_capacity(n),
+        }
+    }
+
+    /// True once every process has halted.
+    pub fn is_complete(&self) -> bool {
+        self.procs.iter().all(|p| p.decision.is_some())
+    }
+
+    /// The register file (for inspection in tests and tools).
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// Executes a single scheduling step: the adversary picks a live
+    /// process, its pending operation applies, and its session advances.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RunError`] if the adversary misbehaves, a session uses a
+    /// disallowed operation, or the step limit is hit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called when [`is_complete`](Engine::is_complete) is true.
+    pub fn step(&mut self) -> Result<(), RunError> {
+        if self.step >= self.config.max_steps {
+            return Err(RunError::StepLimitExceeded {
+                limit: self.config.max_steps,
+            });
+        }
+        let pid = self.choose_process()?;
+        let ix = pid.index();
+        let op = self.procs[ix]
+            .pending
+            .take()
+            .expect("chosen process has a pending op");
+
+        // Apply the operation to memory.
+        let (response, observed) = match &op {
+            Op::Read(reg) => {
+                let contents = self.memory.read(*reg);
+                (Response::Read(contents), contents)
+            }
+            Op::Write { reg, value } => {
+                self.memory.write(*reg, *value);
+                (Response::Write, None)
+            }
+            Op::ProbWrite { reg, value, prob } => {
+                // The adversary committed to this operation before the coin
+                // resolves — the probabilistic-write guarantee.
+                let performed = self.procs[ix].rng.random_bool(prob.get());
+                if performed {
+                    self.memory.write(*reg, *value);
+                }
+                self.metrics.prob_writes_attempted += 1;
+                if performed {
+                    self.metrics.prob_writes_performed += 1;
+                }
+                let visible = self.config.detect_prob_writes.then_some(performed);
+                (
+                    Response::ProbWrite { performed: visible },
+                    Some(u64::from(performed)),
+                )
+            }
+            Op::Collect { base, len } => {
+                if !self.config.cheap_collect {
+                    return Err(RunError::CollectDisallowed { pid });
+                }
+                (Response::Collect(self.memory.collect(*base, *len)), None)
+            }
+        };
+
+        if let Some(trace) = &mut self.trace {
+            trace.push(Event {
+                step: self.step,
+                pid,
+                op: op.clone(),
+                observed,
+            });
+        }
+
+        self.procs[ix].ops_done += 1;
+        self.metrics.per_process[ix] += 1;
+        self.step += 1;
+
+        // Advance the session.
+        let proc = &mut self.procs[ix];
+        let action = {
+            let mut ctx = Ctx::new(&mut proc.rng, &mut self.alloc);
+            proc.session.poll(response, &mut ctx)
+        };
+        match action {
+            Action::Invoke(next) => proc.pending = Some(next),
+            Action::Halt(d) => proc.decision = Some(d),
+        }
+        self.metrics.registers_allocated = self.alloc.allocated();
+        Ok(())
+    }
+
+    /// Current per-process decisions: `None` for processes still running.
+    pub fn decisions(&self) -> Vec<Option<Decision>> {
+        self.procs.iter().map(|p| p.decision).collect()
+    }
+
+    /// Runs until `stop` returns true (checked before each step) or every
+    /// process has halted, and returns the partial outputs.
+    ///
+    /// This is the crash-failure entry point: with a
+    /// [`CrashingAdversary`](crate::adversary::CrashingAdversary) that stops
+    /// scheduling some processes, pass a `stop` that waits only for the
+    /// survivors — wait-freedom means they halt regardless.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`RunError`] from [`step`](Engine::step).
+    pub fn run_until(
+        mut self,
+        mut stop: impl FnMut(&Engine<'_>) -> bool,
+    ) -> Result<PartialOutput, RunError> {
+        while !self.is_complete() && !stop(&self) {
+            self.step()?;
+        }
+        let mut metrics = self.metrics;
+        metrics.registers_touched = self.memory.touched() as u64;
+        Ok(PartialOutput {
+            decisions: self.procs.iter().map(|p| p.decision).collect(),
+            metrics,
+            trace: self.trace,
+        })
+    }
+
+    /// Runs to completion and returns the outputs and metrics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`RunError`] from [`step`](Engine::step).
+    pub fn run(mut self) -> Result<EngineOutput, RunError> {
+        while !self.is_complete() {
+            self.step()?;
+        }
+        let mut metrics = self.metrics;
+        metrics.registers_touched = self.memory.touched() as u64;
+        Ok(EngineOutput {
+            outputs: self
+                .procs
+                .into_iter()
+                .map(|p| p.decision.expect("complete run"))
+                .collect(),
+            metrics,
+            trace: self.trace,
+        })
+    }
+
+    fn choose_process(&mut self) -> Result<ProcessId, RunError> {
+        let capability = self.adversary.capability();
+        self.pending_buf.clear();
+        for (ix, proc) in self.procs.iter().enumerate() {
+            let Some(op) = &proc.pending else { continue };
+            self.pending_buf
+                .push(observe(ProcessId(ix), proc.ops_done, op, capability));
+        }
+        debug_assert!(!self.pending_buf.is_empty(), "no live processes");
+        let memory = match capability {
+            Capability::LocationOblivious | Capability::Adaptive => Some(&self.memory),
+            Capability::Oblivious | Capability::ValueOblivious => None,
+        };
+        let view = View {
+            step: self.step,
+            n: self.procs.len(),
+            pending: &self.pending_buf,
+            memory,
+        };
+        let pid = self.adversary.choose(&view);
+        let live = self
+            .procs
+            .get(pid.index())
+            .map(|p| p.pending.is_some())
+            .unwrap_or(false);
+        if !live {
+            return Err(RunError::AdversaryChoseInvalid { pid });
+        }
+        Ok(pid)
+    }
+}
+
+/// Builds the view of one pending operation permitted to `capability`.
+fn observe(pid: ProcessId, ops_done: u64, op: &Op, capability: Capability) -> PendingInfo {
+    let mut info = PendingInfo {
+        pid,
+        ops_done,
+        kind: None,
+        reg: None,
+        value: None,
+        prob: None,
+    };
+    match capability {
+        Capability::Oblivious => {}
+        Capability::ValueOblivious => {
+            info.kind = Some(op.kind());
+            info.reg = Some(op.register());
+        }
+        Capability::LocationOblivious => {
+            info.kind = Some(op.kind());
+            // Write locations are indistinguishable to this class.
+            if matches!(op.kind(), OpKind::Read | OpKind::Collect) {
+                info.reg = Some(op.register());
+            }
+            info.value = op.written_value();
+            if let Op::ProbWrite { prob, .. } = op {
+                info.prob = Some(prob.get());
+            }
+        }
+        Capability::Adaptive => {
+            info.kind = Some(op.kind());
+            info.reg = Some(op.register());
+            info.value = op.written_value();
+            if let Op::ProbWrite { prob, .. } = op {
+                info.prob = Some(prob.get());
+            }
+        }
+    }
+    info
+}
+
+/// Derives process `pid`'s coin-stream seed from the run seed.
+fn mix_seed(seed: u64, pid: u64) -> u64 {
+    // SplitMix64-style mixing keeps per-process streams decorrelated even
+    // for adjacent seeds.
+    let mut z = seed ^ pid.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::RoundRobin;
+    use crate::testutil::{CollectOnceSpec, WriteThenReadSpec};
+
+    #[test]
+    fn write_then_read_completes_under_round_robin() {
+        let mut adv = RoundRobin::new();
+        let engine = Engine::new(
+            &WriteThenReadSpec,
+            &[5, 6],
+            &mut adv,
+            1,
+            EngineConfig::default(),
+        );
+        let out = engine.run().unwrap();
+        assert_eq!(out.outputs.len(), 2);
+        // Round-robin: p0 writes, p1 writes, p0 reads (sees p1's or own
+        // write on register 0: last write wins, so both read 6? p0 and p1
+        // write to the same register; the last write was p1's).
+        assert_eq!(out.metrics.total_work(), 4);
+        assert_eq!(out.metrics.individual_work(), 2);
+    }
+
+    #[test]
+    fn step_limit_enforced() {
+        let mut adv = RoundRobin::new();
+        let engine = Engine::new(
+            &crate::testutil::SpinSpec,
+            &[0],
+            &mut adv,
+            1,
+            EngineConfig::default().with_max_steps(10),
+        );
+        let err = engine.run().unwrap_err();
+        assert_eq!(err, RunError::StepLimitExceeded { limit: 10 });
+    }
+
+    #[test]
+    fn collect_rejected_outside_cheap_collect_model() {
+        let mut adv = RoundRobin::new();
+        let engine = Engine::new(
+            &CollectOnceSpec,
+            &[1, 2],
+            &mut adv,
+            1,
+            EngineConfig::default(),
+        );
+        let err = engine.run().unwrap_err();
+        assert!(matches!(err, RunError::CollectDisallowed { .. }));
+    }
+
+    #[test]
+    fn collect_allowed_in_cheap_collect_model() {
+        let mut adv = RoundRobin::new();
+        let engine = Engine::new(
+            &CollectOnceSpec,
+            &[1, 2],
+            &mut adv,
+            1,
+            EngineConfig::default().with_cheap_collect(),
+        );
+        let out = engine.run().unwrap();
+        assert_eq!(out.outputs.len(), 2);
+    }
+
+    #[test]
+    fn trace_recording() {
+        let mut adv = RoundRobin::new();
+        let engine = Engine::new(
+            &WriteThenReadSpec,
+            &[5, 6],
+            &mut adv,
+            1,
+            EngineConfig::default().with_trace(),
+        );
+        let out = engine.run().unwrap();
+        let trace = out.trace.unwrap();
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace.events()[0].pid, ProcessId(0));
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_runs() {
+        let run = |seed| {
+            let mut adv = RoundRobin::new();
+            Engine::new(
+                &crate::testutil::CoinFlipSpec,
+                &[0, 0, 0, 0],
+                &mut adv,
+                seed,
+                EngineConfig::default(),
+            )
+            .run()
+            .unwrap()
+            .outputs
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn different_process_streams_differ() {
+        // With CoinFlipSpec every process halts with its own coin flip; over
+        // 16 processes the flips should not all match (probability 2^-15 per
+        // seed; seed chosen to pass).
+        let mut adv = RoundRobin::new();
+        let out = Engine::new(
+            &crate::testutil::CoinFlipSpec,
+            &[0; 16],
+            &mut adv,
+            3,
+            EngineConfig::default(),
+        )
+        .run()
+        .unwrap();
+        let values: Vec<u64> = out.outputs.iter().map(|d| d.value()).collect();
+        assert!(values.iter().any(|&v| v != values[0]), "{values:?}");
+    }
+}

@@ -1,0 +1,91 @@
+//! Work accounting for the paper's complexity measures.
+
+use std::fmt;
+
+/// Operation counts for a completed execution, matching the paper's cost
+/// model (§2): every shared-memory operation costs 1; local computation and
+/// local coin flips cost 0. A probabilistic write costs 1 whether or not the
+/// write takes effect.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkMetrics {
+    /// Operations executed by each process (indexed by pid).
+    pub per_process: Vec<u64>,
+    /// Probabilistic writes attempted (subset of the operation counts).
+    pub prob_writes_attempted: u64,
+    /// Probabilistic writes whose coin succeeded.
+    pub prob_writes_performed: u64,
+    /// Registers ever allocated by the run's objects.
+    pub registers_allocated: u64,
+    /// Registers ever materialized (touched) in memory.
+    pub registers_touched: u64,
+}
+
+impl WorkMetrics {
+    /// Creates zeroed metrics for `n` processes.
+    pub fn new(n: usize) -> WorkMetrics {
+        WorkMetrics {
+            per_process: vec![0; n],
+            ..WorkMetrics::default()
+        }
+    }
+
+    /// Total work `T_total`: operations summed over all processes.
+    pub fn total_work(&self) -> u64 {
+        self.per_process.iter().sum()
+    }
+
+    /// Individual work `T_individual`: the maximum operations executed by
+    /// any single process.
+    pub fn individual_work(&self) -> u64 {
+        self.per_process.iter().copied().max().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for WorkMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "total={} individual={} probwrites={}/{} registers={}",
+            self.total_work(),
+            self.individual_work(),
+            self.prob_writes_performed,
+            self.prob_writes_attempted,
+            self.registers_allocated,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_measures() {
+        let m = WorkMetrics {
+            per_process: vec![3, 7, 5],
+            ..WorkMetrics::new(3)
+        };
+        assert_eq!(m.total_work(), 15);
+        assert_eq!(m.individual_work(), 7);
+    }
+
+    #[test]
+    fn empty_metrics() {
+        let m = WorkMetrics::new(0);
+        assert_eq!(m.total_work(), 0);
+        assert_eq!(m.individual_work(), 0);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let mut m = WorkMetrics::new(2);
+        m.per_process = vec![1, 2];
+        m.prob_writes_attempted = 4;
+        m.prob_writes_performed = 1;
+        m.registers_allocated = 3;
+        assert_eq!(
+            m.to_string(),
+            "total=3 individual=2 probwrites=1/4 registers=3"
+        );
+    }
+}

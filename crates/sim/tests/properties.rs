@@ -1,0 +1,202 @@
+//! Property-based tests of the simulator itself: the memory model, run
+//! determinism, work accounting, and adversary-view information hiding.
+
+use mc_model::{OpKind, ProcessId, RegisterId};
+use mc_sim::adversary::{Adversary, Capability, RandomScheduler, View};
+use mc_sim::harness::{self, inputs};
+use mc_sim::testutil::{CoinFlipSpec, CollectOnceSpec, WriteThenReadSpec};
+use mc_sim::{EngineConfig, Memory};
+use proptest::prelude::*;
+
+proptest! {
+    /// The register file agrees with a reference map under arbitrary
+    /// write/read sequences (last write wins, ⊥ until first write).
+    #[test]
+    fn memory_matches_reference_model(ops in prop::collection::vec((0u64..32, 0u64..1000), 0..200)) {
+        let mut memory = Memory::new();
+        let mut reference = std::collections::HashMap::new();
+        for (reg, value) in ops {
+            // Interleave a read check before each write.
+            prop_assert_eq!(memory.read(RegisterId(reg)), reference.get(&reg).copied());
+            memory.write(RegisterId(reg), value);
+            reference.insert(reg, value);
+        }
+        for reg in 0..32 {
+            prop_assert_eq!(memory.read(RegisterId(reg)), reference.get(&reg).copied());
+        }
+        prop_assert_eq!(memory.written_count(), reference.len());
+    }
+
+    /// Runs are pure functions of (spec, inputs, adversary seed, run seed).
+    #[test]
+    fn runs_are_deterministic(n in 1usize..10, seed in 0u64..10_000) {
+        let ins = inputs::alternating(n, 3);
+        let run = || {
+            harness::run_object(
+                &WriteThenReadSpec,
+                &ins,
+                &mut RandomScheduler::new(seed),
+                seed,
+                &EngineConfig::default().with_trace(),
+            ).unwrap()
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.outputs, b.outputs);
+        prop_assert_eq!(a.metrics, b.metrics);
+        prop_assert_eq!(a.trace, b.trace);
+    }
+
+    /// The trace length equals the total work: every operation is recorded
+    /// exactly once and costs exactly one unit.
+    #[test]
+    fn trace_length_equals_total_work(n in 1usize..10, seed in 0u64..10_000) {
+        let ins = inputs::alternating(n, 2);
+        let out = harness::run_object(
+            &WriteThenReadSpec,
+            &ins,
+            &mut RandomScheduler::new(seed),
+            seed,
+            &EngineConfig::default().with_trace(),
+        ).unwrap();
+        prop_assert_eq!(out.trace.unwrap().len() as u64, out.metrics.total_work());
+        // WriteThenRead: exactly 2 ops per process.
+        prop_assert_eq!(out.metrics.total_work(), 2 * n as u64);
+        prop_assert_eq!(out.metrics.individual_work(), 2);
+    }
+
+    /// Collect runs cost one op per collect in the cheap-collect model.
+    #[test]
+    fn collect_costs_one_operation(n in 1usize..8, seed in 0u64..5000) {
+        let ins = inputs::alternating(n, 2);
+        let out = harness::run_object(
+            &CollectOnceSpec,
+            &ins,
+            &mut RandomScheduler::new(seed),
+            seed,
+            &EngineConfig::default().with_cheap_collect(),
+        ).unwrap();
+        // write + collect = 2 ops each.
+        prop_assert_eq!(out.metrics.total_work(), 2 * n as u64);
+    }
+
+    /// Different run seeds give independent coin streams (two seeds agree
+    /// on all of 16 coin flips only with probability 2^-16 per pair; assert
+    /// they differ for at least one of several pairs).
+    #[test]
+    fn coin_streams_vary_with_seed(base in 0u64..1_000_000) {
+        let flip = |seed: u64| {
+            harness::run_object(
+                &CoinFlipSpec,
+                &[0; 16],
+                &mut RandomScheduler::new(0),
+                seed,
+                &EngineConfig::default(),
+            ).unwrap().values()
+        };
+        let distinct = (1..=4u64).any(|d| flip(base) != flip(base + d));
+        prop_assert!(distinct);
+    }
+}
+
+proptest! {
+    /// A recorded schedule replayed via `ScriptedAdversary` with the same
+    /// run seed reproduces the execution exactly (coins re-flip
+    /// identically from the per-process streams).
+    #[test]
+    fn scripted_replay_reproduces_recorded_runs(n in 1usize..8, seed in 0u64..10_000) {
+        let ins = inputs::alternating(n, 2);
+        let original = harness::run_object(
+            &WriteThenReadSpec,
+            &ins,
+            &mut RandomScheduler::new(seed),
+            seed,
+            &EngineConfig::default().with_trace(),
+        ).unwrap();
+        let mut replayer = mc_sim::adversary::ScriptedAdversary::from_trace(
+            original.trace.as_ref().unwrap(),
+        );
+        let replayed = harness::run_object(
+            &WriteThenReadSpec,
+            &ins,
+            &mut replayer,
+            seed,
+            &EngineConfig::default().with_trace(),
+        ).unwrap();
+        prop_assert_eq!(original.outputs, replayed.outputs);
+        prop_assert_eq!(original.trace, replayed.trace);
+    }
+}
+
+/// An adversary that asserts its view is masked per its declared
+/// capability, then defers to round-robin.
+struct MaskSpy {
+    capability: Capability,
+    cursor: usize,
+}
+
+impl Adversary for MaskSpy {
+    fn capability(&self) -> Capability {
+        self.capability
+    }
+
+    fn choose(&mut self, view: &View<'_>) -> ProcessId {
+        for p in view.pending {
+            match self.capability {
+                Capability::Oblivious => {
+                    assert!(p.kind.is_none() && p.reg.is_none() && p.value.is_none());
+                    assert!(view.memory.is_none());
+                }
+                Capability::ValueOblivious => {
+                    assert!(p.kind.is_some());
+                    assert!(p.value.is_none(), "value leaked to value-oblivious");
+                    assert!(view.memory.is_none(), "memory leaked to value-oblivious");
+                }
+                Capability::LocationOblivious => {
+                    assert!(p.kind.is_some());
+                    if matches!(p.kind, Some(OpKind::Write) | Some(OpKind::ProbWrite)) {
+                        assert!(p.reg.is_none(), "write location leaked");
+                    }
+                    assert!(view.memory.is_some());
+                }
+                Capability::Adaptive => {
+                    assert!(p.kind.is_some() && p.reg.is_some());
+                    assert!(view.memory.is_some());
+                }
+            }
+        }
+        let choice = view
+            .pending
+            .iter()
+            .map(|p| p.pid)
+            .find(|p| p.index() >= self.cursor)
+            .unwrap_or(view.pending[0].pid);
+        self.cursor = (choice.index() + 1) % view.n;
+        choice
+    }
+}
+
+#[test]
+fn adversary_views_hide_exactly_what_each_class_may_not_see() {
+    for capability in [
+        Capability::Oblivious,
+        Capability::ValueOblivious,
+        Capability::LocationOblivious,
+        Capability::Adaptive,
+    ] {
+        let mut spy = MaskSpy {
+            capability,
+            cursor: 0,
+        };
+        // WriteThenRead exercises writes and reads; every view is asserted
+        // inside the spy.
+        harness::run_object(
+            &WriteThenReadSpec,
+            &inputs::alternating(5, 2),
+            &mut spy,
+            1,
+            &EngineConfig::default(),
+        )
+        .unwrap();
+    }
+}

@@ -1,0 +1,113 @@
+//! Exhaustive checking: prove safety over *every* schedule, and compute the
+//! exact worst-case agreement probability at n = 2.
+//!
+//! The simulator samples executions; the `mc-check` explorer enumerates
+//! them. For small systems that turns statistical confidence into proof
+//! (within the step bound) — and turns Theorem 7's inequality into an exact
+//! number.
+//!
+//! Run with: `cargo run --release --example exhaustive_check`
+
+use std::sync::Arc;
+
+use modular_consensus::analysis::theory;
+use modular_consensus::check::{CheckConfig, Explorer};
+use modular_consensus::prelude::*;
+
+fn main() {
+    // 1. Exhaustive safety of the binary ratifier (Theorem 8) at n = 3.
+    let ratifier_cfg = CheckConfig {
+        check_acceptance: true,
+        ..CheckConfig::default()
+    };
+    for inputs in [vec![0u64, 1, 0], vec![1, 1, 1]] {
+        let report = Explorer::new(Ratifier::binary(), inputs.clone())
+            .with_config(ratifier_cfg.clone())
+            .verify_safety()
+            .expect("explorable");
+        println!(
+            "binary ratifier, inputs {:?}: {} interleavings, {}",
+            inputs,
+            report.complete_paths,
+            if report.is_exhaustive_pass() {
+                "validity + coherence + acceptance hold on ALL of them"
+            } else {
+                "VIOLATION FOUND"
+            }
+        );
+    }
+
+    // 2. Exact worst-case agreement of the impatient conciliator at n = 2.
+    let value = Explorer::new(FirstMoverConciliator::impatient(), vec![0, 1])
+        .worst_case_agreement()
+        .expect("fully explorable at n = 2");
+    let bound = theory::impatient_agreement_lower_bound();
+    println!(
+        "\nimpatient conciliator, n = 2, split inputs:\n\
+         exact worst-case agreement δ* = {:.4}  (over {} executions, {} truncated)\n\
+         Theorem 7's analytic bound    δ ≥ {:.4}\n\
+         the closed-form analysis is {:.1}x below the true two-process value",
+        value.probability,
+        value.complete_paths,
+        value.truncated,
+        bound,
+        value.probability / bound,
+    );
+
+    // 3. A deliberately broken "ratifier" (scan skipped) is caught with a
+    //    witness schedule.
+    use modular_consensus::model::{
+        Action, Ctx, DecidingObject, Decision, InstantiateCtx, Op, ProcessId, RegisterId, Response,
+        Session,
+    };
+    #[derive(Clone)]
+    struct NoScanRatifier;
+    struct Obj {
+        reg: RegisterId,
+    }
+    struct Sess {
+        reg: RegisterId,
+        input: u64,
+    }
+    impl DecidingObject for Obj {
+        fn session(&self, _pid: ProcessId) -> Box<dyn Session + Send> {
+            Box::new(Sess {
+                reg: self.reg,
+                input: 0,
+            })
+        }
+    }
+    impl Session for Sess {
+        fn begin(&mut self, input: u64, _ctx: &mut Ctx<'_>) -> Action {
+            self.input = input;
+            Action::Invoke(Op::Write {
+                reg: self.reg,
+                value: input,
+            })
+        }
+        fn poll(&mut self, _r: Response, _ctx: &mut Ctx<'_>) -> Action {
+            // Decides without scanning for conflicts — unsound.
+            Action::Halt(Decision::decide(self.input))
+        }
+    }
+    impl ObjectSpec for NoScanRatifier {
+        fn instantiate(&self, ctx: &mut InstantiateCtx<'_>) -> std::sync::Arc<dyn DecidingObject> {
+            Arc::new(Obj {
+                reg: ctx.alloc.alloc_block(1),
+            })
+        }
+        fn name(&self) -> String {
+            "no-scan-ratifier".into()
+        }
+    }
+    let report = Explorer::new(NoScanRatifier, vec![0, 1])
+        .verify_safety()
+        .expect("explorable");
+    let (path, violation) = report.violation.expect("the checker must catch this");
+    println!(
+        "\nbroken ratifier (scan skipped): caught after {} paths\n\
+         violation: {violation}\n\
+         witness schedule: {:?}",
+        report.complete_paths, path,
+    );
+}

@@ -1,0 +1,78 @@
+//! Quickstart: wait-free randomized consensus among real threads.
+//!
+//! Eight threads propose conflicting values; the consensus object (the
+//! paper's `R₋₁; R₀; C₁; R₁; …` construction on std atomics) makes them all
+//! return the same proposal.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::sync::Arc;
+
+use modular_consensus::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = 8;
+
+    // --- Binary consensus ---------------------------------------------
+    let consensus = Arc::new(Consensus::binary(n));
+    let handles: Vec<_> = (0..n as u64)
+        .map(|t| {
+            let c = Arc::clone(&consensus);
+            std::thread::spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(t);
+                let proposal = t % 2;
+                let decision = c.decide(proposal, &mut rng);
+                (t, proposal, decision)
+            })
+        })
+        .collect();
+    println!("binary consensus among {n} threads:");
+    let mut agreed = None;
+    for h in handles {
+        let (t, proposal, decision) = h.join().expect("thread panicked");
+        println!("  thread {t}: proposed {proposal}, decided {decision}");
+        assert_eq!(
+            *agreed.get_or_insert(decision),
+            decision,
+            "agreement violated!"
+        );
+    }
+    println!("  -> all threads decided {}\n", agreed.unwrap());
+
+    // --- 100-valued consensus ------------------------------------------
+    let consensus = Arc::new(Consensus::multivalued(n, 100));
+    println!(
+        "multivalued consensus (m = 100, binomial quorums, capacity {}):",
+        consensus.capacity()
+    );
+    let handles: Vec<_> = (0..n as u64)
+        .map(|t| {
+            let c = Arc::clone(&consensus);
+            std::thread::spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(1000 + t);
+                c.decide(t * 11, &mut rng)
+            })
+        })
+        .collect();
+    let decisions: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    println!("  decisions: {decisions:?}");
+    assert!(decisions.windows(2).all(|w| w[0] == w[1]));
+    println!(
+        "  -> agreed on {} using {} protocol stages",
+        decisions[0],
+        consensus.stages_used()
+    );
+
+    // --- Typed API ------------------------------------------------------
+    let consensus = Arc::new(TypedConsensus::<bool>::new(2));
+    let peer = {
+        let c = Arc::clone(&consensus);
+        std::thread::spawn(move || c.decide(true, &mut SmallRng::seed_from_u64(1)))
+    };
+    let mine = consensus.decide(false, &mut SmallRng::seed_from_u64(2));
+    let theirs = peer.join().unwrap();
+    println!("\ntyped consensus over bool: me={mine}, peer={theirs}");
+    assert_eq!(mine, theirs);
+}

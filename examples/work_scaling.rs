@@ -1,0 +1,127 @@
+//! Work scaling: watch the paper's complexity bounds materialize.
+//!
+//! Sweeps the number of processes `n` and measures, per Theorem 7 and the
+//! headline claim of §1:
+//!
+//! * individual work of the impatient conciliator (`≤ 2⌈lg n⌉ + 4`, so the
+//!   fitted shape is `≈ a·lg n + b`),
+//! * total work of the conciliator (`≤ 6n` expected),
+//! * end-to-end binary consensus work (`O(log n)` individual, `O(n)` total),
+//! * the fixed-probability baseline's individual work under a solo leader
+//!   (`Θ(n)` — the crossover the paper improves on).
+//!
+//! Run with: `cargo run --release --example work_scaling`
+
+use modular_consensus::analysis::{fit_linear, fit_log2, theory, Summary, Table};
+use modular_consensus::prelude::*;
+
+fn main() {
+    let ns = [4usize, 8, 16, 32, 64, 128];
+    let trials = 300;
+
+    let mut conciliator_table = Table::new(
+        "Impatient conciliator work vs n (Theorem 7)",
+        &[
+            "n",
+            "indiv (mean)",
+            "indiv (max)",
+            "bound 2⌈lg n⌉+4",
+            "total (mean)",
+            "bound 6n",
+        ],
+    );
+    let mut indiv_series = Vec::new();
+    let mut total_series = Vec::new();
+
+    for &n in &ns {
+        let stats = harness::run_trials(
+            &FirstMoverConciliator::impatient(),
+            trials,
+            7,
+            &EngineConfig::default(),
+            |_| harness::inputs::alternating(n, 2),
+            |seed| Box::new(adversary::RandomScheduler::new(seed)),
+        )
+        .expect("runs complete");
+        let indiv = Summary::of_counts(&stats.individual_work);
+        let total = Summary::of_counts(&stats.total_work);
+        conciliator_table.row(&[
+            n.to_string(),
+            format!("{:.2}", indiv.mean),
+            format!("{}", stats.max_individual_work()),
+            theory::impatient_individual_work_bound(n as u64).to_string(),
+            format!("{:.1}", total.mean),
+            theory::impatient_total_work_bound(n as u64).to_string(),
+        ]);
+        indiv_series.push((n as f64, stats.max_individual_work() as f64));
+        total_series.push((n as f64, total.mean));
+    }
+    println!("{conciliator_table}");
+
+    let log_fit = fit_log2(
+        &indiv_series.iter().map(|p| p.0).collect::<Vec<_>>(),
+        &indiv_series.iter().map(|p| p.1).collect::<Vec<_>>(),
+    );
+    let lin_fit = fit_linear(
+        &total_series.iter().map(|p| p.0).collect::<Vec<_>>(),
+        &total_series.iter().map(|p| p.1).collect::<Vec<_>>(),
+    );
+    println!("worst individual work ≈ {log_fit}  (paper: 2·lg n + 4)");
+    println!("mean total work       ≈ {lin_fit}  (paper: ≤ 6·n)\n");
+
+    // End-to-end binary consensus.
+    let mut consensus_table = Table::new(
+        "Binary consensus work vs n (§1 headline claim)",
+        &["n", "indiv (mean)", "total (mean)", "total / n"],
+    );
+    for &n in &ns {
+        let spec = ConsensusBuilder::binary().build();
+        let stats = harness::run_trials(
+            &spec,
+            trials / 3,
+            11,
+            &EngineConfig::default(),
+            |_| harness::inputs::alternating(n, 2),
+            |seed| Box::new(adversary::RandomScheduler::new(seed)),
+        )
+        .expect("runs complete");
+        let total = stats.mean_total_work();
+        consensus_table.row(&[
+            n.to_string(),
+            format!("{:.2}", stats.mean_individual_work()),
+            format!("{total:.1}"),
+            format!("{:.2}", total / n as f64),
+        ]);
+    }
+    println!("{consensus_table}");
+
+    // Baseline comparison under a solo leader.
+    let mut baseline_table = Table::new(
+        "Solo-leader individual work: impatient (2^k/n) vs fixed (1/n)",
+        &["n", "impatient", "fixed (CIL-style)", "ratio"],
+    );
+    for &n in &ns {
+        let solo = |spec: &FirstMoverConciliator| {
+            harness::run_trials(
+                spec,
+                trials / 3,
+                3,
+                &EngineConfig::default(),
+                |_| harness::inputs::alternating(n, 2),
+                |_| Box::new(sched::PriorityScheduler::descending(n)),
+            )
+            .expect("runs complete")
+            .mean_individual_work()
+        };
+        let imp = solo(&FirstMoverConciliator::impatient());
+        let fix = solo(&FirstMoverConciliator::fixed(1.0));
+        baseline_table.row(&[
+            n.to_string(),
+            format!("{imp:.1}"),
+            format!("{fix:.1}"),
+            format!("{:.1}x", fix / imp),
+        ]);
+    }
+    println!("{baseline_table}");
+    println!("The fixed-probability baseline grows linearly; impatience caps it at O(log n).");
+}

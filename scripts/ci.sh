@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full local CI: format, lint, build, test, docs, quick experiments.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== fmt =="
+cargo fmt --all --check
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== build (all targets) =="
+cargo build --workspace --all-targets
+
+echo "== tests =="
+cargo test --workspace
+
+echo "== docs =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+echo "== experiments (quick smoke) =="
+cargo run -p mc-bench --release --bin experiments -- all --quick > /dev/null
+
+echo "CI OK"

@@ -1,0 +1,159 @@
+//! Chaos campaign: randomized protocol × adversary × input × crash
+//! configurations, hammering the safety properties from every direction at
+//! once. Complements the structured matrices with broad randomized
+//! coverage; every scenario is reproducible from its printed seed.
+
+use std::sync::Arc;
+
+use modular_consensus::model::ProcessId;
+use modular_consensus::prelude::*;
+use modular_consensus::sim::harness::run_with_crashes;
+use modular_consensus::sim::Adversary;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+struct Scenario {
+    seed: u64,
+    n: usize,
+    m: u64,
+    spec: Arc<dyn ObjectSpec>,
+    spec_name: String,
+    adversary: Box<dyn Adversary>,
+    crashes: Vec<(ProcessId, u64)>,
+    cheap_collect: bool,
+}
+
+fn make_scenario(seed: u64) -> Scenario {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = rng.random_range(1..=8usize);
+    let m = rng.random_range(2..=9u64);
+
+    let (spec, cheap_collect): (Arc<dyn ObjectSpec>, bool) = match rng.random_range(0..6u32) {
+        0 => (Arc::new(ConsensusBuilder::multivalued(m).build()), false),
+        1 => (
+            Arc::new(ConsensusBuilder::multivalued(m).without_fast_path().build()),
+            false,
+        ),
+        2 => (
+            Arc::new(
+                ConsensusBuilder::multivalued(m)
+                    .bounded(rng.random_range(1..4usize))
+                    .build(),
+            ),
+            false,
+        ),
+        3 => (
+            Arc::new(
+                ConsensusBuilder::new(
+                    Arc::new(FirstMoverConciliator::with_schedule(
+                        WriteSchedule::geometric(1.0, rng.random_range(2..5u32) as f64),
+                    )),
+                    Arc::new(Ratifier::bitvector(m)),
+                )
+                .build(),
+            ),
+            false,
+        ),
+        4 => (
+            Arc::new(
+                ConsensusBuilder::new(
+                    Arc::new(FirstMoverConciliator::impatient()),
+                    Arc::new(CollectRatifier::new()),
+                )
+                .build(),
+            ),
+            true,
+        ),
+        _ => (
+            Arc::new(
+                ConsensusBuilder::new(
+                    Arc::new(mc_core::DummyWriteConciliator::impatient()),
+                    Arc::new(Ratifier::binomial(m)),
+                )
+                .build(),
+            ),
+            false,
+        ),
+    };
+
+    let adversary: Box<dyn Adversary> = match rng.random_range(0..7u32) {
+        0 => Box::new(adversary::RoundRobin::new()),
+        1 => Box::new(adversary::RandomScheduler::new(seed ^ 1)),
+        2 => Box::new(adversary::FixedOrder::bursty(
+            n,
+            rng.random_range(1..6usize),
+        )),
+        3 => Box::new(adversary::WriteBlocker::new()),
+        4 => Box::new(adversary::SplitKeeper::new(seed ^ 2)),
+        5 => Box::new(sched::NoisyScheduler::new(n, 0.4, seed ^ 3)),
+        _ => Box::new(sched::QuantumScheduler::new(rng.random_range(1..8u64))),
+    };
+
+    // Crash up to n−1 processes at random early steps (possibly none).
+    let crash_count = rng.random_range(0..n.max(1));
+    let mut crashes = Vec::new();
+    let mut pids: Vec<usize> = (0..n).collect();
+    for _ in 0..crash_count {
+        let pick = rng.random_range(0..pids.len());
+        let pid = pids.swap_remove(pick);
+        crashes.push((ProcessId(pid), rng.random_range(0..20u64)));
+    }
+
+    let spec_name = spec.name();
+    Scenario {
+        seed,
+        n,
+        m,
+        spec,
+        spec_name,
+        adversary,
+        crashes,
+        cheap_collect,
+    }
+}
+
+#[test]
+fn chaos_campaign_preserves_safety_everywhere() {
+    for seed in 0..400u64 {
+        let scenario = make_scenario(seed);
+        let inputs = harness::inputs::random(scenario.n, scenario.m, seed ^ 0xC0A5);
+        let mut config = EngineConfig::default();
+        if scenario.cheap_collect {
+            config = config.with_cheap_collect();
+        }
+        let outcome = run_with_crashes(
+            scenario.spec.as_ref(),
+            &inputs,
+            scenario.adversary,
+            &scenario.crashes,
+            seed,
+            &config,
+        )
+        .unwrap_or_else(|e| {
+            panic!(
+                "seed {}: {} n={} crashes={:?}: {e}",
+                scenario.seed, scenario.spec_name, scenario.n, scenario.crashes
+            )
+        });
+        // Safety among everyone who produced an output.
+        let produced: Vec<Decision> = outcome.decisions.iter().copied().flatten().collect();
+        let ctx = || {
+            format!(
+                "seed {}: {} n={} m={} crashes={:?}",
+                scenario.seed, scenario.spec_name, scenario.n, scenario.m, scenario.crashes
+            )
+        };
+        properties::check_validity(&inputs, &produced).unwrap_or_else(|e| panic!("{}: {e}", ctx()));
+        properties::check_coherence(&produced).unwrap_or_else(|e| panic!("{}: {e}", ctx()));
+        // Liveness for survivors: all non-doomed processes decided.
+        for (ix, d) in outcome.decisions.iter().enumerate() {
+            if !outcome.crashed.contains(&ProcessId(ix)) {
+                assert!(
+                    d.map(|d| d.is_decided()).unwrap_or(false),
+                    "{}: survivor p{ix} undecided",
+                    ctx()
+                );
+            }
+        }
+    }
+}

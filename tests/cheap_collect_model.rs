@@ -1,0 +1,99 @@
+//! The cheap-collect model (§6.2 item 4): constant-work ratification for any
+//! m, and full consensus built on it.
+
+use std::sync::Arc;
+
+use modular_consensus::prelude::*;
+
+fn config() -> EngineConfig {
+    EngineConfig::default().with_cheap_collect()
+}
+
+#[test]
+fn collect_ratifier_has_constant_work_for_huge_m() {
+    // m plays no role in the cost: 4 ops for any value domain.
+    for m_exponent in [1u32, 10, 40, 62] {
+        let m = 1u64 << m_exponent;
+        let inputs: Vec<u64> = (0..6).map(|t| (t * 977) % m).collect();
+        let out = harness::run_object(
+            &CollectRatifier::new(),
+            &inputs,
+            &mut adversary::RandomScheduler::new(m_exponent as u64),
+            1,
+            &config(),
+        )
+        .unwrap();
+        properties::check_weak_consensus(&inputs, &out.outputs).unwrap();
+        assert!(out.metrics.individual_work() <= 4);
+    }
+}
+
+#[test]
+fn cheap_collect_consensus_is_correct() {
+    let spec = ConsensusBuilder::new(
+        Arc::new(FirstMoverConciliator::impatient()),
+        Arc::new(CollectRatifier::new()),
+    )
+    .build();
+    for seed in 0..30 {
+        let inputs = harness::inputs::random(6, 1 << 20, seed);
+        let out = harness::run_object(
+            &spec,
+            &inputs,
+            &mut adversary::RandomScheduler::new(seed),
+            seed,
+            &config(),
+        )
+        .unwrap();
+        properties::check_consensus(&inputs, &out.outputs).unwrap();
+    }
+}
+
+#[test]
+fn cheap_collect_consensus_work_is_independent_of_m() {
+    let spec = ConsensusBuilder::new(
+        Arc::new(FirstMoverConciliator::impatient()),
+        Arc::new(CollectRatifier::new()),
+    )
+    .build();
+    let mut means = Vec::new();
+    for m in [4u64, 1 << 20, 1 << 40] {
+        let stats = harness::run_trials(
+            &spec,
+            60,
+            23,
+            &config(),
+            |t| harness::inputs::random(6, m, t as u64),
+            |seed| Box::new(adversary::RandomScheduler::new(seed)),
+        )
+        .unwrap();
+        assert_eq!(stats.all_decided, stats.trials);
+        means.push(stats.mean_total_work());
+    }
+    let (lo, hi) = (
+        means.iter().cloned().fold(f64::INFINITY, f64::min),
+        means.iter().cloned().fold(0.0, f64::max),
+    );
+    assert!(hi <= lo * 1.5, "work varied with m: {means:?}");
+}
+
+#[test]
+fn collect_ops_fail_cleanly_outside_the_model() {
+    let spec = ConsensusBuilder::new(
+        Arc::new(FirstMoverConciliator::impatient()),
+        Arc::new(CollectRatifier::new()),
+    )
+    .build();
+    let err = harness::run_object(
+        &spec,
+        &[0, 1],
+        &mut adversary::RoundRobin::new(),
+        0,
+        &EngineConfig::default(),
+    )
+    .unwrap_err();
+    assert!(matches!(
+        err,
+        modular_consensus::sim::RunError::CollectDisallowed { .. }
+    ));
+}

@@ -1,0 +1,116 @@
+//! Property-based tests: composition preserves the weak-consensus
+//! properties (Lemmas 1–3, Corollary 4), over randomly generated chains.
+
+use std::sync::Arc;
+
+use modular_consensus::prelude::*;
+use proptest::prelude::*;
+
+/// Builds the stage selected by a small tag (proptest generates tags, which
+/// keeps strategy values `Debug` and shrinkable).
+fn stage_from_tag(tag: u8, m: u64) -> Arc<dyn ObjectSpec> {
+    match tag % 5 {
+        0 => Arc::new(FirstMoverConciliator::impatient()),
+        1 => Arc::new(FirstMoverConciliator::fixed(2.0)),
+        2 => Arc::new(FirstMoverConciliator::with_schedule(
+            WriteSchedule::geometric(1.0, 4.0),
+        )),
+        3 => Arc::new(Ratifier::binomial(m)),
+        _ => Arc::new(Ratifier::bitvector(m)),
+    }
+}
+
+fn chain_from_tags(tags: &[u8], m: u64) -> Chain {
+    Chain::new(tags.iter().map(|&t| stage_from_tag(t, m)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Corollary 4: any chain of conciliators and ratifiers satisfies
+    /// validity and coherence under a random scheduler.
+    #[test]
+    fn random_chains_are_weak_consensus_objects(
+        tags in prop::collection::vec(0u8..5, 1..6),
+        n in 2usize..8,
+        seed in 0u64..5000,
+    ) {
+        let chain = chain_from_tags(&tags, 4);
+        let inputs = harness::inputs::random(n, 4, seed ^ 0xABCD);
+        let out = harness::run_object(
+            &chain,
+            &inputs,
+            &mut adversary::RandomScheduler::new(seed),
+            seed,
+            &EngineConfig::default(),
+        ).unwrap();
+        properties::check_weak_consensus(&inputs, &out.outputs)?;
+    }
+
+    /// Acceptance survives chains that *start* with a ratifier: unanimous
+    /// inputs decide at stage 0 no matter what follows.
+    #[test]
+    fn ratifier_headed_chains_accept_unanimous_inputs(
+        tags in prop::collection::vec(0u8..5, 0..4),
+        n in 1usize..8,
+        v in 0u64..4,
+        seed in 0u64..5000,
+    ) {
+        let mut stages: Vec<Arc<dyn ObjectSpec>> = vec![Arc::new(Ratifier::binomial(4))];
+        stages.extend(tags.iter().map(|&t| stage_from_tag(t, 4)));
+        let chain = Chain::new(stages);
+        let inputs = harness::inputs::unanimous(n, v);
+        let out = harness::run_object(
+            &chain,
+            &inputs,
+            &mut adversary::RandomScheduler::new(seed),
+            seed,
+            &EngineConfig::default(),
+        ).unwrap();
+        properties::check_acceptance(&inputs, &out.outputs)?;
+    }
+
+    /// Determinism: the same (chain, inputs, adversary seed, coin seed)
+    /// reproduces identical outputs and identical work.
+    #[test]
+    fn runs_are_reproducible(
+        tags in prop::collection::vec(0u8..5, 1..4),
+        seed in 0u64..5000,
+    ) {
+        let chain = chain_from_tags(&tags, 3);
+        let inputs = harness::inputs::alternating(5, 3);
+        let run = |s| {
+            harness::run_object(
+                &chain,
+                &inputs,
+                &mut adversary::RandomScheduler::new(s),
+                s,
+                &EngineConfig::default(),
+            ).unwrap()
+        };
+        let a = run(seed);
+        let b = run(seed);
+        prop_assert_eq!(a.outputs, b.outputs);
+        prop_assert_eq!(a.metrics, b.metrics);
+    }
+
+    /// The full consensus construction decides correctly on random inputs
+    /// under random schedulers (randomized end-to-end sweep).
+    #[test]
+    fn consensus_correct_on_random_instances(
+        n in 1usize..10,
+        m in 2u64..9,
+        seed in 0u64..3000,
+    ) {
+        let spec = ConsensusBuilder::multivalued(m).build();
+        let inputs = harness::inputs::random(n, m, seed ^ 0x5A5A);
+        let out = harness::run_object(
+            &spec,
+            &inputs,
+            &mut adversary::RandomScheduler::new(seed),
+            seed,
+            &EngineConfig::default(),
+        ).unwrap();
+        properties::check_consensus(&inputs, &out.outputs)?;
+    }
+}

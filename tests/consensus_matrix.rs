@@ -1,0 +1,170 @@
+//! End-to-end matrix: every consensus construction × every adversary class
+//! × a range of system and alphabet sizes.
+
+use std::sync::Arc;
+
+use modular_consensus::prelude::*;
+use modular_consensus::sim::Adversary;
+
+type Maker = fn(u64, usize) -> Box<dyn Adversary>;
+
+fn adversaries() -> Vec<(&'static str, Maker)> {
+    vec![
+        ("round-robin", |_, _| Box::new(adversary::RoundRobin::new())),
+        ("random", |s, _| {
+            Box::new(adversary::RandomScheduler::new(s))
+        }),
+        ("bursty", |_, n| {
+            Box::new(adversary::FixedOrder::bursty(n, 5))
+        }),
+        ("write-blocker", |_, _| {
+            Box::new(adversary::WriteBlocker::new())
+        }),
+        ("exploiter", |_, _| {
+            Box::new(adversary::ImpatienceExploiter::new())
+        }),
+        ("split-keeper", |s, _| {
+            Box::new(adversary::SplitKeeper::new(s))
+        }),
+        ("noisy", |s, n| {
+            Box::new(sched::NoisyScheduler::new(n, 0.3, s))
+        }),
+        ("priority", |_, n| {
+            Box::new(sched::PriorityScheduler::descending(n))
+        }),
+    ]
+}
+
+fn check_spec(spec: &dyn ObjectSpec, n: usize, m: u64, seeds: u64) {
+    for (name, make) in adversaries() {
+        for seed in 0..seeds {
+            let inputs = harness::inputs::random(n, m, seed * 31 + 5);
+            let mut adv = make(seed, n);
+            let out =
+                harness::run_object(spec, &inputs, adv.as_mut(), seed, &EngineConfig::default())
+                    .unwrap_or_else(|e| panic!("{} under {name}: {e}", spec.name()));
+            properties::check_consensus(&inputs, &out.outputs)
+                .unwrap_or_else(|e| panic!("{} under {name} seed {seed}: {e}", spec.name()));
+        }
+    }
+}
+
+#[test]
+fn binary_consensus_matrix() {
+    let spec = ConsensusBuilder::binary().build();
+    for n in [1usize, 2, 3, 5, 8, 16] {
+        check_spec(&spec, n, 2, 6);
+    }
+}
+
+#[test]
+fn multivalued_consensus_matrix() {
+    for m in [3u64, 7, 33] {
+        let spec = ConsensusBuilder::multivalued(m).build();
+        check_spec(&spec, 6, m, 5);
+    }
+}
+
+#[test]
+fn bitvector_ratifier_consensus() {
+    let spec = ConsensusBuilder::new(
+        Arc::new(FirstMoverConciliator::impatient()),
+        Arc::new(Ratifier::bitvector(16)),
+    )
+    .build();
+    check_spec(&spec, 5, 16, 5);
+}
+
+#[test]
+fn consensus_over_a_custom_table_scheme() {
+    // A user-defined quorum system (validated at construction by
+    // mc-quorums) plugs straight into the ratifier and the full protocol.
+    let scheme = modular_consensus::quorums::TableScheme::new(
+        4,
+        vec![vec![0], vec![1, 2], vec![1, 3]],
+        vec![vec![1, 2, 3], vec![0, 3], vec![0, 2]],
+    )
+    .unwrap();
+    let spec = ConsensusBuilder::new(
+        Arc::new(FirstMoverConciliator::impatient()),
+        Arc::new(Ratifier::with_scheme(Arc::new(scheme))),
+    )
+    .build();
+    check_spec(&spec, 5, 3, 5);
+}
+
+#[test]
+fn consensus_without_fast_path() {
+    let spec = ConsensusBuilder::binary().without_fast_path().build();
+    check_spec(&spec, 5, 2, 5);
+}
+
+#[test]
+fn bounded_consensus_matrix() {
+    let spec = ConsensusBuilder::binary().bounded(3).build();
+    check_spec(&spec, 5, 2, 5);
+}
+
+#[test]
+fn bounded_consensus_with_immediate_fallback() {
+    // rounds = 1 with an adversarial scheduler exercises the fallback path.
+    let spec = ConsensusBuilder::multivalued(4).bounded(1).build();
+    check_spec(&spec, 6, 4, 8);
+}
+
+#[test]
+fn cil_baseline_is_also_correct_consensus() {
+    let spec = ConsensusBuilder::cil_baseline(4).build();
+    // Fewer seeds: the baseline is slow by design.
+    check_spec(&spec, 5, 4, 3);
+}
+
+#[test]
+fn coin_based_consensus_for_binary_values() {
+    // CoinConciliator + binary ratifier: the classic shared-coin route
+    // (Theorem 6), which works even against the adaptive adversary.
+    let spec = ConsensusBuilder::new(
+        Arc::new(CoinConciliator::new(Arc::new(VotingSharedCoin::new()))),
+        Arc::new(Ratifier::binary()),
+    )
+    .build();
+    check_spec(&spec, 4, 2, 3);
+}
+
+#[test]
+fn degenerate_single_process_decides_immediately() {
+    let spec = ConsensusBuilder::binary().build();
+    let out = harness::run_object(
+        &spec,
+        &[1],
+        &mut adversary::RoundRobin::new(),
+        0,
+        &EngineConfig::default(),
+    )
+    .unwrap();
+    assert!(out.outputs[0].is_decided());
+    assert_eq!(out.outputs[0].value(), 1);
+    // Solo process: 4 ops in R₋₁ and none elsewhere.
+    assert!(out.metrics.total_work() <= 4);
+}
+
+#[test]
+fn all_equal_inputs_never_run_a_conciliator() {
+    let probe = ChainProbe::new();
+    let spec = ConsensusBuilder::multivalued(8)
+        .probe(Arc::clone(&probe))
+        .build();
+    for (name, make) in adversaries() {
+        probe.reset();
+        let inputs = harness::inputs::unanimous(6, 5);
+        let mut adv = make(3, 6);
+        let out =
+            harness::run_object(&spec, &inputs, adv.as_mut(), 3, &EngineConfig::default()).unwrap();
+        properties::check_consensus(&inputs, &out.outputs).unwrap();
+        assert!(
+            probe.max_stage() <= 1,
+            "{name}: conciliator reached (stage {})",
+            probe.max_stage()
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Wait-freedom under crash failures: the paper's protocols tolerate up to
+//! `n − 1` crashes (§1) — surviving processes always decide, and the
+//! surviving outputs still satisfy every property.
+
+use modular_consensus::model::ProcessId;
+use modular_consensus::prelude::*;
+use modular_consensus::sim::harness::run_with_crashes;
+
+#[test]
+fn consensus_survives_a_single_crash() {
+    let spec = ConsensusBuilder::binary().build();
+    for seed in 0..30 {
+        let inputs = harness::inputs::alternating(5, 2);
+        // Crash process 0 (an input-0 holder) early in the run.
+        let outcome = run_with_crashes(
+            &spec,
+            &inputs,
+            adversary::RandomScheduler::new(seed),
+            &[(ProcessId(0), 3)],
+            seed,
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        let survivors = outcome.survivor_outputs();
+        assert!(survivors.len() >= 4);
+        properties::check_validity(&inputs, &survivors).unwrap();
+        properties::check_agreement(&survivors).unwrap();
+        assert!(survivors.iter().all(|d| d.is_decided()));
+    }
+}
+
+#[test]
+fn consensus_survives_n_minus_1_crashes() {
+    // Everyone but process 3 crashes immediately: the lone survivor must
+    // still decide (wait-freedom), and validity binds it to some input.
+    let spec = ConsensusBuilder::multivalued(4).build();
+    for seed in 0..20 {
+        let inputs = vec![0u64, 1, 2, 3, 1, 2];
+        let crashes: Vec<(ProcessId, u64)> = [0usize, 1, 2, 4, 5]
+            .iter()
+            .map(|&ix| (ProcessId(ix), 0))
+            .collect();
+        let outcome = run_with_crashes(
+            &spec,
+            &inputs,
+            adversary::RandomScheduler::new(seed),
+            &crashes,
+            seed,
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        let survivors = outcome.survivor_outputs();
+        assert_eq!(survivors.len(), 1);
+        assert!(survivors[0].is_decided());
+        // Running completely alone, it must decide its own input via the
+        // fast path.
+        assert_eq!(survivors[0].value(), 3);
+        // And nobody else produced an output.
+        assert!(outcome.decisions.iter().filter(|d| d.is_some()).count() == 1);
+    }
+}
+
+#[test]
+fn mid_protocol_crashes_cannot_break_safety() {
+    // Crash processes at assorted points — including mid-announcement in a
+    // ratifier, the classic danger zone — and check coherence among
+    // survivors plus any pre-crash deciders.
+    let spec = ConsensusBuilder::multivalued(4).build();
+    for seed in 0..60 {
+        let n = 6;
+        let inputs = harness::inputs::random(n, 4, seed);
+        let crashes = vec![
+            (ProcessId((seed % 6) as usize), seed % 9),
+            (ProcessId(((seed + 3) % 6) as usize), (seed % 17) + 2),
+        ];
+        let outcome = run_with_crashes(
+            &spec,
+            &inputs,
+            adversary::RandomScheduler::new(seed),
+            &crashes,
+            seed,
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        let produced: Vec<_> = outcome.decisions.iter().copied().flatten().collect();
+        properties::check_validity(&inputs, &produced).unwrap();
+        properties::check_coherence(&produced).unwrap();
+        // Survivors (non-doomed) must all have decided.
+        for (ix, d) in outcome.decisions.iter().enumerate() {
+            if !outcome.crashed.contains(&ProcessId(ix)) {
+                assert!(
+                    d.map(|d| d.is_decided()).unwrap_or(false),
+                    "seed {seed}: p{ix}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn ratifier_acceptance_survives_crashes() {
+    // Unanimous inputs + crashes: survivors must still all decide the
+    // unanimous value (acceptance restricted to survivors).
+    for seed in 0..30 {
+        let inputs = harness::inputs::unanimous(5, 2);
+        let outcome = run_with_crashes(
+            &Ratifier::binomial(4),
+            &inputs,
+            adversary::RandomScheduler::new(seed),
+            &[(ProcessId(1), 2), (ProcessId(4), 1)],
+            seed,
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        for d in outcome.survivor_outputs() {
+            assert!(d.is_decided());
+            assert_eq!(d.value(), 2);
+        }
+    }
+}
+
+#[test]
+fn crashed_process_work_is_still_counted() {
+    let spec = ConsensusBuilder::binary().build();
+    let inputs = harness::inputs::alternating(4, 2);
+    let outcome = run_with_crashes(
+        &spec,
+        &inputs,
+        adversary::RoundRobin::new(),
+        &[(ProcessId(0), 6)],
+        1,
+        &EngineConfig::default(),
+    )
+    .unwrap();
+    // p0 took steps before crashing; the cost model includes them.
+    assert!(outcome.metrics.per_process[0] > 0);
+    assert!(outcome.metrics.per_process[0] <= 6);
+}

@@ -1,0 +1,151 @@
+//! §4.2: consensus with ratifiers only, under restricted schedulers.
+
+use std::sync::Arc;
+
+use modular_consensus::core::protocol::ratifier_only;
+use modular_consensus::prelude::*;
+
+#[test]
+fn ratifier_only_with_priority_scheduling_for_many_configs() {
+    for n in [2usize, 3, 5, 9] {
+        for m in [2u64, 4] {
+            let spec = ratifier_only(Arc::new(Ratifier::binomial(m)));
+            for seed in 0..5 {
+                let inputs = harness::inputs::random(n, m, seed);
+                let out = harness::run_object(
+                    &spec,
+                    &inputs,
+                    &mut sched::PriorityScheduler::shuffled(n, seed),
+                    seed,
+                    &EngineConfig::default(),
+                )
+                .unwrap();
+                properties::check_consensus(&inputs, &out.outputs).unwrap();
+            }
+        }
+    }
+}
+
+#[test]
+fn highest_priority_process_wins_under_priority_scheduling() {
+    // §4.2: "the highest-priority process to execute the protocol will
+    // eventually overtake all other processes" — with descending
+    // priorities, p0 runs first and alone, so its input is decided.
+    let spec = ratifier_only(Arc::new(Ratifier::binary()));
+    let inputs = [1u64, 0, 0, 0];
+    let out = harness::run_object(
+        &spec,
+        &inputs,
+        &mut sched::PriorityScheduler::descending(4),
+        0,
+        &EngineConfig::default(),
+    )
+    .unwrap();
+    assert!(out.outputs.iter().all(|d| d.is_decided() && d.value() == 1));
+}
+
+#[test]
+fn ratifier_only_with_noisy_scheduler_terminates() {
+    // The accumulating timing noise eventually pushes some process ahead;
+    // binary ratifiers then decide (lean-consensus behaviour, §4.2).
+    for seed in 0..8 {
+        let n = 3;
+        let inputs = harness::inputs::alternating(n, 2);
+        let out = harness::run_object(
+            &ratifier_only(Arc::new(Ratifier::binary())),
+            &inputs,
+            &mut sched::NoisyScheduler::new(n, 0.6, seed),
+            seed,
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        properties::check_consensus(&inputs, &out.outputs).unwrap();
+    }
+}
+
+#[test]
+fn noisier_schedulers_terminate_faster() {
+    // More noise -> faster divergence -> fewer ratifier rounds. Compare
+    // mean total work at two noise levels.
+    let spec = ratifier_only(Arc::new(Ratifier::binary()));
+    let mean_work = |sigma: f64| {
+        let stats = harness::run_trials(
+            &spec,
+            40,
+            31,
+            &EngineConfig::default(),
+            |_| harness::inputs::alternating(2, 2),
+            |seed| Box::new(sched::NoisyScheduler::new(2, sigma, seed)),
+        )
+        .unwrap();
+        stats.mean_total_work()
+    };
+    let quiet = mean_work(0.05);
+    let loud = mean_work(0.9);
+    assert!(
+        loud < quiet,
+        "more noise should terminate faster: sigma=0.05 -> {quiet}, sigma=0.9 -> {loud}"
+    );
+}
+
+#[test]
+fn ratifier_only_terminates_under_quantum_scheduling() {
+    // §2.1 cites quantum-based scheduling restrictions; a quantum covering
+    // a whole binary-ratifier pass (4 ops) lets the first process complete
+    // a fresh ratifier alone, so the chain decides.
+    let spec = ratifier_only(Arc::new(Ratifier::binary()));
+    for n in [2usize, 4, 6] {
+        for quantum in [4u64, 8, 16] {
+            let inputs = harness::inputs::alternating(n, 2);
+            let out = harness::run_object(
+                &spec,
+                &inputs,
+                &mut sched::QuantumScheduler::new(quantum),
+                1,
+                &EngineConfig::default(),
+            )
+            .unwrap_or_else(|e| panic!("n={n} q={quantum}: {e}"));
+            properties::check_consensus(&inputs, &out.outputs)
+                .unwrap_or_else(|e| panic!("n={n} q={quantum}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn tiny_quanta_still_livelock_ratifier_only_chains() {
+    // quantum = 1 is lockstep round-robin: the §4.2 restriction genuinely
+    // needs the quantum to cover a ratifier pass.
+    let spec = ratifier_only(Arc::new(Ratifier::binary()));
+    let err = harness::run_object(
+        &spec,
+        &[0, 1],
+        &mut sched::QuantumScheduler::new(1),
+        0,
+        &EngineConfig::default().with_max_steps(20_000),
+    )
+    .unwrap_err();
+    assert!(matches!(
+        err,
+        modular_consensus::sim::RunError::StepLimitExceeded { .. }
+    ));
+}
+
+#[test]
+fn lockstep_schedules_livelock_ratifier_only_chains() {
+    // Perfectly fair round-robin keeps conflicting processes in lockstep
+    // forever: the chain must hit the step limit (this is why conciliators
+    // exist).
+    let spec = ratifier_only(Arc::new(Ratifier::binary()));
+    let err = harness::run_object(
+        &spec,
+        &[0, 1],
+        &mut adversary::RoundRobin::new(),
+        0,
+        &EngineConfig::default().with_max_steps(20_000),
+    )
+    .unwrap_err();
+    assert!(matches!(
+        err,
+        modular_consensus::sim::RunError::StepLimitExceeded { .. }
+    ));
+}

@@ -1,0 +1,222 @@
+//! Quantitative checks of the paper's theorems in the model.
+
+use modular_consensus::analysis::{theory, wilson_interval};
+use modular_consensus::prelude::*;
+
+/// Theorem 7: individual work never exceeds `2⌈lg n⌉ + 4`, under any
+/// adversary we can throw at it.
+#[test]
+fn theorem7_individual_work_bound_is_hard() {
+    for n in [2usize, 5, 16, 33, 64] {
+        let bound = theory::impatient_individual_work_bound(n as u64);
+        for seed in 0..60 {
+            let inputs = harness::inputs::alternating(n, 2);
+            let out = harness::run_object(
+                &FirstMoverConciliator::impatient(),
+                &inputs,
+                &mut adversary::ImpatienceExploiter::new(),
+                seed,
+                &EngineConfig::default(),
+            )
+            .unwrap();
+            assert!(
+                out.metrics.individual_work() <= bound,
+                "n={n} seed={seed}: {} > {bound}",
+                out.metrics.individual_work()
+            );
+        }
+    }
+}
+
+/// Theorem 7: expected total work ≤ 6n. Check the sample mean against the
+/// bound with a generous margin for sampling noise.
+#[test]
+fn theorem7_total_work_bound_in_expectation() {
+    for n in [4usize, 16, 64] {
+        let stats = harness::run_trials(
+            &FirstMoverConciliator::impatient(),
+            250,
+            99,
+            &EngineConfig::default(),
+            |_| harness::inputs::alternating(n, 2),
+            |seed| Box::new(adversary::RandomScheduler::new(seed)),
+        )
+        .unwrap();
+        assert!(
+            stats.mean_total_work() <= theory::impatient_total_work_bound(n as u64) as f64,
+            "n={n}: mean total {} > 6n",
+            stats.mean_total_work()
+        );
+    }
+}
+
+/// Theorem 7: agreement probability ≥ δ = (1−e^{−1/4})/4 under each
+/// adversary class. The Wilson lower bound of the measured rate must clear
+/// δ.
+#[test]
+fn theorem7_agreement_probability_lower_bound() {
+    let delta = theory::impatient_agreement_lower_bound();
+    let n = 12;
+    type Maker = fn(u64) -> Box<dyn modular_consensus::sim::Adversary>;
+    let makers: Vec<(&str, Maker)> = vec![
+        ("random", |s| Box::new(adversary::RandomScheduler::new(s))),
+        ("exploiter", |_| {
+            Box::new(adversary::ImpatienceExploiter::new())
+        }),
+        (
+            "write-blocker",
+            |_| Box::new(adversary::WriteBlocker::new()),
+        ),
+        ("split-keeper", |s| Box::new(adversary::SplitKeeper::new(s))),
+    ];
+    for (name, make) in makers {
+        let stats = harness::run_trials(
+            &FirstMoverConciliator::impatient(),
+            400,
+            2026,
+            &EngineConfig::default(),
+            |_| harness::inputs::alternating(n, 2),
+            |s| make(s),
+        )
+        .unwrap();
+        let ci = wilson_interval(stats.agreements, stats.trials);
+        assert!(
+            ci.low >= delta,
+            "{name}: agreement rate {} (CI low {}) below δ={delta}",
+            stats.agreement_rate(),
+            ci.low
+        );
+    }
+}
+
+/// Theorem 10: the m-valued ratifier's registers and work are O(log m),
+/// and observed work never exceeds the scheme bound.
+#[test]
+fn theorem10_ratifier_costs() {
+    for m in [2u64, 6, 20, 70, 252, 1000] {
+        let ratifier = Ratifier::binomial(m);
+        let lg = theory::ceil_lg(m);
+        assert!(
+            ratifier.register_count() <= lg + 8,
+            "m={m}: {} registers",
+            ratifier.register_count()
+        );
+        let bitv = Ratifier::bitvector(m);
+        assert_eq!(
+            bitv.register_count(),
+            theory::bitvector_ratifier_registers(m)
+        );
+        assert_eq!(
+            bitv.individual_work_bound(),
+            theory::bitvector_ratifier_ops(m)
+        );
+
+        for seed in 0..10 {
+            let inputs = harness::inputs::random(6, m, seed);
+            let out = harness::run_object(
+                &ratifier,
+                &inputs,
+                &mut adversary::RandomScheduler::new(seed),
+                seed,
+                &EngineConfig::default(),
+            )
+            .unwrap();
+            assert!(out.metrics.individual_work() <= ratifier.individual_work_bound());
+            properties::check_weak_consensus(&inputs, &out.outputs).unwrap();
+        }
+    }
+}
+
+/// §1 headline: binary consensus total work is O(n) — total/n stays bounded
+/// as n grows (Attiya–Censor tightness).
+#[test]
+fn headline_linear_total_work_for_binary_consensus() {
+    let spec = ConsensusBuilder::binary().build();
+    let mut ratios = Vec::new();
+    for n in [8usize, 32, 128] {
+        let stats = harness::run_trials(
+            &spec,
+            60,
+            5,
+            &EngineConfig::default(),
+            |_| harness::inputs::alternating(n, 2),
+            |seed| Box::new(adversary::RandomScheduler::new(seed)),
+        )
+        .unwrap();
+        ratios.push(stats.mean_total_work() / n as f64);
+    }
+    // The per-process constant should not grow meaningfully with n.
+    let (first, last) = (ratios[0], *ratios.last().unwrap());
+    assert!(
+        last <= first * 2.0,
+        "total work per process grew: {ratios:?}"
+    );
+}
+
+/// §1 headline: consensus individual work is O(log n) — the growth from
+/// n to 16n is bounded by a constant factor of the log growth.
+#[test]
+fn headline_logarithmic_individual_work() {
+    let spec = ConsensusBuilder::binary().build();
+    let measure = |n: usize| {
+        harness::run_trials(
+            &spec,
+            80,
+            17,
+            &EngineConfig::default(),
+            |_| harness::inputs::alternating(n, 2),
+            |seed| Box::new(adversary::RandomScheduler::new(seed)),
+        )
+        .unwrap()
+        .mean_individual_work()
+    };
+    let at_8 = measure(8);
+    let at_128 = measure(128);
+    // lg 128 / lg 8 ≈ 2.3; linear growth would be 16x. Anything under 3x
+    // clearly rules out linearity.
+    assert!(
+        at_128 <= at_8 * 3.0,
+        "individual work grew superlogarithmically: {at_8} -> {at_128}"
+    );
+}
+
+/// Theorem 5: with k conciliator rounds the fallback is hit with probability
+/// about (1−δ_observed)^k — in particular, rarely for moderate k, yet the
+/// construction stays correct when it is hit.
+#[test]
+fn theorem5_bounded_construction_fallback_rate() {
+    let n = 6;
+    let trials = 200;
+    let count_fallbacks = |rounds: usize| {
+        let probe = ChainProbe::new();
+        let spec = ConsensusBuilder::binary()
+            .bounded(rounds)
+            .probe(std::sync::Arc::clone(&probe))
+            .build();
+        let mut fallbacks = 0;
+        for seed in 0..trials {
+            probe.reset();
+            let inputs = harness::inputs::alternating(n, 2);
+            let out = harness::run_object(
+                &spec,
+                &inputs,
+                &mut adversary::RandomScheduler::new(seed),
+                seed,
+                &EngineConfig::default(),
+            )
+            .unwrap();
+            properties::check_consensus(&inputs, &out.outputs).unwrap();
+            if probe.max_stage() >= 2 + 2 * rounds {
+                fallbacks += 1;
+            }
+        }
+        fallbacks
+    };
+    let at_1 = count_fallbacks(1);
+    let at_6 = count_fallbacks(6);
+    assert!(
+        at_6 <= at_1,
+        "fallback rate should fall with k: {at_1} -> {at_6}"
+    );
+    assert_eq!(at_6, 0, "six rounds should essentially never fall back");
+}

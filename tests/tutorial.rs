@@ -1,0 +1,146 @@
+//! Keeps `docs/custom-objects.md` honest: the tutorial's code, compiled
+//! and executed. If this file diverges from the doc, update both.
+
+use std::sync::Arc;
+
+use modular_consensus::check::Explorer;
+use modular_consensus::model::{
+    Action, Ctx, DecidingObject, Decision, InstantiateCtx, Op, ProcessId, RegisterId, Response,
+    Session,
+};
+use modular_consensus::prelude::*;
+use modular_consensus::quorums::TableScheme;
+
+#[derive(Clone)]
+pub struct StickySpec;
+
+struct StickyObject {
+    reg: RegisterId,
+}
+
+struct StickySession {
+    reg: RegisterId,
+    input: u64,
+    wrote: bool,
+}
+
+impl ObjectSpec for StickySpec {
+    fn instantiate(&self, ctx: &mut InstantiateCtx<'_>) -> Arc<dyn DecidingObject> {
+        Arc::new(StickyObject {
+            reg: ctx.alloc.alloc_block(1),
+        })
+    }
+
+    fn name(&self) -> String {
+        "sticky".into()
+    }
+}
+
+impl DecidingObject for StickyObject {
+    fn session(&self, _pid: ProcessId) -> Box<dyn Session + Send> {
+        Box::new(StickySession {
+            reg: self.reg,
+            input: 0,
+            wrote: false,
+        })
+    }
+}
+
+impl Session for StickySession {
+    fn begin(&mut self, input: u64, _ctx: &mut Ctx<'_>) -> Action {
+        self.input = input;
+        Action::Invoke(Op::Read(self.reg))
+    }
+
+    fn poll(&mut self, response: Response, _ctx: &mut Ctx<'_>) -> Action {
+        if self.wrote {
+            self.wrote = false;
+            return Action::Invoke(Op::Read(self.reg));
+        }
+        match response.expect_read() {
+            Some(v) => Action::Halt(Decision::continue_with(v)),
+            None => {
+                self.wrote = true;
+                Action::Invoke(Op::Write {
+                    reg: self.reg,
+                    value: self.input,
+                })
+            }
+        }
+    }
+}
+
+#[test]
+fn tutorial_step_2_run_under_adversaries() {
+    let outcome = harness::run_object(
+        &StickySpec,
+        &[0, 1, 0, 1],
+        &mut adversary::SplitKeeper::new(7),
+        42,
+        &EngineConfig::default(),
+    )
+    .unwrap();
+    properties::check_weak_consensus(&[0, 1, 0, 1], &outcome.outputs).unwrap();
+}
+
+#[test]
+fn tutorial_step_3_model_check() {
+    let report = Explorer::new(StickySpec, vec![0, 1])
+        .verify_safety()
+        .unwrap();
+    assert!(report.is_exhaustive_pass());
+
+    // The tutorial's punchline: the deterministic-write race has worst-case
+    // agreement probability exactly 0 — the probabilistic write of
+    // Theorem 7 is essential.
+    let delta = Explorer::new(StickySpec, vec![0, 1])
+        .worst_case_agreement()
+        .unwrap();
+    assert_eq!(delta.truncated, 0);
+    assert_eq!(delta.probability, 0.0);
+
+    // Contrast with the paper's conciliator (checked in mc-check's own
+    // tests to be ≥ 0.25 exactly).
+    let real = Explorer::new(FirstMoverConciliator::impatient(), vec![0, 1])
+        .worst_case_agreement()
+        .unwrap();
+    assert!(real.probability > 0.0);
+}
+
+#[test]
+fn tutorial_step_4_compose() {
+    let chain = Chain::pair(Arc::new(StickySpec), Arc::new(Ratifier::binary()));
+    for seed in 0..20 {
+        let ins = harness::inputs::alternating(4, 2);
+        let out = harness::run_object(
+            &chain,
+            &ins,
+            &mut adversary::RandomScheduler::new(seed),
+            seed,
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        properties::check_weak_consensus(&ins, &out.outputs).unwrap();
+    }
+}
+
+#[test]
+fn tutorial_step_5_custom_quorums() {
+    let scheme = TableScheme::new(
+        4,
+        vec![vec![0], vec![1, 2], vec![1, 3]],
+        vec![vec![1, 2, 3], vec![0, 3], vec![0, 2]],
+    )
+    .unwrap();
+    let ratifier = Ratifier::with_scheme(Arc::new(scheme));
+    let ins = harness::inputs::unanimous(4, 2);
+    let out = harness::run_object(
+        &ratifier,
+        &ins,
+        &mut adversary::RoundRobin::new(),
+        0,
+        &EngineConfig::default(),
+    )
+    .unwrap();
+    properties::check_acceptance(&ins, &out.outputs).unwrap();
+}
