@@ -10,6 +10,7 @@
 //!
 //! Run `simulate --help` for the full grammar.
 
+use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -21,8 +22,10 @@ use mc_sim::adversary::{
     WriteBlocker,
 };
 use mc_sim::harness::{self, inputs};
+use mc_sim::observe;
 use mc_sim::sched::{NoisyScheduler, PriorityScheduler, QuantumScheduler};
 use mc_sim::EngineConfig;
+use mc_telemetry::{json::Obj, JsonlRecorder, NoopRecorder, Recorder};
 
 const HELP: &str = "\
 simulate — run modular-consensus protocols in the model
@@ -46,7 +49,13 @@ OPTIONS:
     --max-steps <K>   step limit per run (default: 10000000)
     --trace           print the execution trace (first trial only)
     --cheap-collect   enable the cheap-collect model
+    --telemetry <F>   stream one JSONL telemetry event per operation (plus a
+                      work_summary per trial) to file F; forces trace
+                      recording internally
     --help            print this help
+
+The final stdout line is always a machine-readable JSON summary
+(`\"ev\":\"simulate_summary\"`).
 ";
 
 #[derive(Debug)]
@@ -60,6 +69,7 @@ struct Options {
     max_steps: u64,
     trace: bool,
     cheap_collect: bool,
+    telemetry: Option<String>,
 }
 
 impl Default for Options {
@@ -74,6 +84,7 @@ impl Default for Options {
             max_steps: 10_000_000,
             trace: false,
             cheap_collect: false,
+            telemetry: None,
         }
     }
 }
@@ -99,6 +110,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--trace" => opts.trace = true,
             "--cheap-collect" => opts.cheap_collect = true,
+            "--telemetry" => opts.telemetry = Some(take()?.to_string()),
             "--help" | "-h" => return Err("help".into()),
             other => return Err(format!("unknown option {other}")),
         }
@@ -204,6 +216,13 @@ fn run(opts: &Options) -> Result<(), String> {
     if opts.cheap_collect {
         config = config.with_cheap_collect();
     }
+    let recorder: Arc<dyn Recorder> = match &opts.telemetry {
+        Some(path) => Arc::new(
+            JsonlRecorder::to_file(Path::new(path))
+                .map_err(|e| format!("--telemetry {path}: {e}"))?,
+        ),
+        None => Arc::new(NoopRecorder),
+    };
 
     println!(
         "protocol {} | n = {n} | adversary {} | seed {} | trials {}",
@@ -221,7 +240,9 @@ fn run(opts: &Options) -> Result<(), String> {
         let seed = opts.seed.wrapping_add(trial as u64 * 0x9E37);
         let ins = build_inputs(&opts.inputs, opts.n, m, seed)?;
         let mut adversary = build_adversary(&opts.adversary, n, seed)?;
-        let trial_config = if opts.trace && trial == 0 {
+        // Telemetry replays the trace, so recording must be on for every
+        // instrumented trial.
+        let trial_config = if (opts.trace && trial == 0) || recorder.enabled() {
             config.clone().with_trace()
         } else {
             config.clone()
@@ -229,6 +250,12 @@ fn run(opts: &Options) -> Result<(), String> {
         let outcome =
             harness::run_object(spec.as_ref(), &ins, adversary.as_mut(), seed, &trial_config)
                 .map_err(|e| format!("trial {trial}: {e}"))?;
+        observe::export_run(
+            seed,
+            outcome.trace.as_ref(),
+            &outcome.metrics,
+            recorder.as_ref(),
+        );
         if trial == 0 {
             println!("\ninputs : {ins:?}");
             let rendered: Vec<String> = outcome.outputs.iter().map(|d| d.to_string()).collect();
@@ -237,8 +264,10 @@ fn run(opts: &Options) -> Result<(), String> {
             if let Err(v) = properties::check_weak_consensus(&ins, &outcome.outputs) {
                 println!("WARNING: {v}");
             }
-            if let Some(trace) = &outcome.trace {
-                println!("\ntrace:\n{trace}");
+            if opts.trace {
+                if let Some(trace) = &outcome.trace {
+                    println!("\ntrace:\n{trace}");
+                }
             }
         }
         if outcome.agreed() {
@@ -266,6 +295,32 @@ fn run(opts: &Options) -> Result<(), String> {
             individual_work.iter().max().unwrap_or(&0),
         );
     }
+
+    recorder
+        .flush()
+        .map_err(|e| format!("flushing telemetry: {e}"))?;
+
+    let mean = |v: &[u64]| v.iter().map(|&x| x as f64).sum::<f64>() / v.len().max(1) as f64;
+    let mut summary = Obj::new();
+    summary
+        .str_field("ev", "simulate_summary")
+        .str_field("protocol", &spec.name())
+        .u64_field("n", n as u64)
+        .str_field("adversary", &opts.adversary)
+        .u64_field("seed", opts.seed)
+        .u64_field("trials", opts.trials as u64)
+        .u64_field("agreements", agreements as u64)
+        .u64_field("all_decided", decided as u64)
+        .f64_field("mean_total_work", mean(&total_work))
+        .f64_field("mean_individual_work", mean(&individual_work))
+        .u64_field(
+            "max_individual_work",
+            individual_work.iter().copied().max().unwrap_or(0),
+        );
+    if let Some(path) = &opts.telemetry {
+        summary.str_field("telemetry", path);
+    }
+    println!("{}", summary.finish());
     Ok(())
 }
 
@@ -389,5 +444,44 @@ mod tests {
     fn end_to_end_run() {
         let opts = parse(&["--protocol", "binary", "--n", "4", "--trials", "3"]).unwrap();
         run(&opts).unwrap();
+    }
+
+    #[test]
+    fn telemetry_flag_parses() {
+        let opts = parse(&["--telemetry", "/tmp/out.jsonl"]).unwrap();
+        assert_eq!(opts.telemetry.as_deref(), Some("/tmp/out.jsonl"));
+        assert!(parse(&["--telemetry"]).is_err());
+    }
+
+    #[test]
+    fn telemetry_run_writes_valid_jsonl() {
+        let path = std::env::temp_dir().join("simulate_telemetry_test.jsonl");
+        let opts = parse(&[
+            "--protocol",
+            "binary",
+            "--n",
+            "4",
+            "--trials",
+            "2",
+            "--seed",
+            "3",
+            "--telemetry",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        run(&opts).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(!lines.is_empty());
+        for line in &lines {
+            mc_telemetry::json::validate(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+        // One work_summary per trial, each preceded by its op events.
+        let summaries = lines
+            .iter()
+            .filter(|l| l.contains(r#""ev":"work_summary""#))
+            .count();
+        assert_eq!(summaries, 2);
+        std::fs::remove_file(&path).ok();
     }
 }

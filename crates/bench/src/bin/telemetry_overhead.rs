@@ -1,0 +1,173 @@
+//! Measures what telemetry costs: NoopRecorder (the default) versus a
+//! JsonlRecorder streaming every event, on both execution substrates.
+//!
+//! ```text
+//! telemetry_overhead [--iters <K>] [--out <path>]
+//! ```
+//!
+//! Writes a JSON report (default `BENCH_telemetry_overhead.json`) with
+//! mean wall-clock per run and the relative overhead. The sim pair also
+//! includes the cost of trace recording, which JSONL export requires; the
+//! runtime pair isolates the recorder itself.
+
+use std::io;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use mc_core::conciliator::WriteSchedule;
+use mc_core::protocol::ConsensusBuilder;
+use mc_quorums::BinaryScheme;
+use mc_runtime::{Consensus, ConsensusOptions};
+use mc_sim::adversary::RandomScheduler;
+use mc_sim::harness::{self, inputs};
+use mc_sim::{observe, EngineConfig};
+use mc_telemetry::{json::Obj, JsonlRecorder, NoopRecorder, Recorder};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const N: usize = 8;
+const M: u64 = 2;
+
+/// Mean nanoseconds per call of `f` over `iters` calls (after 3 warmups).
+fn time_ns(iters: u64, mut f: impl FnMut(u64)) -> f64 {
+    for i in 0..3 {
+        f(u64::MAX - i);
+    }
+    let start = Instant::now();
+    for i in 0..iters {
+        f(i);
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// One simulated consensus run; exports telemetry when `recorder` is live.
+fn sim_run(seed: u64, recorder: &dyn Recorder) -> u64 {
+    let spec = ConsensusBuilder::multivalued(M).build();
+    let ins = inputs::random(N, M, seed);
+    let config = if recorder.enabled() {
+        EngineConfig::default().with_trace()
+    } else {
+        EngineConfig::default()
+    };
+    let out = harness::run_object(&spec, &ins, &mut RandomScheduler::new(seed), seed, &config)
+        .expect("sim run");
+    observe::export_run(seed, out.trace.as_ref(), &out.metrics, recorder);
+    out.metrics.total_work()
+}
+
+/// One real-thread consensus round across `N` threads.
+fn runtime_run(seed: u64, recorder: Arc<dyn Recorder>) -> u64 {
+    let options = ConsensusOptions {
+        n: N,
+        scheme: Arc::new(BinaryScheme::new()),
+        schedule: WriteSchedule::impatient(),
+        fast_path: true,
+    };
+    let consensus = Arc::new(Consensus::with_recorder(options, recorder));
+    let handles: Vec<_> = (0..N as u64)
+        .map(|t| {
+            let c = Arc::clone(&consensus);
+            std::thread::spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(1_000).wrapping_add(t));
+                c.decide(t % 2, &mut rng)
+            })
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join().unwrap()).sum()
+}
+
+fn sink_recorder() -> Arc<dyn Recorder> {
+    Arc::new(JsonlRecorder::new(Box::new(io::sink())))
+}
+
+fn overhead_pct(base: f64, loaded: f64) -> f64 {
+    if base <= 0.0 {
+        0.0
+    } else {
+        (loaded - base) / base * 100.0
+    }
+}
+
+fn run(iters: u64, out_path: &str) -> Result<(), String> {
+    eprintln!("telemetry overhead: {iters} iters per config, n={N}");
+
+    let sim_noop = time_ns(iters, |i| {
+        std::hint::black_box(sim_run(i, &NoopRecorder));
+    });
+    let sim_jsonl = {
+        let recorder = sink_recorder();
+        time_ns(iters, |i| {
+            std::hint::black_box(sim_run(i, recorder.as_ref()));
+        })
+    };
+    let runtime_noop = {
+        let recorder: Arc<dyn Recorder> = Arc::new(NoopRecorder);
+        time_ns(iters, |i| {
+            std::hint::black_box(runtime_run(i, Arc::clone(&recorder)));
+        })
+    };
+    let runtime_jsonl = {
+        let recorder = sink_recorder();
+        time_ns(iters, |i| {
+            std::hint::black_box(runtime_run(i, Arc::clone(&recorder)));
+        })
+    };
+
+    let mut report = Obj::new();
+    report
+        .str_field("bench", "telemetry_overhead")
+        .u64_field("iters", iters)
+        .u64_field("n", N as u64)
+        .f64_field("sim_noop_ns", sim_noop)
+        .f64_field("sim_jsonl_ns", sim_jsonl)
+        .f64_field("sim_overhead_pct", overhead_pct(sim_noop, sim_jsonl))
+        .f64_field("runtime_noop_ns", runtime_noop)
+        .f64_field("runtime_jsonl_ns", runtime_jsonl)
+        .f64_field(
+            "runtime_overhead_pct",
+            overhead_pct(runtime_noop, runtime_jsonl),
+        );
+    let json = report.finish();
+    println!("{json}");
+    std::fs::write(out_path, format!("{json}\n"))
+        .map_err(|e| format!("writing {out_path}: {e}"))?;
+    eprintln!("report written to {out_path}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut iters = 200u64;
+    let mut out_path = "BENCH_telemetry_overhead.json".to_string();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--iters" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(v)) if v > 0 => iters = v,
+                _ => {
+                    eprintln!("--iters needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => {
+                    eprintln!("--out needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown option {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match run(iters, &out_path) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

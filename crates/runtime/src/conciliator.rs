@@ -1,9 +1,12 @@
 //! The impatient first-mover conciliator on real atomics.
 
+use std::sync::Arc;
+
 use mc_core::conciliator::WriteSchedule;
 use rand::{Rng, RngExt};
 
 use crate::register::AtomicRegister;
+use crate::telemetry::RuntimeTelemetry;
 
 /// Procedure ImpatientFirstMoverConciliator (§5.2) as a thread-safe object:
 /// one shared register, raced by threads with doubling write probabilities.
@@ -20,6 +23,7 @@ pub struct ImpatientConciliator {
     reg: AtomicRegister,
     n: usize,
     schedule: WriteSchedule,
+    telemetry: Option<Arc<RuntimeTelemetry>>,
 }
 
 impl ImpatientConciliator {
@@ -44,7 +48,15 @@ impl ImpatientConciliator {
             reg: AtomicRegister::new(),
             n,
             schedule,
+            telemetry: None,
         }
+    }
+
+    /// Reports rounds and probabilistic writes to `telemetry`.
+    #[must_use]
+    pub fn observed_by(mut self, telemetry: Arc<RuntimeTelemetry>) -> ImpatientConciliator {
+        self.telemetry = Some(telemetry);
+        self
     }
 
     /// Runs the conciliator: returns a value that equals every other
@@ -56,10 +68,18 @@ impl ImpatientConciliator {
         let mut k = 0u32;
         loop {
             if let Some(winner) = self.reg.read() {
+                if let Some(t) = &self.telemetry {
+                    t.on_propose_done(u64::from(k));
+                }
                 return winner;
             }
             let p = self.schedule.probability(k, self.n);
-            if rng.random_bool(p.get()) {
+            let landed = rng.random_bool(p.get());
+            if let Some(t) = &self.telemetry {
+                t.on_conciliator_round(u64::from(k), p.get());
+                t.on_prob_write(landed, p.get());
+            }
+            if landed {
                 self.reg.write(value);
             }
             k += 1;

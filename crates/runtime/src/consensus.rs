@@ -1,14 +1,17 @@
 //! The full consensus object on real threads.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use mc_core::conciliator::WriteSchedule;
 use mc_quorums::{BinaryScheme, BinomialScheme, QuorumScheme};
+use mc_telemetry::{Recorder, StageKind};
 use parking_lot::RwLock;
 use rand::Rng;
 
 use crate::conciliator::ImpatientConciliator;
 use crate::ratifier::AtomicRatifier;
+use crate::telemetry::RuntimeTelemetry;
 
 /// Configuration for a thread-runtime [`Consensus`] object.
 #[derive(Clone)]
@@ -55,6 +58,7 @@ enum Stage {
 pub struct Consensus {
     options: ConsensusOptions,
     stages: RwLock<Vec<Arc<Stage>>>,
+    telemetry: Arc<RuntimeTelemetry>,
 }
 
 impl Consensus {
@@ -78,13 +82,17 @@ impl Consensus {
     ///
     /// Panics if `n == 0` or `m < 2`.
     pub fn multivalued(n: usize, m: u64) -> Consensus {
+        Consensus::with_options(Consensus::multivalued_options(n, m))
+    }
+
+    pub(crate) fn multivalued_options(n: usize, m: u64) -> ConsensusOptions {
         assert!(m >= 2, "consensus needs at least 2 values");
-        Consensus::with_options(ConsensusOptions {
+        ConsensusOptions {
             n,
             scheme: Arc::new(BinomialScheme::for_capacity(m).expect("m ≥ 2")),
             schedule: WriteSchedule::impatient(),
             fast_path: true,
-        })
+        }
     }
 
     /// Consensus with explicit options.
@@ -93,11 +101,38 @@ impl Consensus {
     ///
     /// Panics if `options.n == 0`.
     pub fn with_options(options: ConsensusOptions) -> Consensus {
+        let telemetry = Arc::new(RuntimeTelemetry::noop(options.n));
+        Consensus::with_telemetry(options, telemetry)
+    }
+
+    /// Consensus with explicit options, emitting telemetry events to
+    /// `recorder`. Counters are collected either way; see
+    /// [`telemetry`](Consensus::telemetry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options.n == 0`.
+    pub fn with_recorder(options: ConsensusOptions, recorder: Arc<dyn Recorder>) -> Consensus {
+        let telemetry = Arc::new(RuntimeTelemetry::new(options.n, recorder));
+        Consensus::with_telemetry(options, telemetry)
+    }
+
+    pub(crate) fn with_telemetry(
+        options: ConsensusOptions,
+        telemetry: Arc<RuntimeTelemetry>,
+    ) -> Consensus {
         assert!(options.n > 0, "need at least one thread");
         Consensus {
             options,
             stages: RwLock::new(Vec::new()),
+            telemetry,
         }
+    }
+
+    /// Live metrics for this object: decide calls, fast-path hit rate,
+    /// rounds-to-decide and latency histograms, probabilistic-write counts.
+    pub fn telemetry(&self) -> &RuntimeTelemetry {
+        &self.telemetry
     }
 
     /// Number of distinct proposal values supported.
@@ -130,10 +165,10 @@ impl Consensus {
                 &self.options.scheme,
             )))
         } else {
-            Stage::Conciliator(ImpatientConciliator::with_schedule(
-                self.options.n,
-                self.options.schedule,
-            ))
+            Stage::Conciliator(
+                ImpatientConciliator::with_schedule(self.options.n, self.options.schedule)
+                    .observed_by(Arc::clone(&self.telemetry)),
+            )
         }
     }
 
@@ -150,18 +185,35 @@ impl Consensus {
             "value {value} exceeds consensus capacity {}",
             self.capacity()
         );
+        self.telemetry.on_decide_start();
+        let start = Instant::now();
+        let fast_prefix = if self.options.fast_path { 2 } else { 0 };
         let mut current = value;
         let mut ix = 0;
         loop {
             match &*self.stage(ix) {
                 Stage::Ratifier(r) => {
+                    self.telemetry
+                        .on_stage_entered(ix as u64, StageKind::Ratifier);
                     let d = r.ratify(current);
+                    self.telemetry
+                        .on_ratifier_verdict(ix as u64, d.is_decided(), d.value());
                     if d.is_decided() {
+                        let latency_ns =
+                            u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        self.telemetry.on_decided(
+                            d.value(),
+                            ix as u64,
+                            ix < fast_prefix,
+                            latency_ns,
+                        );
                         return d.value();
                     }
                     current = d.value();
                 }
                 Stage::Conciliator(c) => {
+                    self.telemetry
+                        .on_stage_entered(ix as u64, StageKind::Conciliator);
                     current = c.propose(current, rng);
                 }
             }

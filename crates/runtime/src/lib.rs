@@ -44,6 +44,7 @@ mod derived;
 mod log;
 mod ratifier;
 mod register;
+mod telemetry;
 mod typed;
 
 pub use conciliator::ImpatientConciliator;
@@ -52,4 +53,5 @@ pub use derived::{Election, TestAndSet};
 pub use log::ReplicatedLog;
 pub use ratifier::AtomicRatifier;
 pub use register::AtomicRegister;
+pub use telemetry::RuntimeTelemetry;
 pub use typed::{TypedConsensus, ValueCode};

@@ -1,11 +1,13 @@
 //! A replicated log: the standard application built from repeated
 //! consensus.
 
+use mc_telemetry::Recorder;
 use parking_lot::RwLock;
 use rand::Rng;
 use std::sync::Arc;
 
 use crate::consensus::Consensus;
+use crate::telemetry::RuntimeTelemetry;
 
 /// An append-only totally-ordered log agreed on by up to `n` threads, one
 /// consensus instance per slot (slots materialize lazily).
@@ -46,6 +48,9 @@ pub struct ReplicatedLog {
     slots: RwLock<Vec<Arc<Consensus>>>,
     /// Decided entries, filled in slot order as threads learn them.
     learned: RwLock<Vec<Option<u64>>>,
+    /// Shared by every slot's consensus instance, so the log reports one
+    /// aggregate view (plus append/slot-contention counts of its own).
+    telemetry: Arc<RuntimeTelemetry>,
 }
 
 impl ReplicatedLog {
@@ -55,6 +60,19 @@ impl ReplicatedLog {
     ///
     /// Panics if `n == 0` or `capacity < 2`.
     pub fn new(n: usize, capacity: u64) -> ReplicatedLog {
+        ReplicatedLog::with_telemetry(n, capacity, Arc::new(RuntimeTelemetry::noop(n)))
+    }
+
+    /// Creates a log whose slots emit telemetry events to `recorder`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `capacity < 2`.
+    pub fn with_recorder(n: usize, capacity: u64, recorder: Arc<dyn Recorder>) -> ReplicatedLog {
+        ReplicatedLog::with_telemetry(n, capacity, Arc::new(RuntimeTelemetry::new(n, recorder)))
+    }
+
+    fn with_telemetry(n: usize, capacity: u64, telemetry: Arc<RuntimeTelemetry>) -> ReplicatedLog {
         assert!(n > 0, "need at least one replica");
         assert!(capacity >= 2, "need at least two command codes");
         ReplicatedLog {
@@ -62,6 +80,7 @@ impl ReplicatedLog {
             capacity,
             slots: RwLock::new(Vec::new()),
             learned: RwLock::new(Vec::new()),
+            telemetry,
         }
     }
 
@@ -70,13 +89,22 @@ impl ReplicatedLog {
         self.capacity
     }
 
+    /// Aggregate metrics across the log and every slot's consensus:
+    /// appends, slot conflicts, decide histograms, prob-write counts.
+    pub fn telemetry(&self) -> &RuntimeTelemetry {
+        &self.telemetry
+    }
+
     fn slot(&self, ix: usize) -> Arc<Consensus> {
         if let Some(slot) = self.slots.read().get(ix) {
             return Arc::clone(slot);
         }
         let mut slots = self.slots.write();
         while slots.len() <= ix {
-            slots.push(Arc::new(Consensus::multivalued(self.n, self.capacity)));
+            slots.push(Arc::new(Consensus::with_telemetry(
+                Consensus::multivalued_options(self.n, self.capacity),
+                Arc::clone(&self.telemetry),
+            )));
         }
         Arc::clone(&slots[ix])
     }
@@ -105,11 +133,13 @@ impl ReplicatedLog {
             "command {command} exceeds capacity {}",
             self.capacity
         );
-        let mut ix = self.first_unknown();
+        let start_ix = self.first_unknown();
+        let mut ix = start_ix;
         loop {
             let decided = self.slot(ix).decide(command, rng);
             self.learn(ix, decided);
             if decided == command {
+                self.telemetry.on_append((ix - start_ix + 1) as u64);
                 return ix;
             }
             ix += 1;

@@ -1,0 +1,350 @@
+//! Telemetry for the thread runtime: one shared handle per consensus
+//! object (or per replicated log, covering all its slots).
+//!
+//! Counters and histograms are always on — they are relaxed atomics, cheap
+//! next to real register contention — while structured [`TelemetryEvent`]
+//! emission is gated on the attached [`Recorder`]: with the default
+//! [`NoopRecorder`] the `events_on` flag is `false` and no event is ever
+//! constructed.
+
+use std::sync::Arc;
+
+use mc_telemetry::{
+    thread_shard, Counter, Gauge, Histogram, NoopRecorder, Recorder, ShardedCounter, Snapshot,
+    StageKind, TelemetryEvent,
+};
+
+/// Aggregated metrics plus an event sink for runtime consensus objects.
+///
+/// Obtain one from [`Consensus::telemetry`](crate::Consensus::telemetry) or
+/// [`ReplicatedLog::telemetry`](crate::ReplicatedLog::telemetry); attach a
+/// real recorder with the `with_recorder` constructors.
+pub struct RuntimeTelemetry {
+    recorder: Arc<dyn Recorder>,
+    events_on: bool,
+    decide_calls: Counter,
+    decisions: Counter,
+    fast_path_hits: Counter,
+    stage_entries: ShardedCounter,
+    rounds_to_decide: Histogram,
+    decide_latency_ns: Histogram,
+    conciliator_rounds: Histogram,
+    max_conciliator_round: Gauge,
+    prob_writes_attempted: ShardedCounter,
+    prob_writes_performed: ShardedCounter,
+    appends: Counter,
+    slot_conflicts: Counter,
+}
+
+impl std::fmt::Debug for RuntimeTelemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RuntimeTelemetry")
+            .field("events_on", &self.events_on)
+            .field("decide_calls", &self.decide_calls.get())
+            .field("decisions", &self.decisions.get())
+            .finish_non_exhaustive()
+    }
+}
+
+impl RuntimeTelemetry {
+    /// Telemetry for up to `n` processes, emitting events to `recorder`.
+    pub fn new(n: usize, recorder: Arc<dyn Recorder>) -> RuntimeTelemetry {
+        let events_on = recorder.enabled();
+        RuntimeTelemetry {
+            recorder,
+            events_on,
+            decide_calls: Counter::new(),
+            decisions: Counter::new(),
+            fast_path_hits: Counter::new(),
+            stage_entries: ShardedCounter::new(n),
+            rounds_to_decide: Histogram::new(),
+            decide_latency_ns: Histogram::new(),
+            conciliator_rounds: Histogram::new(),
+            max_conciliator_round: Gauge::new(),
+            prob_writes_attempted: ShardedCounter::new(n),
+            prob_writes_performed: ShardedCounter::new(n),
+            appends: Counter::new(),
+            slot_conflicts: Counter::new(),
+        }
+    }
+
+    /// Telemetry with the do-nothing recorder (counters still live).
+    pub fn noop(n: usize) -> RuntimeTelemetry {
+        RuntimeTelemetry::new(n, Arc::new(NoopRecorder))
+    }
+
+    /// Whether structured events are being recorded.
+    pub fn events_on(&self) -> bool {
+        self.events_on
+    }
+
+    /// The attached recorder.
+    pub fn recorder(&self) -> &Arc<dyn Recorder> {
+        &self.recorder
+    }
+
+    /// Flushes the attached recorder.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the recorder's sink.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.recorder.flush()
+    }
+
+    #[inline]
+    fn pid() -> u64 {
+        thread_shard() as u64
+    }
+
+    // --- emission hooks (crate-internal) ---
+
+    #[inline]
+    pub(crate) fn on_decide_start(&self) {
+        self.decide_calls.incr();
+    }
+
+    #[inline]
+    pub(crate) fn on_stage_entered(&self, stage: u64, kind: StageKind) {
+        self.stage_entries.add_local(1);
+        if self.events_on {
+            self.recorder.record(&TelemetryEvent::StageEntered {
+                pid: Self::pid(),
+                stage,
+                kind,
+            });
+        }
+    }
+
+    #[inline]
+    pub(crate) fn on_ratifier_verdict(&self, stage: u64, decided: bool, value: u64) {
+        if self.events_on {
+            self.recorder.record(&TelemetryEvent::RatifierVerdict {
+                pid: Self::pid(),
+                stage,
+                decided,
+                value,
+            });
+        }
+    }
+
+    #[inline]
+    pub(crate) fn on_decided(&self, value: u64, stage: u64, fast_path: bool, latency_ns: u64) {
+        self.decisions.incr();
+        self.rounds_to_decide.record(stage);
+        self.decide_latency_ns.record(latency_ns);
+        if fast_path {
+            self.fast_path_hits.incr();
+        }
+        if self.events_on {
+            let pid = Self::pid();
+            if fast_path {
+                self.recorder
+                    .record(&TelemetryEvent::FastPathHit { pid, stage });
+            }
+            self.recorder.record(&TelemetryEvent::Decided {
+                pid,
+                value,
+                stage,
+                latency_ns,
+            });
+        }
+    }
+
+    #[inline]
+    pub(crate) fn on_conciliator_round(&self, round: u64, probability: f64) {
+        self.max_conciliator_round.record_max(round);
+        if self.events_on {
+            self.recorder.record(&TelemetryEvent::ConciliatorRound {
+                pid: Self::pid(),
+                round,
+                probability,
+            });
+        }
+    }
+
+    #[inline]
+    pub(crate) fn on_prob_write(&self, performed: bool, probability: f64) {
+        self.prob_writes_attempted.add_local(1);
+        if performed {
+            self.prob_writes_performed.add_local(1);
+        }
+        if self.events_on {
+            self.recorder.record(&TelemetryEvent::ProbWrite {
+                pid: Self::pid(),
+                performed,
+                probability,
+            });
+        }
+    }
+
+    #[inline]
+    pub(crate) fn on_propose_done(&self, rounds: u64) {
+        self.conciliator_rounds.record(rounds);
+    }
+
+    #[inline]
+    pub(crate) fn on_append(&self, slots_walked: u64) {
+        self.appends.incr();
+        // Every slot beyond the first means some other replica's command won
+        // the slot this one was racing for.
+        self.slot_conflicts.add(slots_walked.saturating_sub(1));
+    }
+
+    // --- accessors ---
+
+    /// `decide` calls started.
+    pub fn decide_calls(&self) -> u64 {
+        self.decide_calls.get()
+    }
+
+    /// `decide` calls completed.
+    pub fn decisions(&self) -> u64 {
+        self.decisions.get()
+    }
+
+    /// Decisions that never left the leading ratifier pair.
+    pub fn fast_path_hits(&self) -> u64 {
+        self.fast_path_hits.get()
+    }
+
+    /// Fraction of decisions that used only the fast path (0 when none).
+    pub fn fast_path_rate(&self) -> f64 {
+        let decided = self.decisions();
+        if decided == 0 {
+            0.0
+        } else {
+            self.fast_path_hits() as f64 / decided as f64
+        }
+    }
+
+    /// Total stage entries across all threads.
+    pub fn stage_entries(&self) -> u64 {
+        self.stage_entries.total()
+    }
+
+    /// Distribution of the stage index at which calls decided.
+    pub fn rounds_to_decide(&self) -> &Histogram {
+        &self.rounds_to_decide
+    }
+
+    /// Distribution of wall-clock `decide` latency in nanoseconds.
+    pub fn decide_latency_ns(&self) -> &Histogram {
+        &self.decide_latency_ns
+    }
+
+    /// Distribution of probability-doubling rounds per conciliator call.
+    pub fn conciliator_rounds(&self) -> &Histogram {
+        &self.conciliator_rounds
+    }
+
+    /// Largest probability-doubling round index any call reached.
+    pub fn max_conciliator_round(&self) -> u64 {
+        self.max_conciliator_round.max()
+    }
+
+    /// Probabilistic writes attempted (coin flips).
+    pub fn prob_writes_attempted(&self) -> u64 {
+        self.prob_writes_attempted.total()
+    }
+
+    /// Probabilistic writes whose coin landed.
+    pub fn prob_writes_performed(&self) -> u64 {
+        self.prob_writes_performed.total()
+    }
+
+    /// Replicated-log appends completed.
+    pub fn appends(&self) -> u64 {
+        self.appends.get()
+    }
+
+    /// Slots lost to another replica's command before an append landed.
+    pub fn slot_conflicts(&self) -> u64 {
+        self.slot_conflicts.get()
+    }
+
+    /// A frozen copy of every metric, ready for text/JSON/Prometheus
+    /// export.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::new();
+        snap.counter("decide_calls", self.decide_calls())
+            .counter("decisions", self.decisions())
+            .counter("fast_path_hits", self.fast_path_hits())
+            .counter("stage_entries", self.stage_entries())
+            .counter("prob_writes_attempted", self.prob_writes_attempted())
+            .counter("prob_writes_performed", self.prob_writes_performed())
+            .counter("appends", self.appends())
+            .counter("slot_conflicts", self.slot_conflicts())
+            .gauge(
+                "max_conciliator_round",
+                self.max_conciliator_round.get(),
+                self.max_conciliator_round(),
+            )
+            .histogram("rounds_to_decide", self.rounds_to_decide.snapshot())
+            .histogram("decide_latency_ns", self.decide_latency_ns.snapshot())
+            .histogram("conciliator_rounds", self.conciliator_rounds.snapshot());
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_telemetry::AggregatingRecorder;
+
+    #[test]
+    fn noop_telemetry_still_counts() {
+        let t = RuntimeTelemetry::noop(4);
+        assert!(!t.events_on());
+        t.on_decide_start();
+        t.on_stage_entered(0, StageKind::Ratifier);
+        t.on_prob_write(true, 0.5);
+        t.on_decided(1, 2, false, 500);
+        assert_eq!(t.decide_calls(), 1);
+        assert_eq!(t.decisions(), 1);
+        assert_eq!(t.stage_entries(), 1);
+        assert_eq!(t.prob_writes_attempted(), 1);
+        assert_eq!(t.prob_writes_performed(), 1);
+        assert_eq!(t.fast_path_hits(), 0);
+        assert_eq!(t.rounds_to_decide().max(), 2);
+    }
+
+    #[test]
+    fn events_flow_to_recorder() {
+        let agg = Arc::new(AggregatingRecorder::new());
+        let t = RuntimeTelemetry::new(2, Arc::clone(&agg) as Arc<dyn Recorder>);
+        assert!(t.events_on());
+        t.on_stage_entered(0, StageKind::Conciliator);
+        t.on_conciliator_round(3, 0.25);
+        t.on_prob_write(false, 0.25);
+        t.on_decided(0, 4, true, 1_000);
+        assert_eq!(agg.stage_entries(), 1);
+        assert_eq!(agg.conciliator_rounds(), 1);
+        assert_eq!(agg.max_round(), 3);
+        assert_eq!(agg.prob_writes_attempted(), 1);
+        assert_eq!(agg.prob_writes_performed(), 0);
+        assert_eq!(agg.fast_path_hits(), 1);
+        assert_eq!(agg.decisions(), 1);
+    }
+
+    #[test]
+    fn append_tracking_counts_conflicts() {
+        let t = RuntimeTelemetry::noop(2);
+        t.on_append(1);
+        t.on_append(3);
+        assert_eq!(t.appends(), 2);
+        assert_eq!(t.slot_conflicts(), 2);
+    }
+
+    #[test]
+    fn snapshot_covers_the_metric_set() {
+        let t = RuntimeTelemetry::noop(2);
+        t.on_decide_start();
+        t.on_decided(1, 1, true, 100);
+        let snap = t.snapshot();
+        assert_eq!(snap.counter_value("decide_calls"), Some(1));
+        assert_eq!(snap.counter_value("fast_path_hits"), Some(1));
+        assert_eq!(snap.histogram_value("rounds_to_decide").unwrap().count, 1);
+        mc_telemetry::json::validate(&snap.to_json()).unwrap();
+    }
+}

@@ -53,6 +53,7 @@ mod engine;
 pub mod harness;
 mod memory;
 mod metrics;
+pub mod observe;
 pub mod sched;
 pub mod synth;
 pub mod testutil;

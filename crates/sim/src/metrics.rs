@@ -45,12 +45,13 @@ impl fmt::Display for WorkMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "total={} individual={} probwrites={}/{} registers={}",
+            "total={} individual={} probwrites={}/{} registers={}/{}",
             self.total_work(),
             self.individual_work(),
             self.prob_writes_performed,
             self.prob_writes_attempted,
             self.registers_allocated,
+            self.registers_touched,
         )
     }
 }
@@ -83,9 +84,10 @@ mod tests {
         m.prob_writes_attempted = 4;
         m.prob_writes_performed = 1;
         m.registers_allocated = 3;
+        m.registers_touched = 2;
         assert_eq!(
             m.to_string(),
-            "total=3 individual=2 probwrites=1/4 registers=3"
+            "total=3 individual=2 probwrites=1/4 registers=3/2"
         );
     }
 }

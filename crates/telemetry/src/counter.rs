@@ -1,0 +1,262 @@
+//! Lock-free counters and gauges.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// A single monotonically increasing counter.
+///
+/// All operations are relaxed atomics: counts are exact because every
+/// increment lands, but cross-counter reads are not a consistent snapshot
+/// (nor do they need to be — telemetry is read after the fact or
+/// approximately).
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter starting at zero.
+    pub const fn new() -> Counter {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current count.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can move both ways, with a running maximum.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge starting at zero.
+    pub const fn new() -> Gauge {
+        Gauge {
+            value: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the current value (also advances the maximum).
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Advances the current value to `v` if it is larger.
+    #[inline]
+    pub fn record_max(&self, v: u64) {
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// The largest value ever set or recorded.
+    #[inline]
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+}
+
+/// One cache line per shard so concurrent writers never false-share.
+///
+/// 128 bytes covers the common 64-byte line plus adjacent-line prefetchers
+/// (the same padding crossbeam uses on x86).
+#[derive(Debug, Default)]
+#[repr(align(128))]
+struct PaddedCounter {
+    value: AtomicU64,
+}
+
+/// A counter sharded across cache-line-padded cells, one per process id,
+/// so the consensus hot path never contends on a shared line.
+///
+/// `add(pid, n)` touches only shard `pid % shards`; [`total`] sums all
+/// shards. With one shard per participating thread this is contention-free
+/// in the common case.
+///
+/// [`total`]: ShardedCounter::total
+#[derive(Debug)]
+pub struct ShardedCounter {
+    shards: Vec<PaddedCounter>,
+}
+
+impl ShardedCounter {
+    /// A counter with `shards` cells (at least one).
+    pub fn new(shards: usize) -> ShardedCounter {
+        let shards = shards.max(1);
+        ShardedCounter {
+            shards: (0..shards).map(|_| PaddedCounter::default()).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Adds `n` to the shard owned by `pid`.
+    #[inline]
+    pub fn add(&self, pid: usize, n: u64) {
+        self.shards[pid % self.shards.len()]
+            .value
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one to the shard owned by `pid`.
+    #[inline]
+    pub fn incr(&self, pid: usize) {
+        self.add(pid, 1);
+    }
+
+    /// Adds `n` to the calling thread's shard (for call sites that have no
+    /// process id, e.g. library code reached from arbitrary threads).
+    #[inline]
+    pub fn add_local(&self, n: u64) {
+        self.add(thread_shard(), n);
+    }
+
+    /// The count in `pid`'s shard.
+    pub fn shard(&self, pid: usize) -> u64 {
+        self.shards[pid % self.shards.len()]
+            .value
+            .load(Ordering::Relaxed)
+    }
+
+    /// The sum over all shards.
+    pub fn total(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.value.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Per-shard counts, indexed by shard.
+    pub fn per_shard(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.value.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// The largest single-shard count (per-process "individual work" when
+    /// shards map 1:1 to processes).
+    pub fn max_shard(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.value.load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+static NEXT_THREAD_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static THREAD_SHARD: usize = NEXT_THREAD_SHARD.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A small dense id for the calling thread, assigned on first use.
+///
+/// Used to pick a [`ShardedCounter`] shard when no process id is in scope;
+/// ids increase by spawn order, so the first `n` threads get distinct
+/// shards in an `n`-shard counter.
+pub fn thread_shard() -> usize {
+    THREAD_SHARD.with(|s| *s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn gauge_tracks_max() {
+        let g = Gauge::new();
+        g.set(7);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+        assert_eq!(g.max(), 7);
+        g.record_max(10);
+        assert_eq!(g.max(), 10);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn sharded_counter_sums_shards() {
+        let c = ShardedCounter::new(4);
+        c.add(0, 1);
+        c.add(1, 2);
+        c.add(5, 10); // wraps to shard 1
+        assert_eq!(c.shard(1), 12);
+        assert_eq!(c.total(), 13);
+        assert_eq!(c.max_shard(), 12);
+        assert_eq!(c.per_shard(), vec![1, 12, 0, 0]);
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let c = ShardedCounter::new(0);
+        c.add(9, 3);
+        assert_eq!(c.total(), 3);
+        assert_eq!(c.shards(), 1);
+    }
+
+    #[test]
+    fn concurrent_increments_all_land() {
+        let c = Arc::new(ShardedCounter::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|pid| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.incr(pid);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.total(), 80_000);
+    }
+
+    #[test]
+    fn thread_shards_are_distinct_across_threads() {
+        let a = thread_shard();
+        let b = std::thread::spawn(thread_shard).join().unwrap();
+        assert_ne!(a, b);
+    }
+}

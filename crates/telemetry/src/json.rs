@@ -1,0 +1,371 @@
+//! Hand-rolled JSON: a tiny writer and validator.
+//!
+//! The workspace stays registry-independent (no serde), so events and
+//! snapshots are rendered by this module. Output is plain UTF-8 JSON with
+//! escaped strings and no trailing separators; the [`validate`] parser is
+//! the test oracle for "every line the recorder writes is valid JSON".
+
+use std::fmt::Write as _;
+
+/// Appends `s` to `out` as a JSON string literal (with quotes).
+pub fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// An in-progress JSON object, rendered field by field.
+///
+/// ```
+/// let mut obj = mc_telemetry::json::Obj::new();
+/// obj.str_field("ev", "decided").u64_field("pid", 3);
+/// assert_eq!(obj.finish(), r#"{"ev":"decided","pid":3}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct Obj {
+    buf: String,
+    any: bool,
+}
+
+impl Obj {
+    /// Starts an empty object.
+    pub fn new() -> Obj {
+        Obj {
+            buf: String::from("{"),
+            any: false,
+        }
+    }
+
+    fn key(&mut self, key: &str) -> &mut Self {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+        write_escaped(&mut self.buf, key);
+        self.buf.push(':');
+        self
+    }
+
+    /// Adds a string field.
+    pub fn str_field(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        write_escaped(&mut self.buf, value);
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64_field(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Adds a float field (`null` for non-finite values).
+    pub fn f64_field(&mut self, key: &str, value: f64) -> &mut Self {
+        self.key(key);
+        if value.is_finite() {
+            // `{:?}` keeps a decimal point or exponent so the value reads
+            // back as a float.
+            let _ = write!(self.buf, "{value:?}");
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool_field(&mut self, key: &str, value: bool) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a field whose value is already-rendered JSON.
+    pub fn raw_field(&mut self, key: &str, json: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Adds an array of unsigned integers.
+    pub fn u64_array_field(&mut self, key: &str, values: &[u64]) -> &mut Self {
+        self.key(key);
+        self.buf.push('[');
+        for (i, v) in values.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            let _ = write!(self.buf, "{v}");
+        }
+        self.buf.push(']');
+        self
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Checks that `input` is exactly one valid JSON value.
+///
+/// # Errors
+///
+/// A human-readable description of the first syntax error, with its byte
+/// offset.
+pub fn validate(input: &str) -> Result<(), String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", b as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos),
+        Some(b't') => parse_literal(bytes, pos, b"true"),
+        Some(b'f') => parse_literal(bytes, pos, b"false"),
+        Some(b'n') => parse_literal(bytes, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+        Some(c) => Err(format!("unexpected byte {:?} at {}", *c as char, *pos)),
+        None => Err(format!("unexpected end of input at byte {}", *pos)),
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    expect(bytes, pos, b'{')?;
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        skip_ws(bytes, pos);
+        parse_value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    expect(bytes, pos, b'[')?;
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        parse_value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    expect(bytes, pos, b'"')?;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            match bytes.get(*pos) {
+                                Some(h) if h.is_ascii_hexdigit() => *pos += 1,
+                                _ => return Err(format!("bad \\u escape at byte {}", *pos)),
+                            }
+                        }
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+            }
+            0x00..=0x1F => return Err(format!("unescaped control byte at {}", *pos)),
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
+    if bytes[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits_start = *pos;
+    while matches!(bytes.get(*pos), Some(d) if d.is_ascii_digit()) {
+        *pos += 1;
+    }
+    if *pos == digits_start {
+        return Err(format!("expected digits at byte {}", *pos));
+    }
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        let frac_start = *pos;
+        while matches!(bytes.get(*pos), Some(d) if d.is_ascii_digit()) {
+            *pos += 1;
+        }
+        if *pos == frac_start {
+            return Err(format!("expected fraction digits at byte {}", *pos));
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        let exp_start = *pos;
+        while matches!(bytes.get(*pos), Some(d) if d.is_ascii_digit()) {
+            *pos += 1;
+        }
+        if *pos == exp_start {
+            return Err(format!("expected exponent digits at byte {}", *pos));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objects_render_compactly() {
+        let mut obj = Obj::new();
+        obj.str_field("ev", "op")
+            .u64_field("pid", 2)
+            .bool_field("ok", true)
+            .f64_field("p", 0.5)
+            .u64_array_field("per", &[1, 2, 3]);
+        let json = obj.finish();
+        assert_eq!(
+            json,
+            r#"{"ev":"op","pid":2,"ok":true,"p":0.5,"per":[1,2,3]}"#
+        );
+        validate(&json).unwrap();
+    }
+
+    #[test]
+    fn empty_object_is_valid() {
+        let json = Obj::new().finish();
+        assert_eq!(json, "{}");
+        validate(&json).unwrap();
+    }
+
+    #[test]
+    fn strings_escape() {
+        let mut out = String::new();
+        write_escaped(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, r#""a\"b\\c\nd\u0001""#);
+        validate(&out).unwrap();
+    }
+
+    #[test]
+    fn floats_read_back_as_floats() {
+        let mut obj = Obj::new();
+        obj.f64_field("x", 2.0).f64_field("bad", f64::NAN);
+        let json = obj.finish();
+        assert_eq!(json, r#"{"x":2.0,"bad":null}"#);
+        validate(&json).unwrap();
+    }
+
+    #[test]
+    fn validator_accepts_json() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            "-1.5e-3",
+            r#"{"a":[1,{"b":"c"},null]}"#,
+            "  [1, 2]  ",
+        ] {
+            validate(ok).unwrap_or_else(|e| panic!("{ok}: {e}"));
+        }
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        for bad in [
+            "",
+            "{",
+            "{]",
+            r#"{"a"}"#,
+            "[1,]",
+            "01x",
+            r#""unterminated"#,
+            "{} trailing",
+            "1.",
+            "nul",
+        ] {
+            assert!(validate(bad).is_err(), "{bad} unexpectedly valid");
+        }
+    }
+}

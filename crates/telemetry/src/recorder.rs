@@ -1,0 +1,734 @@
+//! Structured telemetry events and the [`Recorder`] sink trait.
+//!
+//! One event schema serves both execution substrates: `mc-runtime` emits
+//! stage/round/decision events from real threads, and `mc-sim` replays its
+//! step-level trace through [`TelemetryEvent::Op`] plus a final
+//! [`TelemetryEvent::WorkSummary`]. Because both speak the same schema, an
+//! [`AggregatingRecorder`] can fold either stream back into counts and be
+//! compared against the substrate's own accounting.
+
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::counter::{Counter, Gauge};
+use crate::histogram::Histogram;
+use crate::json::Obj;
+
+/// Which kind of stage a process entered in the alternating
+/// ratifier/conciliator pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageKind {
+    /// A ratifier stage (safety: detect and confirm agreement).
+    Ratifier,
+    /// A conciliator stage (liveness: drive processes toward agreement).
+    Conciliator,
+}
+
+impl StageKind {
+    /// Stable lowercase name used in JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StageKind::Ratifier => "ratifier",
+            StageKind::Conciliator => "conciliator",
+        }
+    }
+}
+
+/// Classification of a single shared-memory operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpClass {
+    /// Read one register.
+    Read,
+    /// Write one register.
+    Write,
+    /// Probabilistic write (the coin decides whether it lands).
+    ProbWrite,
+    /// Collect (read every register of an array).
+    Collect,
+}
+
+impl OpClass {
+    /// Stable lowercase name used in JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OpClass::Read => "read",
+            OpClass::Write => "write",
+            OpClass::ProbWrite => "prob_write",
+            OpClass::Collect => "collect",
+        }
+    }
+}
+
+/// A structured telemetry event.
+///
+/// `pid` is the emitting process id where one is in scope, or a dense
+/// per-thread id ([`crate::thread_shard`]) for runtime call sites that
+/// only know their thread.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TelemetryEvent {
+    /// A process entered a stage of the consensus pipeline.
+    StageEntered {
+        /// Emitting process.
+        pid: u64,
+        /// Zero-based stage index.
+        stage: u64,
+        /// Ratifier or conciliator.
+        kind: StageKind,
+    },
+    /// The fast path (leading ratifier pair) decided without any
+    /// randomized stage.
+    FastPathHit {
+        /// Emitting process.
+        pid: u64,
+        /// Stage index at which the fast path hit.
+        stage: u64,
+    },
+    /// A conciliator completed round `round` of probability doubling.
+    ConciliatorRound {
+        /// Emitting process.
+        pid: u64,
+        /// Zero-based round index `k`.
+        round: u64,
+        /// Write probability used this round.
+        probability: f64,
+    },
+    /// A probabilistic write was attempted (and possibly performed).
+    ProbWrite {
+        /// Emitting process.
+        pid: u64,
+        /// Whether the coin came up and the write landed.
+        performed: bool,
+        /// Probability the coin was flipped with.
+        probability: f64,
+    },
+    /// A ratifier returned its verdict.
+    RatifierVerdict {
+        /// Emitting process.
+        pid: u64,
+        /// Zero-based stage index.
+        stage: u64,
+        /// Whether the ratifier decided.
+        decided: bool,
+        /// The (possibly adjusted) preference leaving the stage.
+        value: u64,
+    },
+    /// A process decided.
+    Decided {
+        /// Emitting process.
+        pid: u64,
+        /// Decided value.
+        value: u64,
+        /// Stage index at which the decision happened.
+        stage: u64,
+        /// Wall-clock latency of the whole `decide` call, nanoseconds.
+        latency_ns: u64,
+    },
+    /// One simulated shared-memory operation (from `mc-sim`'s trace).
+    Op {
+        /// Simulation step at which the operation ran.
+        step: u64,
+        /// Emitting process.
+        pid: u64,
+        /// Operation class.
+        class: OpClass,
+        /// For [`OpClass::ProbWrite`]: whether the write landed.
+        /// `true` for every other class.
+        performed: bool,
+    },
+    /// End-of-run totals (mirrors `mc-sim`'s `WorkMetrics`).
+    WorkSummary {
+        /// Seed the run was driven with.
+        seed: u64,
+        /// Total operations across all processes.
+        total_work: u64,
+        /// Maximum operations by any single process.
+        individual_work: u64,
+        /// Probabilistic writes attempted.
+        prob_writes_attempted: u64,
+        /// Probabilistic writes that landed.
+        prob_writes_performed: u64,
+        /// Registers allocated.
+        registers_allocated: u64,
+        /// Registers written at least once.
+        registers_touched: u64,
+        /// Operations per process, indexed by pid.
+        per_process: Vec<u64>,
+    },
+}
+
+impl TelemetryEvent {
+    /// Stable event name (the `"ev"` field of the JSON rendering).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TelemetryEvent::StageEntered { .. } => "stage_entered",
+            TelemetryEvent::FastPathHit { .. } => "fast_path_hit",
+            TelemetryEvent::ConciliatorRound { .. } => "conciliator_round",
+            TelemetryEvent::ProbWrite { .. } => "prob_write",
+            TelemetryEvent::RatifierVerdict { .. } => "ratifier_verdict",
+            TelemetryEvent::Decided { .. } => "decided",
+            TelemetryEvent::Op { .. } => "op",
+            TelemetryEvent::WorkSummary { .. } => "work_summary",
+        }
+    }
+
+    /// Renders the event as one JSON object (no trailing newline).
+    ///
+    /// `seq` is an optional monotone sequence number stamped by the
+    /// recorder so consumers can detect truncated streams.
+    pub fn to_json(&self, seq: Option<u64>) -> String {
+        let mut obj = Obj::new();
+        obj.str_field("ev", self.name());
+        if let Some(seq) = seq {
+            obj.u64_field("seq", seq);
+        }
+        match self {
+            TelemetryEvent::StageEntered { pid, stage, kind } => {
+                obj.u64_field("pid", *pid)
+                    .u64_field("stage", *stage)
+                    .str_field("kind", kind.as_str());
+            }
+            TelemetryEvent::FastPathHit { pid, stage } => {
+                obj.u64_field("pid", *pid).u64_field("stage", *stage);
+            }
+            TelemetryEvent::ConciliatorRound {
+                pid,
+                round,
+                probability,
+            } => {
+                obj.u64_field("pid", *pid)
+                    .u64_field("round", *round)
+                    .f64_field("p", *probability);
+            }
+            TelemetryEvent::ProbWrite {
+                pid,
+                performed,
+                probability,
+            } => {
+                obj.u64_field("pid", *pid)
+                    .bool_field("performed", *performed)
+                    .f64_field("p", *probability);
+            }
+            TelemetryEvent::RatifierVerdict {
+                pid,
+                stage,
+                decided,
+                value,
+            } => {
+                obj.u64_field("pid", *pid)
+                    .u64_field("stage", *stage)
+                    .bool_field("decided", *decided)
+                    .u64_field("value", *value);
+            }
+            TelemetryEvent::Decided {
+                pid,
+                value,
+                stage,
+                latency_ns,
+            } => {
+                obj.u64_field("pid", *pid)
+                    .u64_field("value", *value)
+                    .u64_field("stage", *stage)
+                    .u64_field("latency_ns", *latency_ns);
+            }
+            TelemetryEvent::Op {
+                step,
+                pid,
+                class,
+                performed,
+            } => {
+                obj.u64_field("step", *step)
+                    .u64_field("pid", *pid)
+                    .str_field("class", class.as_str())
+                    .bool_field("performed", *performed);
+            }
+            TelemetryEvent::WorkSummary {
+                seed,
+                total_work,
+                individual_work,
+                prob_writes_attempted,
+                prob_writes_performed,
+                registers_allocated,
+                registers_touched,
+                per_process,
+            } => {
+                obj.u64_field("seed", *seed)
+                    .u64_field("total_work", *total_work)
+                    .u64_field("individual_work", *individual_work)
+                    .u64_field("prob_writes_attempted", *prob_writes_attempted)
+                    .u64_field("prob_writes_performed", *prob_writes_performed)
+                    .u64_field("registers_allocated", *registers_allocated)
+                    .u64_field("registers_touched", *registers_touched)
+                    .u64_array_field("per_process", per_process);
+            }
+        }
+        obj.finish()
+    }
+}
+
+/// A sink for [`TelemetryEvent`]s.
+///
+/// Instrumented code holds an `Arc<dyn Recorder>` and guards event
+/// construction with [`enabled`](Recorder::enabled), so the disabled path
+/// is one virtual call returning a constant — cheap enough to leave in
+/// the consensus hot loop.
+pub trait Recorder: Send + Sync {
+    /// Whether [`record`](Recorder::record) does anything. Callers should
+    /// skip event construction when this is `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Consumes one event.
+    fn record(&self, event: &TelemetryEvent);
+
+    /// Flushes any buffered output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying sink.
+    fn flush(&self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The default recorder: drops everything.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn record(&self, _event: &TelemetryEvent) {}
+}
+
+/// Streams events as JSON lines to any writer.
+///
+/// Each line is one [`TelemetryEvent::to_json`] object stamped with a
+/// monotone `seq` field. Writes go through a mutex — acceptable because
+/// JSONL recording is opt-in diagnostics, not the default hot path.
+pub struct JsonlRecorder {
+    out: Mutex<Box<dyn Write + Send>>,
+    seq: AtomicU64,
+}
+
+impl std::fmt::Debug for JsonlRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlRecorder")
+            .field("seq", &self.seq.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl JsonlRecorder {
+    /// Streams to an arbitrary writer.
+    pub fn new(out: Box<dyn Write + Send>) -> JsonlRecorder {
+        JsonlRecorder {
+            out: Mutex::new(out),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates (truncating) `path` and streams to it through a buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn to_file(path: &std::path::Path) -> io::Result<JsonlRecorder> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlRecorder::new(Box::new(io::BufWriter::new(file))))
+    }
+
+    /// Streams to a shared in-memory buffer; the returned handle can be
+    /// read back after recording (used by tests).
+    pub fn in_memory() -> (JsonlRecorder, Arc<Mutex<Vec<u8>>>) {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let recorder = JsonlRecorder::new(Box::new(SharedBuf(Arc::clone(&buf))));
+        (recorder, buf)
+    }
+
+    /// Number of events written so far.
+    pub fn events_written(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+}
+
+impl Recorder for JsonlRecorder {
+    fn record(&self, event: &TelemetryEvent) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut line = event.to_json(Some(seq));
+        line.push('\n');
+        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        // Telemetry must never take the protocol down: swallow I/O errors
+        // here; flush() reports them.
+        let _ = out.write_all(line.as_bytes());
+    }
+
+    fn flush(&self) -> io::Result<()> {
+        self.out.lock().unwrap_or_else(|e| e.into_inner()).flush()
+    }
+}
+
+/// `Write` over a shared byte buffer (backing store for
+/// [`JsonlRecorder::in_memory`]).
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Folds events back into counters and histograms.
+///
+/// This is the reconciliation tool: run a simulation once with its native
+/// `WorkMetrics` accounting and an `AggregatingRecorder` attached, then
+/// assert both saw the same operation counts.
+#[derive(Debug, Default)]
+pub struct AggregatingRecorder {
+    events: Counter,
+    stage_entries: Counter,
+    fast_path_hits: Counter,
+    conciliator_rounds: Counter,
+    max_round: Gauge,
+    prob_writes_attempted: Counter,
+    prob_writes_performed: Counter,
+    ratifier_verdicts: Counter,
+    decisions: Counter,
+    rounds_to_decide: Histogram,
+    decide_latency_ns: Histogram,
+    ops: Counter,
+    reads: Counter,
+    writes: Counter,
+    collects: Counter,
+    per_pid_ops: Mutex<Vec<u64>>,
+}
+
+impl AggregatingRecorder {
+    /// An empty aggregator.
+    pub fn new() -> AggregatingRecorder {
+        AggregatingRecorder::default()
+    }
+
+    /// Total events seen.
+    pub fn events(&self) -> u64 {
+        self.events.get()
+    }
+
+    /// `stage_entered` events seen.
+    pub fn stage_entries(&self) -> u64 {
+        self.stage_entries.get()
+    }
+
+    /// `fast_path_hit` events seen.
+    pub fn fast_path_hits(&self) -> u64 {
+        self.fast_path_hits.get()
+    }
+
+    /// `conciliator_round` events seen.
+    pub fn conciliator_rounds(&self) -> u64 {
+        self.conciliator_rounds.get()
+    }
+
+    /// Largest conciliator round index observed.
+    pub fn max_round(&self) -> u64 {
+        self.max_round.max()
+    }
+
+    /// Probabilistic writes attempted (runtime `prob_write` events plus
+    /// sim `op` events of class `prob_write`).
+    pub fn prob_writes_attempted(&self) -> u64 {
+        self.prob_writes_attempted.get()
+    }
+
+    /// Probabilistic writes that landed.
+    pub fn prob_writes_performed(&self) -> u64 {
+        self.prob_writes_performed.get()
+    }
+
+    /// `ratifier_verdict` events seen.
+    pub fn ratifier_verdicts(&self) -> u64 {
+        self.ratifier_verdicts.get()
+    }
+
+    /// `decided` events seen.
+    pub fn decisions(&self) -> u64 {
+        self.decisions.get()
+    }
+
+    /// Distribution of the deciding stage index, one sample per decision.
+    pub fn rounds_to_decide(&self) -> &Histogram {
+        &self.rounds_to_decide
+    }
+
+    /// Distribution of decide latency in nanoseconds.
+    pub fn decide_latency_ns(&self) -> &Histogram {
+        &self.decide_latency_ns
+    }
+
+    /// Simulated operations seen (total work).
+    pub fn ops(&self) -> u64 {
+        self.ops.get()
+    }
+
+    /// Simulated operations per process, indexed by pid.
+    pub fn per_process_ops(&self) -> Vec<u64> {
+        self.per_pid_ops
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Largest per-process operation count (individual work).
+    pub fn individual_ops(&self) -> u64 {
+        self.per_process_ops().iter().copied().max().unwrap_or(0)
+    }
+}
+
+impl Recorder for AggregatingRecorder {
+    fn record(&self, event: &TelemetryEvent) {
+        self.events.incr();
+        match event {
+            TelemetryEvent::StageEntered { .. } => self.stage_entries.incr(),
+            TelemetryEvent::FastPathHit { .. } => self.fast_path_hits.incr(),
+            TelemetryEvent::ConciliatorRound { round, .. } => {
+                self.conciliator_rounds.incr();
+                self.max_round.record_max(*round);
+            }
+            TelemetryEvent::ProbWrite { performed, .. } => {
+                self.prob_writes_attempted.incr();
+                if *performed {
+                    self.prob_writes_performed.incr();
+                }
+            }
+            TelemetryEvent::RatifierVerdict { .. } => self.ratifier_verdicts.incr(),
+            TelemetryEvent::Decided {
+                stage, latency_ns, ..
+            } => {
+                self.decisions.incr();
+                self.rounds_to_decide.record(*stage);
+                self.decide_latency_ns.record(*latency_ns);
+            }
+            TelemetryEvent::Op {
+                pid,
+                class,
+                performed,
+                ..
+            } => {
+                self.ops.incr();
+                let mut per_pid = self.per_pid_ops.lock().unwrap_or_else(|e| e.into_inner());
+                let pid = *pid as usize;
+                if per_pid.len() <= pid {
+                    per_pid.resize(pid + 1, 0);
+                }
+                per_pid[pid] += 1;
+                drop(per_pid);
+                match class {
+                    OpClass::Read => self.reads.incr(),
+                    OpClass::Write => self.writes.incr(),
+                    OpClass::Collect => self.collects.incr(),
+                    OpClass::ProbWrite => {
+                        self.prob_writes_attempted.incr();
+                        if *performed {
+                            self.prob_writes_performed.incr();
+                        }
+                    }
+                }
+            }
+            TelemetryEvent::WorkSummary { .. } => {}
+        }
+    }
+}
+
+/// Fans each event out to several recorders.
+#[derive(Default)]
+pub struct MultiRecorder {
+    sinks: Vec<Arc<dyn Recorder>>,
+}
+
+impl std::fmt::Debug for MultiRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiRecorder")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl MultiRecorder {
+    /// A fan-out over the given sinks.
+    pub fn new(sinks: Vec<Arc<dyn Recorder>>) -> MultiRecorder {
+        MultiRecorder { sinks }
+    }
+}
+
+impl Recorder for MultiRecorder {
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+
+    fn record(&self, event: &TelemetryEvent) {
+        for sink in &self.sinks {
+            if sink.enabled() {
+                sink.record(event);
+            }
+        }
+    }
+
+    fn flush(&self) -> io::Result<()> {
+        for sink in &self.sinks {
+            sink.flush()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample_events() -> Vec<TelemetryEvent> {
+        vec![
+            TelemetryEvent::StageEntered {
+                pid: 0,
+                stage: 0,
+                kind: StageKind::Ratifier,
+            },
+            TelemetryEvent::FastPathHit { pid: 0, stage: 1 },
+            TelemetryEvent::ConciliatorRound {
+                pid: 1,
+                round: 3,
+                probability: 0.125,
+            },
+            TelemetryEvent::ProbWrite {
+                pid: 1,
+                performed: true,
+                probability: 0.5,
+            },
+            TelemetryEvent::ProbWrite {
+                pid: 1,
+                performed: false,
+                probability: 0.5,
+            },
+            TelemetryEvent::RatifierVerdict {
+                pid: 1,
+                stage: 2,
+                decided: true,
+                value: 42,
+            },
+            TelemetryEvent::Decided {
+                pid: 1,
+                value: 42,
+                stage: 2,
+                latency_ns: 1_000,
+            },
+            TelemetryEvent::Op {
+                step: 0,
+                pid: 0,
+                class: OpClass::Read,
+                performed: true,
+            },
+            TelemetryEvent::Op {
+                step: 1,
+                pid: 2,
+                class: OpClass::ProbWrite,
+                performed: false,
+            },
+            TelemetryEvent::WorkSummary {
+                seed: 7,
+                total_work: 2,
+                individual_work: 1,
+                prob_writes_attempted: 1,
+                prob_writes_performed: 0,
+                registers_allocated: 3,
+                registers_touched: 2,
+                per_process: vec![1, 0, 1],
+            },
+        ]
+    }
+
+    #[test]
+    fn every_event_renders_valid_json() {
+        for (i, event) in sample_events().iter().enumerate() {
+            let line = event.to_json(Some(i as u64));
+            json::validate(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert!(line.contains(&format!(r#""ev":"{}""#, event.name())));
+        }
+    }
+
+    #[test]
+    fn jsonl_recorder_writes_one_line_per_event() {
+        let (recorder, buf) = JsonlRecorder::in_memory();
+        for event in sample_events() {
+            recorder.record(&event);
+        }
+        recorder.flush().unwrap();
+        let bytes = buf.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), sample_events().len());
+        assert_eq!(recorder.events_written(), lines.len() as u64);
+        for (i, line) in lines.iter().enumerate() {
+            json::validate(line).unwrap();
+            assert!(line.contains(&format!(r#""seq":{i}"#)));
+        }
+    }
+
+    #[test]
+    fn aggregating_recorder_folds_counts() {
+        let agg = AggregatingRecorder::new();
+        for event in sample_events() {
+            agg.record(&event);
+        }
+        assert_eq!(agg.events(), 10);
+        assert_eq!(agg.stage_entries(), 1);
+        assert_eq!(agg.fast_path_hits(), 1);
+        assert_eq!(agg.conciliator_rounds(), 1);
+        assert_eq!(agg.max_round(), 3);
+        // 2 runtime prob_write events + 1 sim prob_write op.
+        assert_eq!(agg.prob_writes_attempted(), 3);
+        assert_eq!(agg.prob_writes_performed(), 1);
+        assert_eq!(agg.decisions(), 1);
+        assert_eq!(agg.rounds_to_decide().count(), 1);
+        assert_eq!(agg.decide_latency_ns().max(), 1_000);
+        assert_eq!(agg.ops(), 2);
+        assert_eq!(agg.per_process_ops(), vec![1, 0, 1]);
+        assert_eq!(agg.individual_ops(), 1);
+    }
+
+    #[test]
+    fn noop_recorder_is_disabled() {
+        let noop = NoopRecorder;
+        assert!(!noop.enabled());
+        noop.record(&TelemetryEvent::FastPathHit { pid: 0, stage: 0 });
+        noop.flush().unwrap();
+    }
+
+    #[test]
+    fn multi_recorder_fans_out_to_enabled_sinks() {
+        let agg = Arc::new(AggregatingRecorder::new());
+        let multi = MultiRecorder::new(vec![
+            Arc::new(NoopRecorder) as Arc<dyn Recorder>,
+            Arc::clone(&agg) as Arc<dyn Recorder>,
+        ]);
+        assert!(multi.enabled());
+        multi.record(&TelemetryEvent::FastPathHit { pid: 0, stage: 0 });
+        multi.flush().unwrap();
+        assert_eq!(agg.fast_path_hits(), 1);
+
+        let empty = MultiRecorder::new(vec![Arc::new(NoopRecorder) as Arc<dyn Recorder>]);
+        assert!(!empty.enabled());
+    }
+}

@@ -1,0 +1,33 @@
+//! Collection strategies.
+
+use std::ops::Range;
+
+use rand::rngs::SmallRng;
+use rand::RngExt;
+
+use crate::strategy::Strategy;
+
+/// The strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+        let len = if self.len.start + 1 >= self.len.end {
+            self.len.start
+        } else {
+            rng.random_range(self.len.clone())
+        };
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// A strategy for vectors of `element` with a length drawn from `len`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}

@@ -1,0 +1,136 @@
+//! A dependency-free stand-in for the subset of `proptest` this workspace
+//! uses: the [`proptest!`] macro, [`strategy::Strategy`] with `prop_map`,
+//! range and tuple strategies, [`arbitrary::any`], [`collection::vec`],
+//! `prop_assert!`/`prop_assert_eq!`, and [`test_runner::ProptestConfig`].
+//!
+//! The workspace must build with no registry access, so the real `proptest`
+//! cannot be fetched. This implementation samples randomly (deterministic
+//! per test name) but does **not** shrink failing inputs: a failure panics
+//! with the sampled values instead of a minimized counterexample. Set
+//! `PROPTEST_CASES` to change the number of cases per property.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking
+/// directly) so the runner can report the sampled inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts two values are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)*);
+    }};
+}
+
+/// Asserts two values are unequal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that samples its strategies for a number of cases
+/// and runs the body, reporting the sampled inputs on failure.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let cases = $crate::test_runner::resolve_cases(config.cases);
+            for case in 0..cases {
+                let mut __rng = $crate::test_runner::case_rng(stringify!($name), case);
+                let mut __inputs = ::std::string::String::new();
+                $(
+                    let $pat = {
+                        let value =
+                            $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                        __inputs.push_str(&format!(
+                            "\n  {} = {:?}",
+                            stringify!($pat),
+                            &value
+                        ));
+                        value
+                    };
+                )+
+                let outcome: ::core::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > = (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(err) = outcome {
+                    panic!(
+                        "property {} failed at case {case}/{cases}: {err}\ninputs:{}",
+                        stringify!($name),
+                        __inputs
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+}

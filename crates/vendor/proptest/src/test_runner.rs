@@ -1,0 +1,74 @@
+//! Case execution: configuration, deterministic per-case RNGs, and the
+//! failure type that `prop_assert!` and `?` produce.
+
+use std::fmt;
+use std::hash::{DefaultHasher, Hash, Hasher};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Configuration for one `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to sample per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// Applies the `PROPTEST_CASES` environment override to a configured count.
+pub fn resolve_cases(configured: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(configured)
+}
+
+/// A deterministic RNG for case `case` of the property named `name`.
+pub fn case_rng(name: &str, case: u32) -> SmallRng {
+    let mut hasher = DefaultHasher::new();
+    name.hash(&mut hasher);
+    case.hash(&mut hasher);
+    SmallRng::seed_from_u64(hasher.finish())
+}
+
+/// Why one sampled case failed.
+///
+/// Produced by `prop_assert!` and by `?` on any error type (the `From`
+/// impl covers everything implementing [`std::error::Error`]).
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure carrying `message`.
+    pub fn fail(message: String) -> TestCaseError {
+        TestCaseError { message }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl<E: std::error::Error> From<E> for TestCaseError {
+    fn from(err: E) -> TestCaseError {
+        TestCaseError {
+            message: err.to_string(),
+        }
+    }
+}

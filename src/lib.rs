@@ -23,6 +23,7 @@
 //! | [`runtime`] | `mc-runtime` | the same algorithms on real threads and std atomics |
 //! | [`analysis`] | `mc-analysis` | statistics, fits, tables, and the paper's closed-form bounds |
 //! | [`check`] | `mc-check` | exhaustive bounded model checker: every schedule, every coin |
+//! | [`telemetry`] | `mc-telemetry` | lock-free counters, work/round histograms, JSONL event export |
 //!
 //! # Two ways to run consensus
 //!
@@ -77,6 +78,7 @@ pub use mc_model as model;
 pub use mc_quorums as quorums;
 pub use mc_runtime as runtime;
 pub use mc_sim as sim;
+pub use mc_telemetry as telemetry;
 
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
@@ -87,9 +89,12 @@ pub mod prelude {
     };
     pub use mc_model::{properties, Decision, ObjectSpec, ProcessId, Value};
     pub use mc_runtime::{
-        Consensus, Election, ReplicatedLog, TestAndSet, TypedConsensus, ValueCode,
+        Consensus, Election, ReplicatedLog, RuntimeTelemetry, TestAndSet, TypedConsensus, ValueCode,
     };
-    pub use mc_sim::{adversary, harness, sched, EngineConfig};
+    pub use mc_sim::{adversary, harness, observe, sched, EngineConfig};
+    pub use mc_telemetry::{
+        AggregatingRecorder, JsonlRecorder, NoopRecorder, Recorder, TelemetryEvent,
+    };
 }
 
 #[cfg(test)]
@@ -104,5 +109,6 @@ mod tests {
         let _ = crate::quorums::binomial(4, 2);
         let _ = crate::runtime::AtomicRegister::new();
         let _ = crate::sim::EngineConfig::default();
+        let _ = crate::telemetry::NoopRecorder;
     }
 }

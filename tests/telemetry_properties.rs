@@ -1,0 +1,92 @@
+//! Property-based tests of the telemetry layer: work-metric invariants,
+//! exact reconciliation between the simulator's native `WorkMetrics` and
+//! the replayed `Recorder` event stream, and well-formedness of the JSONL
+//! export.
+
+use modular_consensus::prelude::*;
+use modular_consensus::sim::observe;
+use modular_consensus::telemetry::{json, AggregatingRecorder, JsonlRecorder};
+use proptest::prelude::*;
+
+/// One seeded consensus run with trace recording on.
+fn traced_run(n: usize, m: u64, seed: u64) -> modular_consensus::sim::harness::RunOutcome {
+    let spec = ConsensusBuilder::multivalued(m).build();
+    let ins = harness::inputs::random(n, m, seed ^ 0x7E1E);
+    harness::run_object(
+        &spec,
+        &ins,
+        &mut adversary::RandomScheduler::new(seed),
+        seed,
+        &EngineConfig::default().with_trace(),
+    )
+    .expect("consensus run terminates")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Total work dominates individual work: the max over processes can
+    /// never exceed the sum over processes.
+    #[test]
+    fn total_work_dominates_individual_work(n in 1usize..8, m in 2u64..5, seed in 0u64..50_000) {
+        let out = traced_run(n, m, seed);
+        prop_assert!(out.metrics.total_work() >= out.metrics.individual_work());
+        // And both decompose over the per-process vector.
+        prop_assert_eq!(
+            out.metrics.total_work(),
+            out.metrics.per_process.iter().sum::<u64>()
+        );
+        prop_assert_eq!(
+            out.metrics.individual_work(),
+            out.metrics.per_process.iter().copied().max().unwrap_or(0)
+        );
+    }
+
+    /// A probabilistic write can land at most once per attempt.
+    #[test]
+    fn prob_writes_performed_bounded_by_attempted(n in 1usize..8, m in 2u64..5, seed in 0u64..50_000) {
+        let out = traced_run(n, m, seed);
+        prop_assert!(out.metrics.prob_writes_performed <= out.metrics.prob_writes_attempted);
+    }
+
+    /// The event stream replayed from a seeded run's trace reconciles
+    /// exactly with the engine's own work accounting: same total, same
+    /// per-process counts, same probabilistic-write tallies.
+    #[test]
+    fn event_stream_reconciles_with_work_metrics(n in 1usize..8, m in 2u64..5, seed in 0u64..50_000) {
+        let out = traced_run(n, m, seed);
+        let agg = AggregatingRecorder::new();
+        let emitted = observe::export_run(seed, out.trace.as_ref(), &out.metrics, &agg);
+        // One op event per trace step (the work summary is extra).
+        prop_assert_eq!(emitted, out.metrics.total_work());
+        prop_assert_eq!(agg.ops(), out.metrics.total_work());
+        prop_assert_eq!(agg.individual_ops(), out.metrics.individual_work());
+        prop_assert_eq!(agg.per_process_ops(), out.metrics.per_process.clone());
+        prop_assert_eq!(agg.prob_writes_attempted(), out.metrics.prob_writes_attempted);
+        prop_assert_eq!(agg.prob_writes_performed(), out.metrics.prob_writes_performed);
+    }
+
+    /// Every line a `JsonlRecorder` writes is a complete, valid JSON
+    /// document, and the `seq` stamps are consecutive from 0.
+    #[test]
+    fn jsonl_output_is_valid_json_per_line(n in 1usize..7, m in 2u64..4, seed in 0u64..20_000) {
+        let out = traced_run(n, m, seed);
+        let (recorder, buf) = JsonlRecorder::in_memory();
+        observe::export_run(seed, out.trace.as_ref(), &out.metrics, &recorder);
+        let bytes = buf.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).expect("JSONL is UTF-8");
+        let lines: Vec<&str> = text.lines().collect();
+        prop_assert_eq!(lines.len() as u64, recorder.events_written());
+        for (ix, line) in lines.iter().enumerate() {
+            json::validate(line)
+                .unwrap_or_else(|e| panic!("line {ix} is not valid JSON ({e}): {line}"));
+            let stamp = format!("\"seq\":{ix}");
+            prop_assert!(line.contains(&stamp), "line {} lacks {}: {}", ix, stamp, line);
+        }
+        // The last line is the work summary carrying the run's seed.
+        let last = lines.last().expect("at least one event");
+        prop_assert!(last.contains("\"ev\":\"work_summary\""));
+        let seed_stamp = format!("\"seed\":{seed}");
+        prop_assert!(last.contains(&seed_stamp));
+    }
+}
