@@ -73,6 +73,11 @@ pub struct SafetyReport {
     /// The first violation found on any complete execution, with the path
     /// that produces it.
     pub violation: Option<(Vec<PathEvent>, PropertyViolation)>,
+    /// The largest number of operations any single process performed on any
+    /// complete execution — the checker-certified individual work bound
+    /// (compare Theorem 10's "at most 4 operations" for the binary
+    /// ratifier).
+    pub max_individual_ops: u64,
 }
 
 impl SafetyReport {
@@ -167,6 +172,14 @@ impl<S: ObjectSpec> Explorer<S> {
         ) {
             Need::Done(outputs) => {
                 report.complete_paths += 1;
+                let mut per_pid = vec![0u64; self.inputs.len()];
+                for event in path.iter() {
+                    if let PathEvent::Sched(pid) = event {
+                        per_pid[pid.index()] += 1;
+                    }
+                }
+                let busiest = per_pid.iter().copied().max().unwrap_or(0);
+                report.max_individual_ops = report.max_individual_ops.max(busiest);
                 if let Err(violation) = self.check_leaf(&outputs) {
                     report.violation = Some((path.clone(), violation));
                 }
@@ -441,5 +454,7 @@ mod tests {
         assert!(report.is_exhaustive_pass());
         // 3 ops per process, 2 processes: C(6,3) = 20 interleavings.
         assert_eq!(report.complete_paths, 20);
+        // Every process performs exactly 3 operations on every path.
+        assert_eq!(report.max_individual_ops, 3);
     }
 }

@@ -1,0 +1,343 @@
+//! Differential conformance between the three substrates.
+//!
+//! The same protocol, the same inputs, the same adversary construction, the
+//! same seed — run once on `mc-sim`'s model engine and once on `mc-runtime`'s
+//! real threads under the lab scheduler. Because both substrates draw
+//! per-process coins from `mix_seed(seed, pid)` streams and both let the
+//! adversary pick from the identical pending-operation views, the two
+//! executions must be *literally equal*: same decision per process, same
+//! operation trace event-for-event, same work accounting. The lab's
+//! schedule/coin script is then replayed through `mc-check`'s replayer to
+//! close the triangle with the third substrate.
+//!
+//! Any inequality is a bug in one of the substrates (or a real divergence
+//! between the model protocol and the runtime implementation) and is
+//! reported as a [`Divergence`].
+
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+use mc_check::{replay_to_completion, CoinPolicy};
+use mc_core::ConsensusBuilder;
+use mc_model::ObjectSpec;
+use mc_runtime::Consensus;
+use mc_sim::harness::run_object;
+use mc_sim::{Adversary, EngineConfig, RunError, Trace, WorkMetrics};
+
+use crate::control::LabError;
+use crate::harness::Lab;
+
+/// A consensus protocol with equivalent constructions on every substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// Binary consensus: impatient conciliator + 3-register binary ratifier.
+    Binary,
+    /// `m`-valued consensus (`m > 2`): impatient conciliator + binomial
+    /// quorum ratifier. (`m = 2` is [`Protocol::Binary`]: the model builder
+    /// normalizes 2-valued to the binary scheme while the runtime would use
+    /// a binomial scheme, so the pairing is only exact for `m > 2`.)
+    Multivalued(u64),
+}
+
+impl Protocol {
+    /// The model-side specification (`mc-core`, runnable on sim and check).
+    pub fn spec(&self) -> Arc<dyn ObjectSpec> {
+        match self {
+            Protocol::Binary => Arc::new(ConsensusBuilder::binary().build()),
+            Protocol::Multivalued(m) => {
+                assert!(*m > 2, "use Protocol::Binary for m = 2");
+                Arc::new(ConsensusBuilder::multivalued(*m).build())
+            }
+        }
+    }
+
+    /// The runtime-side object over the lab's instrumented memory.
+    pub fn runtime(&self, lab: &Lab, n: usize) -> Consensus<crate::LabMemory> {
+        match self {
+            Protocol::Binary => Consensus::binary_in(lab.memory(), n),
+            Protocol::Multivalued(m) => {
+                assert!(*m > 2, "use Protocol::Binary for m = 2");
+                Consensus::multivalued_in(lab.memory(), n, *m)
+            }
+        }
+    }
+
+    /// Capacity of the protocol's value domain.
+    pub fn capacity(&self) -> u64 {
+        match self {
+            Protocol::Binary => 2,
+            Protocol::Multivalued(m) => *m,
+        }
+    }
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Protocol::Binary => write!(f, "binary"),
+            Protocol::Multivalued(m) => write!(f, "multivalued({m})"),
+        }
+    }
+}
+
+/// How sim and lab disagreed. Constructing one of these from a conformance
+/// run is always a bug somewhere.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Divergence {
+    /// One substrate hit the step limit, the other completed.
+    Completion {
+        /// Error from the sim side, if any.
+        sim: Option<String>,
+        /// Error from the lab side, if any.
+        lab: Option<String>,
+    },
+    /// A process decided different values on the two substrates.
+    Decisions {
+        /// Per-process values from the sim engine.
+        sim: Vec<u64>,
+        /// Per-process values from the lab runtime.
+        lab: Vec<u64>,
+    },
+    /// The operation traces differ; the index of the first differing event.
+    Trace {
+        /// First event index where the traces differ (or the shorter
+        /// length, when one is a prefix of the other).
+        at: usize,
+        /// The sim event at that index, rendered.
+        sim: Option<String>,
+        /// The lab event at that index, rendered.
+        lab: Option<String>,
+    },
+    /// Work accounting differs.
+    Metrics {
+        /// The sim engine's accounting.
+        sim: WorkMetrics,
+        /// The lab's accounting.
+        lab: WorkMetrics,
+    },
+    /// Replaying the lab's schedule/coin script through `mc-check` failed
+    /// or produced different decisions.
+    Replay {
+        /// What the replayer reported.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Divergence::Completion { sim, lab } => write!(
+                f,
+                "completion divergence: sim={}, lab={}",
+                sim.as_deref().unwrap_or("ok"),
+                lab.as_deref().unwrap_or("ok"),
+            ),
+            Divergence::Decisions { sim, lab } => {
+                write!(f, "decision divergence: sim={sim:?}, lab={lab:?}")
+            }
+            Divergence::Trace { at, sim, lab } => write!(
+                f,
+                "trace divergence at event {at}: sim={}, lab={}",
+                sim.as_deref().unwrap_or("<end>"),
+                lab.as_deref().unwrap_or("<end>"),
+            ),
+            Divergence::Metrics { sim, lab } => {
+                write!(f, "metrics divergence: sim={sim:?}, lab={lab:?}")
+            }
+            Divergence::Replay { detail } => write!(f, "replay divergence: {detail}"),
+        }
+    }
+}
+
+impl Error for Divergence {}
+
+/// What a conformance check concluded when it did *not* find a divergence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Conformance {
+    /// Both substrates completed and agreed on everything.
+    Agreed {
+        /// The per-process decision values (identical on both substrates).
+        decisions: Vec<u64>,
+        /// The shared operation trace.
+        trace: Trace,
+        /// The shared work accounting.
+        metrics: WorkMetrics,
+    },
+    /// Both substrates hit the step limit — agreement about non-completion.
+    BothStepLimited,
+}
+
+/// Runs `protocol` on `inputs` under identically-constructed adversaries on
+/// the sim engine and the lab runtime and checks the executions are equal;
+/// then replays the lab's script on the model via `mc-check`.
+///
+/// `make_adversary` is called once per substrate so each side gets a fresh
+/// adversary in its initial state (same construction + same view sequence ⇒
+/// same choices).
+///
+/// # Errors
+///
+/// Returns the first [`Divergence`] found.
+pub fn check_conformance(
+    protocol: Protocol,
+    inputs: &[u64],
+    make_adversary: &dyn Fn() -> Box<dyn Adversary + Send>,
+    seed: u64,
+    max_steps: u64,
+) -> Result<Conformance, Divergence> {
+    let n = inputs.len();
+    assert!(n > 0, "need at least one process");
+    for &input in inputs {
+        assert!(input < protocol.capacity(), "input out of range");
+    }
+    let spec = protocol.spec();
+
+    let sim_outcome = run_object(
+        spec.as_ref(),
+        inputs,
+        &mut *make_adversary(),
+        seed,
+        &EngineConfig::default()
+            .with_max_steps(max_steps)
+            .with_trace(),
+    );
+
+    let lab = Lab::new(n, make_adversary(), &[], max_steps);
+    let consensus = protocol.runtime(&lab, n);
+    let lab_report = lab.run(seed, |pid, rng| consensus.decide(inputs[pid], rng));
+
+    let (sim_outcome, lab_report) = match (sim_outcome, lab_report) {
+        (Ok(sim), Ok(lab)) => (sim, lab),
+        (Err(RunError::StepLimitExceeded { .. }), Err(LabError::StepLimitExceeded { .. })) => {
+            return Ok(Conformance::BothStepLimited)
+        }
+        (sim, lab) => {
+            return Err(Divergence::Completion {
+                sim: sim.err().map(|e| e.to_string()),
+                lab: lab.err().map(|e| e.to_string()),
+            })
+        }
+    };
+
+    let sim_decisions = sim_outcome.values();
+    let lab_decisions: Vec<u64> = lab_report
+        .decisions
+        .iter()
+        .map(|d| d.expect("no crashes configured"))
+        .collect();
+    if sim_decisions != lab_decisions {
+        return Err(Divergence::Decisions {
+            sim: sim_decisions,
+            lab: lab_decisions,
+        });
+    }
+
+    let sim_trace = sim_outcome.trace.expect("trace recording was enabled");
+    if sim_trace != lab_report.trace {
+        let at = sim_trace
+            .events()
+            .iter()
+            .zip(lab_report.trace.events())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| sim_trace.len().min(lab_report.trace.len()));
+        return Err(Divergence::Trace {
+            at,
+            sim: sim_trace.events().get(at).map(|e| e.to_string()),
+            lab: lab_report.trace.events().get(at).map(|e| e.to_string()),
+        });
+    }
+
+    if sim_outcome.metrics != lab_report.metrics {
+        return Err(Divergence::Metrics {
+            sim: sim_outcome.metrics,
+            lab: lab_report.metrics,
+        });
+    }
+
+    // Close the triangle: the recorded schedule/coin script must drive the
+    // *model* to the same decisions. These protocols use no session-local
+    // randomness, so local coins are forbidden outright.
+    match replay_to_completion(
+        spec.as_ref(),
+        inputs,
+        CoinPolicy::Forbid,
+        max_steps as usize,
+        &lab_report.path,
+    ) {
+        Ok(replayed) => {
+            let replay_values: Vec<u64> = replayed.iter().map(|d| d.value()).collect();
+            if replay_values != lab_decisions {
+                return Err(Divergence::Replay {
+                    detail: format!(
+                        "replayed decisions {replay_values:?} != lab decisions {lab_decisions:?}"
+                    ),
+                });
+            }
+        }
+        Err(err) => {
+            return Err(Divergence::Replay {
+                detail: err.to_string(),
+            })
+        }
+    }
+
+    Ok(Conformance::Agreed {
+        decisions: lab_decisions,
+        trace: lab_report.trace,
+        metrics: lab_report.metrics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_sim::adversary::{ImpatienceExploiter, RandomScheduler, RoundRobin, SplitKeeper};
+    use mc_sim::sched::PctScheduler;
+
+    fn adversary_menu(seed: u64) -> Vec<Box<dyn Fn() -> Box<dyn Adversary + Send>>> {
+        vec![
+            Box::new(move || Box::new(RandomScheduler::new(seed)) as Box<dyn Adversary + Send>),
+            Box::new(move || {
+                Box::new(PctScheduler::new(3, 500, seed)) as Box<dyn Adversary + Send>
+            }),
+            Box::new(|| Box::new(RoundRobin::new()) as Box<dyn Adversary + Send>),
+            Box::new(move || Box::new(SplitKeeper::new(seed)) as Box<dyn Adversary + Send>),
+            Box::new(|| Box::new(ImpatienceExploiter::new()) as Box<dyn Adversary + Send>),
+        ]
+    }
+
+    #[test]
+    fn binary_consensus_conforms_across_seeds_and_adversaries() {
+        for seed in 0..20 {
+            for make in adversary_menu(seed) {
+                let outcome = check_conformance(Protocol::Binary, &[0, 1, 1], &make, seed, 100_000)
+                    .unwrap_or_else(|d| panic!("seed {seed}: {d}"));
+                if let Conformance::Agreed { decisions, .. } = outcome {
+                    assert!(decisions.iter().all(|&d| d == decisions[0]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multivalued_consensus_conforms() {
+        for seed in 0..10 {
+            for make in adversary_menu(seed) {
+                check_conformance(Protocol::Multivalued(5), &[4, 0, 2], &make, seed, 100_000)
+                    .unwrap_or_else(|d| panic!("seed {seed}: {d}"));
+            }
+        }
+    }
+
+    #[test]
+    fn single_process_fast_path_conforms() {
+        let make: Box<dyn Fn() -> Box<dyn Adversary + Send>> =
+            Box::new(|| Box::new(RoundRobin::new()) as Box<dyn Adversary + Send>);
+        let outcome = check_conformance(Protocol::Binary, &[1], &make, 0, 1_000).unwrap();
+        assert!(matches!(
+            outcome,
+            Conformance::Agreed { ref decisions, .. } if decisions == &[1]
+        ));
+    }
+}

@@ -1,0 +1,413 @@
+//! The cooperative scheduling controller and the instrumented
+//! [`SharedMemory`] backend.
+//!
+//! Every register operation the runtime performs on a [`LabRegister`] is a
+//! yield point: the calling thread posts the operation and blocks until the
+//! controller grants it. The controller grants only when *every* unfinished
+//! thread has posted — at that point the full set of pending operations is
+//! known, an [`Adversary`] picks one, and exactly that thread proceeds. The
+//! result is a real-thread execution whose interleaving is a pure function
+//! of the adversary and its seed, with the same rendezvous structure as
+//! `mc-sim`'s engine loop.
+
+use std::cell::Cell;
+use std::error::Error;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+use mc_check::PathEvent;
+use mc_model::{Op, ProcessId, RegisterId};
+use mc_runtime::{SharedMemory, SharedRegister};
+use mc_sim::{observe_pending, Adversary, Capability, Event, Memory, Trace, View, WorkMetrics};
+use rand::{Rng, RngExt};
+
+thread_local! {
+    static CURRENT_PID: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Payload of the panic used to unwind a worker thread the lab will never
+/// schedule again (crashed, or the run terminated). Private: the harness
+/// catches it; anything else propagates as a real failure.
+pub(crate) struct Interrupted;
+
+pub(crate) fn set_current_pid(pid: Option<usize>) {
+    CURRENT_PID.with(|c| c.set(pid));
+}
+
+fn current_pid() -> usize {
+    CURRENT_PID.with(|c| c.get()).expect(
+        "lab register used outside a lab worker thread; \
+         run the algorithm through Lab::run",
+    )
+}
+
+/// Why a lab run could not be completed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LabError {
+    /// The configured step limit was reached before the survivors halted.
+    StepLimitExceeded {
+        /// The limit that was hit.
+        limit: u64,
+    },
+    /// The adversary chose a process with no pending operation.
+    AdversaryChoseInvalid {
+        /// The invalid choice.
+        pid: ProcessId,
+    },
+}
+
+impl fmt::Display for LabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LabError::StepLimitExceeded { limit } => {
+                write!(f, "lab run exceeded the step limit of {limit}")
+            }
+            LabError::AdversaryChoseInvalid { pid } => {
+                write!(f, "adversary chose process {pid} with no pending operation")
+            }
+        }
+    }
+}
+
+impl Error for LabError {}
+
+struct LabState {
+    adversary: Box<dyn Adversary + Send>,
+    /// Posted-but-not-executed operation per process.
+    pending: Vec<Option<Op>>,
+    ops_done: Vec<u64>,
+    finished: Vec<bool>,
+    doomed: Vec<bool>,
+    /// The process currently allowed to execute its pending operation.
+    granted: Option<usize>,
+    /// Mirror register file: ops apply here under the lock, giving the
+    /// interleaving semantics of the model (and adversary memory views).
+    memory: Memory,
+    next_reg: u64,
+    step: u64,
+    unfinished: usize,
+    metrics: WorkMetrics,
+    trace: Trace,
+    path: Vec<PathEvent>,
+    terminated: bool,
+    error: Option<LabError>,
+}
+
+pub(crate) enum Outcome {
+    Read(Option<u64>),
+    Write,
+    Prob(bool),
+}
+
+/// Serializes every register operation of a lab run and delegates each
+/// scheduling choice to the adversary.
+pub(crate) struct LabController {
+    n: usize,
+    max_steps: u64,
+    state: Mutex<LabState>,
+    cv: Condvar,
+}
+
+impl LabController {
+    pub(crate) fn new(
+        n: usize,
+        adversary: Box<dyn Adversary + Send>,
+        doomed_pids: &[ProcessId],
+        max_steps: u64,
+    ) -> Arc<LabController> {
+        assert!(n > 0, "need at least one process");
+        let mut doomed = vec![false; n];
+        for pid in doomed_pids {
+            doomed[pid.index()] = true;
+        }
+        Arc::new(LabController {
+            n,
+            max_steps,
+            state: Mutex::new(LabState {
+                adversary,
+                pending: vec![None; n],
+                ops_done: vec![0; n],
+                finished: vec![false; n],
+                doomed,
+                granted: None,
+                memory: Memory::new(),
+                next_reg: 0,
+                step: 0,
+                unfinished: n,
+                metrics: WorkMetrics::new(n),
+                trace: Trace::new(),
+                path: Vec::new(),
+                terminated: false,
+                error: None,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    pub(crate) fn n(&self) -> usize {
+        self.n
+    }
+
+    fn lock(&self) -> MutexGuard<'_, LabState> {
+        // A worker that panics mid-operation poisons the mutex; the state is
+        // still consistent (every mutation completes under one lock hold),
+        // so recover and keep going.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub(crate) fn alloc(&self) -> RegisterId {
+        let mut state = self.lock();
+        let id = RegisterId(state.next_reg);
+        state.next_reg += 1;
+        state.metrics.registers_allocated = state.next_reg;
+        id
+    }
+
+    /// Posts `op` for the calling worker, waits until the adversary grants
+    /// it, executes it against the mirror memory, and returns its result.
+    pub(crate) fn perform(&self, op: Op, rng: Option<&mut dyn Rng>) -> Outcome {
+        let pid = current_pid();
+        let mut guard = self.lock();
+        debug_assert!(guard.pending[pid].is_none(), "one pending op per process");
+        guard.pending[pid] = Some(op);
+        self.maybe_schedule(&mut guard);
+        loop {
+            if guard.terminated {
+                drop(guard);
+                std::panic::panic_any(Interrupted);
+            }
+            if guard.granted == Some(pid) {
+                break;
+            }
+            guard = self.cv.wait(guard).unwrap_or_else(PoisonError::into_inner);
+        }
+        let state = &mut *guard;
+        state.granted = None;
+        let op = state.pending[pid]
+            .take()
+            .expect("granted process has an op");
+        let (outcome, observed) = match &op {
+            Op::Read(reg) => {
+                let contents = state.memory.read(*reg);
+                (Outcome::Read(contents), contents)
+            }
+            Op::Write { reg, value } => {
+                state.memory.write(*reg, *value);
+                (Outcome::Write, None)
+            }
+            Op::ProbWrite { reg, value, prob } => {
+                // The adversary committed to this operation before the coin
+                // resolves — the probabilistic-write guarantee. One
+                // `random_bool` per attempt, exactly like the engine, so
+                // coin streams stay aligned across substrates.
+                let rng = rng.expect("probabilistic write carries the caller's rng");
+                let performed = rng.random_bool(prob.get());
+                if performed {
+                    state.memory.write(*reg, *value);
+                }
+                state.metrics.prob_writes_attempted += 1;
+                if performed {
+                    state.metrics.prob_writes_performed += 1;
+                }
+                // mc-check's replay vocabulary: a coin event follows the
+                // schedule event only when the outcome is genuinely random.
+                let p = prob.get();
+                if p > 0.0 && p < 1.0 {
+                    state.path.push(PathEvent::Coin(performed));
+                }
+                (Outcome::Prob(performed), Some(u64::from(performed)))
+            }
+            Op::Collect { .. } => unreachable!("runtime objects never issue collects"),
+        };
+        state.trace.push(Event {
+            step: state.step,
+            pid: ProcessId(pid),
+            op,
+            observed,
+        });
+        state.ops_done[pid] += 1;
+        state.metrics.per_process[pid] += 1;
+        state.step += 1;
+        outcome
+    }
+
+    /// Marks the calling worker finished and hands control onward.
+    pub(crate) fn finish(&self, pid: usize) {
+        let mut guard = self.lock();
+        debug_assert!(!guard.finished[pid]);
+        guard.finished[pid] = true;
+        guard.unfinished -= 1;
+        let survivors_done = guard
+            .finished
+            .iter()
+            .zip(&guard.doomed)
+            .all(|(&fin, &doom)| fin || doom);
+        if survivors_done {
+            // Wait-freedom delivered everything it promises: remaining
+            // (doomed) workers unwind without ever being scheduled again.
+            guard.terminated = true;
+            self.cv.notify_all();
+        } else {
+            self.maybe_schedule(&mut guard);
+        }
+    }
+
+    /// Terminates the run from a worker that failed for a real reason
+    /// (non-`Interrupted` panic), so peers blocked in the rendezvous unwind
+    /// instead of deadlocking.
+    pub(crate) fn abort(&self) {
+        let mut guard = self.lock();
+        guard.terminated = true;
+        self.cv.notify_all();
+    }
+
+    /// If every unfinished worker has posted, lets the adversary pick the
+    /// next operation and wakes its owner.
+    fn maybe_schedule(&self, guard: &mut MutexGuard<'_, LabState>) {
+        let state = &mut **guard;
+        if state.terminated || state.granted.is_some() {
+            return;
+        }
+        let posted = state.pending.iter().filter(|p| p.is_some()).count();
+        if posted < state.unfinished || posted == 0 {
+            return;
+        }
+        if state.step >= self.max_steps {
+            state.error = Some(LabError::StepLimitExceeded {
+                limit: self.max_steps,
+            });
+            state.terminated = true;
+            self.cv.notify_all();
+            return;
+        }
+        let LabState {
+            adversary,
+            pending,
+            ops_done,
+            memory,
+            step,
+            path,
+            granted,
+            error,
+            terminated,
+            ..
+        } = state;
+        let capability = adversary.capability();
+        let mut infos = Vec::with_capacity(posted);
+        for (ix, slot) in pending.iter().enumerate() {
+            if let Some(op) = slot {
+                infos.push(observe_pending(ProcessId(ix), ops_done[ix], op, capability));
+            }
+        }
+        let view = View {
+            step: *step,
+            n: self.n,
+            pending: &infos,
+            memory: matches!(
+                capability,
+                Capability::LocationOblivious | Capability::Adaptive
+            )
+            .then_some(&*memory),
+        };
+        let pid = adversary.choose(&view);
+        if pending.get(pid.index()).map(Option::is_some) != Some(true) {
+            *error = Some(LabError::AdversaryChoseInvalid { pid });
+            *terminated = true;
+            self.cv.notify_all();
+            return;
+        }
+        path.push(PathEvent::Sched(pid));
+        *granted = Some(pid.index());
+        self.cv.notify_all();
+    }
+
+    /// Final accounting, taken after every worker has returned.
+    pub(crate) fn take_results(&self) -> (WorkMetrics, Trace, Vec<PathEvent>, Option<LabError>) {
+        let mut state = self.lock();
+        state.metrics.registers_touched = state.memory.touched() as u64;
+        let metrics = std::mem::replace(&mut state.metrics, WorkMetrics::new(self.n));
+        let trace = std::mem::replace(&mut state.trace, Trace::new());
+        let path = std::mem::take(&mut state.path);
+        (metrics, trace, path, state.error.clone())
+    }
+}
+
+impl fmt::Debug for LabController {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LabController")
+            .field("n", &self.n)
+            .field("max_steps", &self.max_steps)
+            .finish()
+    }
+}
+
+/// The instrumented register substrate: plugs into any `mc-runtime` object
+/// via its `*_in` constructor, turning every register operation into a
+/// controller yield point.
+#[derive(Clone, Debug)]
+pub struct LabMemory {
+    ctrl: Arc<LabController>,
+}
+
+impl LabMemory {
+    pub(crate) fn new(ctrl: Arc<LabController>) -> LabMemory {
+        LabMemory { ctrl }
+    }
+}
+
+impl SharedMemory for LabMemory {
+    type Reg = LabRegister;
+
+    fn alloc(&self) -> LabRegister {
+        // Allocation is not an operation in the model (BlockAlloc just
+        // bumps a counter), so it does not yield; it only claims the next
+        // sequential id — the same ids the model's allocator hands out.
+        LabRegister {
+            ctrl: Arc::clone(&self.ctrl),
+            reg: self.ctrl.alloc(),
+        }
+    }
+}
+
+/// One lab register: every access is scheduled by the adversary.
+#[derive(Debug)]
+pub struct LabRegister {
+    ctrl: Arc<LabController>,
+    reg: RegisterId,
+}
+
+impl SharedRegister for LabRegister {
+    fn read(&self) -> Option<u64> {
+        match self.ctrl.perform(Op::Read(self.reg), None) {
+            Outcome::Read(contents) => contents,
+            _ => unreachable!(),
+        }
+    }
+
+    fn write(&self, value: u64) {
+        match self.ctrl.perform(
+            Op::Write {
+                reg: self.reg,
+                value,
+            },
+            None,
+        ) {
+            Outcome::Write => {}
+            _ => unreachable!(),
+        }
+    }
+
+    fn prob_write(&self, value: u64, prob: mc_model::Probability, rng: &mut dyn Rng) -> bool {
+        match self.ctrl.perform(
+            Op::ProbWrite {
+                reg: self.reg,
+                value,
+                prob,
+            },
+            Some(rng),
+        ) {
+            Outcome::Prob(performed) => performed,
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! # mc-lab — a deterministic interleaving lab for the real-thread runtime
+//!
+//! `mc-runtime` runs the paper's protocols on real threads over real atomic
+//! registers — which makes its interleavings whatever the OS scheduler
+//! happens to produce. This crate closes that gap: it runs the *same*
+//! runtime objects (same `Consensus`, same `AtomicRatifier`, same code
+//! paths) with their registers swapped for an instrumented substrate in
+//! which **every** load, store, and probabilistic write is a yield point
+//! controlled by a seeded adversarial scheduler.
+//!
+//! Concretely, [`Lab`] spawns one real thread per process. A thread that
+//! touches a [`LabRegister`] posts the operation and blocks; once every
+//! unfinished thread has posted, an [`mc_sim::Adversary`] — the *same*
+//! adversary trait the simulator uses, including the attacker heuristics
+//! and the PCT scheduler in `mc_sim::sched` — picks which operation commits
+//! next. Exactly one thread runs at a time, so the interleaving is a pure
+//! function of (adversary, seed), and re-running reproduces it bit for bit.
+//!
+//! Three things fall out of this design:
+//!
+//! * **Determinism for real code.** Crash injection ([`Lab::new`]'s crash
+//!   plan) and stall injection ([`StallingAdversary`]) apply to actual
+//!   runtime threads, reproducibly.
+//! * **Cross-substrate conformance.** A lab run draws its coins exactly the
+//!   way the sim engine does (per-process `mix_seed(seed, pid)` streams)
+//!   and observes the adversary through identical views, so
+//!   [`check_conformance`] can demand the sim engine and the lab runtime
+//!   produce *equal* traces, decisions, and work accounting — and then
+//!   replay the lab's recorded script through `mc-check` to pull the
+//!   exhaustive checker into agreement too.
+//! * **A falsifiable lab.** [`RacyConsensus`] is a deliberately broken toy
+//!   protocol; the lab's schedulers must (and do) find the interleaving
+//!   that violates agreement. A green conformance suite is only evidence
+//!   because this negative control stays red.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conform;
+mod control;
+mod harness;
+pub mod inject;
+pub mod toy;
+
+pub use conform::{check_conformance, Conformance, Divergence, Protocol};
+pub use control::{LabError, LabMemory, LabRegister};
+pub use harness::{Lab, LabReport};
+pub use inject::StallingAdversary;
+pub use toy::RacyConsensus;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_model::ProcessId;
+    use mc_runtime::Consensus;
+    use mc_sim::adversary::{RandomScheduler, RoundRobin};
+    use mc_sim::sched::PctScheduler;
+    use mc_sim::Adversary;
+
+    fn adversaries(seed: u64) -> Vec<Box<dyn Adversary + Send>> {
+        vec![
+            Box::new(RandomScheduler::new(seed)),
+            Box::new(PctScheduler::new(3, 200, seed)),
+            Box::new(RoundRobin::new()),
+        ]
+    }
+
+    #[test]
+    fn lab_consensus_decides_and_agrees() {
+        for adversary in adversaries(11) {
+            let lab = Lab::new(3, adversary, &[], 50_000);
+            let consensus = Consensus::binary_in(lab.memory(), 3);
+            let report = lab
+                .run(11, |pid, rng| consensus.decide(pid as u64 % 2, rng))
+                .unwrap();
+            let first = report.decisions[0].unwrap();
+            assert!(first < 2);
+            for d in &report.decisions {
+                assert_eq!(*d, Some(first));
+            }
+            assert!(!report.trace.is_empty());
+            assert!(!report.path.is_empty());
+            assert!(report.metrics.total_work() > 0);
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_exact_run() {
+        let run = |seed: u64| {
+            let lab = Lab::new(3, Box::new(RandomScheduler::new(seed)), &[], 50_000);
+            let consensus = Consensus::binary_in(lab.memory(), 3);
+            lab.run(seed, |pid, rng| consensus.decide(pid as u64 % 2, rng))
+                .unwrap()
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a.decisions, b.decisions);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.path, b.path);
+        assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn crashed_process_never_decides_but_survivors_agree() {
+        let lab = Lab::new(
+            3,
+            Box::new(RandomScheduler::new(5)),
+            &[(ProcessId(2), 4)],
+            50_000,
+        );
+        let consensus = Consensus::binary_in(lab.memory(), 3);
+        let report = lab
+            .run(5, |pid, rng| consensus.decide(pid as u64 % 2, rng))
+            .unwrap();
+        assert_eq!(report.decisions[2], None);
+        assert_eq!(report.crashed, vec![ProcessId(2)]);
+        let d0 = report.decisions[0].unwrap();
+        assert_eq!(report.decisions[1], Some(d0));
+        // The crashed process took at most its pre-crash steps.
+        assert!(report.metrics.per_process[2] <= 4);
+    }
+
+    #[test]
+    fn stalled_process_still_decides() {
+        let inner = RandomScheduler::new(9);
+        let adversary = StallingAdversary::new(inner, [(ProcessId(0), 30)]);
+        let lab = Lab::new(2, Box::new(adversary), &[], 50_000);
+        let consensus = Consensus::binary_in(lab.memory(), 2);
+        let report = lab
+            .run(9, |pid, rng| consensus.decide(pid as u64, rng))
+            .unwrap();
+        let d0 = report.decisions[0].unwrap();
+        assert_eq!(report.decisions[1], Some(d0));
+    }
+
+    #[test]
+    fn step_limit_is_reported() {
+        let lab = Lab::new(2, Box::new(RandomScheduler::new(1)), &[], 3);
+        let consensus = Consensus::binary_in(lab.memory(), 2);
+        let err = lab
+            .run(1, |pid, rng| consensus.decide(pid as u64, rng))
+            .unwrap_err();
+        assert_eq!(err, LabError::StepLimitExceeded { limit: 3 });
+    }
+
+    #[test]
+    fn negative_control_racy_protocol_is_caught() {
+        // The broken toy protocol must fail agreement under *some* seeded
+        // schedule; if no scheduler can exhibit the race, the lab is not
+        // actually exploring interleavings.
+        let mut caught = false;
+        'outer: for seed in 0..64 {
+            for adversary in adversaries(seed) {
+                let lab = Lab::new(2, adversary, &[], 10_000);
+                let racy = RacyConsensus::new_in(&lab.memory());
+                let report = lab.run(seed, |pid, _| racy.decide(pid as u64)).unwrap();
+                if report.decisions[0] != report.decisions[1] {
+                    caught = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(caught, "no schedule exhibited the agreement violation");
+    }
+
+    #[test]
+    fn real_worker_panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            let lab = Lab::new(2, Box::new(RandomScheduler::new(3)), &[], 10_000);
+            let consensus = Consensus::binary_in(lab.memory(), 2);
+            lab.run(3, |pid, rng| {
+                if pid == 1 {
+                    panic!("worker bug");
+                }
+                consensus.decide(0, rng)
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,65 @@
+//! A deliberately broken toy protocol: the lab's negative control.
+//!
+//! If the lab could not catch *this*, its green conformance runs would
+//! mean nothing. [`RacyConsensus`] has a textbook check-then-act race:
+//! under a sequential schedule it agrees, but an adversary that interleaves
+//! the initial reads makes two processes decide different values. The test
+//! suite asserts the lab finds such a schedule.
+
+use mc_runtime::{AtomicMemory, SharedMemory, SharedRegister};
+
+/// "Consensus" by unsynchronized check-then-act on one register: read, and
+/// if empty, write your own value and decide it. Two processes that both
+/// read empty both decide their own values — an agreement violation the
+/// lab's schedulers must be able to exhibit.
+#[derive(Debug)]
+pub struct RacyConsensus<M: SharedMemory = AtomicMemory> {
+    reg: M::Reg,
+}
+
+impl RacyConsensus {
+    /// A racy object over plain atomics.
+    pub fn new() -> RacyConsensus {
+        RacyConsensus::new_in(&AtomicMemory)
+    }
+}
+
+impl Default for RacyConsensus {
+    fn default() -> RacyConsensus {
+        RacyConsensus::new()
+    }
+}
+
+impl<M: SharedMemory> RacyConsensus<M> {
+    /// A racy object whose register lives in `memory`.
+    pub fn new_in(memory: &M) -> RacyConsensus<M> {
+        RacyConsensus {
+            reg: memory.alloc(),
+        }
+    }
+
+    /// The broken decision procedure.
+    pub fn decide(&self, value: u64) -> u64 {
+        match self.reg.read() {
+            Some(winner) => winner,
+            None => {
+                // The race: another process can read the same emptiness
+                // before this write lands.
+                self.reg.write(value);
+                value
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_use_agrees() {
+        let racy = RacyConsensus::new();
+        assert_eq!(racy.decide(7), 7);
+        assert_eq!(racy.decide(9), 7);
+    }
+}

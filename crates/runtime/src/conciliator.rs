@@ -3,9 +3,9 @@
 use std::sync::Arc;
 
 use mc_core::conciliator::WriteSchedule;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
-use crate::register::AtomicRegister;
+use crate::register::{AtomicMemory, SharedMemory, SharedRegister};
 use crate::telemetry::RuntimeTelemetry;
 
 /// Procedure ImpatientFirstMoverConciliator (§5.2) as a thread-safe object:
@@ -16,11 +16,13 @@ use crate::telemetry::RuntimeTelemetry;
 /// probabilistic agreement (Theorem 7's `δ ≈ 0.055` lower bound; in practice
 /// far higher because the OS scheduler is no adversary).
 ///
-/// The "probabilistic write" is a local coin followed by a plain store —
-/// the Chor–Israeli–Li atomicity assumption.
-#[derive(Debug)]
-pub struct ImpatientConciliator {
-    reg: AtomicRegister,
+/// Each round issues exactly two register operations — a read and one
+/// [`prob_write`](SharedRegister::prob_write) — mirroring the model-side
+/// `FirstMoverConciliator` operation for operation, so runs on an
+/// instrumented [`SharedMemory`] substrate are directly comparable to
+/// simulator executions.
+pub struct ImpatientConciliator<M: SharedMemory = AtomicMemory> {
+    reg: M::Reg,
     n: usize,
     schedule: WriteSchedule,
     telemetry: Option<Arc<RuntimeTelemetry>>,
@@ -43,9 +45,24 @@ impl ImpatientConciliator {
     ///
     /// Panics if `n == 0`.
     pub fn with_schedule(n: usize, schedule: WriteSchedule) -> ImpatientConciliator {
+        ImpatientConciliator::with_schedule_in(&AtomicMemory, n, schedule)
+    }
+}
+
+impl<M: SharedMemory> ImpatientConciliator<M> {
+    /// Creates a conciliator whose register lives in `memory`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn with_schedule_in(
+        memory: &M,
+        n: usize,
+        schedule: WriteSchedule,
+    ) -> ImpatientConciliator<M> {
         assert!(n > 0, "need at least one thread");
         ImpatientConciliator {
-            reg: AtomicRegister::new(),
+            reg: memory.alloc(),
             n,
             schedule,
             telemetry: None,
@@ -54,7 +71,7 @@ impl ImpatientConciliator {
 
     /// Reports rounds and probabilistic writes to `telemetry`.
     #[must_use]
-    pub fn observed_by(mut self, telemetry: Arc<RuntimeTelemetry>) -> ImpatientConciliator {
+    pub fn observed_by(mut self, telemetry: Arc<RuntimeTelemetry>) -> ImpatientConciliator<M> {
         self.telemetry = Some(telemetry);
         self
     }
@@ -74,16 +91,24 @@ impl ImpatientConciliator {
                 return winner;
             }
             let p = self.schedule.probability(k, self.n);
-            let landed = rng.random_bool(p.get());
             if let Some(t) = &self.telemetry {
                 t.on_conciliator_round(u64::from(k), p.get());
-                t.on_prob_write(landed, p.get());
             }
-            if landed {
-                self.reg.write(value);
+            let landed = self.reg.prob_write(value, p, rng);
+            if let Some(t) = &self.telemetry {
+                t.on_prob_write(landed, p.get());
             }
             k += 1;
         }
+    }
+}
+
+impl<M: SharedMemory> std::fmt::Debug for ImpatientConciliator<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ImpatientConciliator")
+            .field("n", &self.n)
+            .field("schedule", &self.schedule)
+            .finish()
     }
 }
 

@@ -11,6 +11,7 @@ use rand::Rng;
 
 use crate::conciliator::ImpatientConciliator;
 use crate::ratifier::AtomicRatifier;
+use crate::register::{AtomicMemory, SharedMemory};
 use crate::telemetry::RuntimeTelemetry;
 
 /// Configuration for a thread-runtime [`Consensus`] object.
@@ -37,9 +38,9 @@ impl std::fmt::Debug for ConsensusOptions {
     }
 }
 
-enum Stage {
-    Ratifier(AtomicRatifier),
-    Conciliator(ImpatientConciliator),
+enum Stage<M: SharedMemory> {
+    Ratifier(AtomicRatifier<M>),
+    Conciliator(ImpatientConciliator<M>),
 }
 
 /// A one-shot randomized consensus object for up to `n` threads: the
@@ -55,9 +56,17 @@ enum Stage {
 /// everything on the hot path is lock-free loads/stores. Strictly speaking
 /// this makes the implementation lock-based at stage boundaries — the price
 /// of unbounded lazily-allocated stages in a practical runtime.
-pub struct Consensus {
+///
+/// The register substrate is the type parameter `M`, defaulted to
+/// [`AtomicMemory`] (plain `AtomicU64`s, zero overhead). `mc-lab`
+/// substitutes an instrumented substrate to run the *same* object under a
+/// deterministic scheduler. Stages materialize in index order and each
+/// stage allocates its registers in a fixed order, so register ids are
+/// identical across substrates under identical interleavings.
+pub struct Consensus<M: SharedMemory = AtomicMemory> {
     options: ConsensusOptions,
-    stages: RwLock<Vec<Arc<Stage>>>,
+    memory: M,
+    stages: RwLock<Vec<Arc<Stage<M>>>>,
     telemetry: Arc<RuntimeTelemetry>,
 }
 
@@ -68,12 +77,7 @@ impl Consensus {
     ///
     /// Panics if `n == 0`.
     pub fn binary(n: usize) -> Consensus {
-        Consensus::with_options(ConsensusOptions {
-            n,
-            scheme: Arc::new(BinaryScheme::new()),
-            schedule: WriteSchedule::impatient(),
-            fast_path: true,
-        })
+        Consensus::binary_in(AtomicMemory, n)
     }
 
     /// `m`-valued consensus for up to `n` threads (binomial quorums).
@@ -82,7 +86,7 @@ impl Consensus {
     ///
     /// Panics if `n == 0` or `m < 2`.
     pub fn multivalued(n: usize, m: u64) -> Consensus {
-        Consensus::with_options(Consensus::multivalued_options(n, m))
+        Consensus::multivalued_in(AtomicMemory, n, m)
     }
 
     pub(crate) fn multivalued_options(n: usize, m: u64) -> ConsensusOptions {
@@ -101,8 +105,7 @@ impl Consensus {
     ///
     /// Panics if `options.n == 0`.
     pub fn with_options(options: ConsensusOptions) -> Consensus {
-        let telemetry = Arc::new(RuntimeTelemetry::noop(options.n));
-        Consensus::with_telemetry(options, telemetry)
+        Consensus::with_options_in(AtomicMemory, options)
     }
 
     /// Consensus with explicit options, emitting telemetry events to
@@ -113,17 +116,71 @@ impl Consensus {
     ///
     /// Panics if `options.n == 0`.
     pub fn with_recorder(options: ConsensusOptions, recorder: Arc<dyn Recorder>) -> Consensus {
-        let telemetry = Arc::new(RuntimeTelemetry::new(options.n, recorder));
-        Consensus::with_telemetry(options, telemetry)
+        Consensus::with_recorder_in(AtomicMemory, options, recorder)
+    }
+}
+
+impl<M: SharedMemory> Consensus<M> {
+    /// Binary consensus whose registers live in `memory`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn binary_in(memory: M, n: usize) -> Consensus<M> {
+        Consensus::with_options_in(
+            memory,
+            ConsensusOptions {
+                n,
+                scheme: Arc::new(BinaryScheme::new()),
+                schedule: WriteSchedule::impatient(),
+                fast_path: true,
+            },
+        )
     }
 
-    pub(crate) fn with_telemetry(
+    /// `m`-valued consensus (binomial quorums) whose registers live in
+    /// `memory`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `m < 2`.
+    pub fn multivalued_in(memory: M, n: usize, m: u64) -> Consensus<M> {
+        Consensus::with_options_in(memory, Consensus::multivalued_options(n, m))
+    }
+
+    /// Consensus with explicit options whose registers live in `memory`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options.n == 0`.
+    pub fn with_options_in(memory: M, options: ConsensusOptions) -> Consensus<M> {
+        let telemetry = Arc::new(RuntimeTelemetry::noop(options.n));
+        Consensus::with_telemetry_in(memory, options, telemetry)
+    }
+
+    /// Consensus over `memory` with telemetry events going to `recorder`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options.n == 0`.
+    pub fn with_recorder_in(
+        memory: M,
+        options: ConsensusOptions,
+        recorder: Arc<dyn Recorder>,
+    ) -> Consensus<M> {
+        let telemetry = Arc::new(RuntimeTelemetry::new(options.n, recorder));
+        Consensus::with_telemetry_in(memory, options, telemetry)
+    }
+
+    pub(crate) fn with_telemetry_in(
+        memory: M,
         options: ConsensusOptions,
         telemetry: Arc<RuntimeTelemetry>,
-    ) -> Consensus {
+    ) -> Consensus<M> {
         assert!(options.n > 0, "need at least one thread");
         Consensus {
             options,
+            memory,
             stages: RwLock::new(Vec::new()),
             telemetry,
         }
@@ -145,7 +202,7 @@ impl Consensus {
         self.stages.read().len()
     }
 
-    fn stage(&self, ix: usize) -> Arc<Stage> {
+    fn stage(&self, ix: usize) -> Arc<Stage<M>> {
         if let Some(stage) = self.stages.read().get(ix) {
             return Arc::clone(stage);
         }
@@ -157,17 +214,22 @@ impl Consensus {
         Arc::clone(&stages[ix])
     }
 
-    fn make_stage(&self, ix: usize) -> Stage {
+    fn make_stage(&self, ix: usize) -> Stage<M> {
         let prefix = if self.options.fast_path { 2 } else { 0 };
         let is_ratifier = ix < prefix || (ix - prefix) % 2 == 1;
         if is_ratifier {
-            Stage::Ratifier(AtomicRatifier::with_scheme(Arc::clone(
-                &self.options.scheme,
-            )))
+            Stage::Ratifier(AtomicRatifier::with_scheme_in(
+                &self.memory,
+                Arc::clone(&self.options.scheme),
+            ))
         } else {
             Stage::Conciliator(
-                ImpatientConciliator::with_schedule(self.options.n, self.options.schedule)
-                    .observed_by(Arc::clone(&self.telemetry)),
+                ImpatientConciliator::with_schedule_in(
+                    &self.memory,
+                    self.options.n,
+                    self.options.schedule,
+                )
+                .observed_by(Arc::clone(&self.telemetry)),
             )
         }
     }
@@ -222,7 +284,7 @@ impl Consensus {
     }
 }
 
-impl std::fmt::Debug for Consensus {
+impl<M: SharedMemory> std::fmt::Debug for Consensus<M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Consensus")
             .field("options", &self.options)

@@ -8,6 +8,7 @@
 use rand::Rng;
 
 use crate::consensus::Consensus;
+use crate::register::{AtomicMemory, SharedMemory};
 
 /// One-shot leader election among up to `n` threads: every participant
 /// learns the same winner id, and the winner is some participant.
@@ -35,8 +36,8 @@ use crate::consensus::Consensus;
 /// assert!(winners[0] < 3);
 /// ```
 #[derive(Debug)]
-pub struct Election {
-    consensus: Consensus,
+pub struct Election<M: SharedMemory = AtomicMemory> {
+    consensus: Consensus<M>,
 }
 
 impl Election {
@@ -46,10 +47,24 @@ impl Election {
     ///
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> Election {
+        Election::new_in(AtomicMemory, n)
+    }
+}
+
+impl<M: SharedMemory> Election<M> {
+    /// Creates an election whose registers live in `memory`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new_in(memory: M, n: usize) -> Election<M> {
         // Candidate ids are 0..n; consensus capacity must cover them. The
         // degenerate n = 1 still needs a 2-value object.
         Election {
-            consensus: Consensus::multivalued(n, (n as u64).max(2)),
+            consensus: Consensus::with_options_in(
+                memory,
+                Consensus::multivalued_options(n, (n as u64).max(2)),
+            ),
         }
     }
 
@@ -74,8 +89,8 @@ impl Election {
 ///
 /// Internally an [`Election`] on caller ids.
 #[derive(Debug)]
-pub struct TestAndSet {
-    election: Election,
+pub struct TestAndSet<M: SharedMemory = AtomicMemory> {
+    election: Election<M>,
 }
 
 impl TestAndSet {
@@ -85,8 +100,19 @@ impl TestAndSet {
     ///
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> TestAndSet {
+        TestAndSet::new_in(AtomicMemory, n)
+    }
+}
+
+impl<M: SharedMemory> TestAndSet<M> {
+    /// Creates a test-and-set whose registers live in `memory`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new_in(memory: M, n: usize) -> TestAndSet<M> {
         TestAndSet {
-            election: Election::new(n),
+            election: Election::new_in(memory, n),
         }
     }
 

@@ -52,6 +52,6 @@ pub use consensus::{Consensus, ConsensusOptions};
 pub use derived::{Election, TestAndSet};
 pub use log::ReplicatedLog;
 pub use ratifier::AtomicRatifier;
-pub use register::AtomicRegister;
+pub use register::{AtomicMemory, AtomicRegister, SharedMemory, SharedRegister};
 pub use telemetry::RuntimeTelemetry;
 pub use typed::{TypedConsensus, ValueCode};

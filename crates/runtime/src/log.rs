@@ -7,6 +7,7 @@ use rand::Rng;
 use std::sync::Arc;
 
 use crate::consensus::Consensus;
+use crate::register::{AtomicMemory, SharedMemory};
 use crate::telemetry::RuntimeTelemetry;
 
 /// An append-only totally-ordered log agreed on by up to `n` threads, one
@@ -42,10 +43,11 @@ use crate::telemetry::RuntimeTelemetry;
 /// // Both commands landed, in the same two slots, on one shared log.
 /// assert_ne!(my_slot, their_slot);
 /// ```
-pub struct ReplicatedLog {
+pub struct ReplicatedLog<M: SharedMemory = AtomicMemory> {
     n: usize,
     capacity: u64,
-    slots: RwLock<Vec<Arc<Consensus>>>,
+    memory: M,
+    slots: RwLock<Vec<Arc<Consensus<M>>>>,
     /// Decided entries, filled in slot order as threads learn them.
     learned: RwLock<Vec<Option<u64>>>,
     /// Shared by every slot's consensus instance, so the log reports one
@@ -60,7 +62,7 @@ impl ReplicatedLog {
     ///
     /// Panics if `n == 0` or `capacity < 2`.
     pub fn new(n: usize, capacity: u64) -> ReplicatedLog {
-        ReplicatedLog::with_telemetry(n, capacity, Arc::new(RuntimeTelemetry::noop(n)))
+        ReplicatedLog::new_in(AtomicMemory, n, capacity)
     }
 
     /// Creates a log whose slots emit telemetry events to `recorder`.
@@ -69,15 +71,37 @@ impl ReplicatedLog {
     ///
     /// Panics if `n == 0` or `capacity < 2`.
     pub fn with_recorder(n: usize, capacity: u64, recorder: Arc<dyn Recorder>) -> ReplicatedLog {
-        ReplicatedLog::with_telemetry(n, capacity, Arc::new(RuntimeTelemetry::new(n, recorder)))
+        ReplicatedLog::with_telemetry(
+            AtomicMemory,
+            n,
+            capacity,
+            Arc::new(RuntimeTelemetry::new(n, recorder)),
+        )
+    }
+}
+
+impl<M: SharedMemory> ReplicatedLog<M> {
+    /// Creates a log whose registers live in `memory`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `capacity < 2`.
+    pub fn new_in(memory: M, n: usize, capacity: u64) -> ReplicatedLog<M> {
+        ReplicatedLog::with_telemetry(memory, n, capacity, Arc::new(RuntimeTelemetry::noop(n)))
     }
 
-    fn with_telemetry(n: usize, capacity: u64, telemetry: Arc<RuntimeTelemetry>) -> ReplicatedLog {
+    fn with_telemetry(
+        memory: M,
+        n: usize,
+        capacity: u64,
+        telemetry: Arc<RuntimeTelemetry>,
+    ) -> ReplicatedLog<M> {
         assert!(n > 0, "need at least one replica");
         assert!(capacity >= 2, "need at least two command codes");
         ReplicatedLog {
             n,
             capacity,
+            memory,
             slots: RwLock::new(Vec::new()),
             learned: RwLock::new(Vec::new()),
             telemetry,
@@ -95,13 +119,14 @@ impl ReplicatedLog {
         &self.telemetry
     }
 
-    fn slot(&self, ix: usize) -> Arc<Consensus> {
+    fn slot(&self, ix: usize) -> Arc<Consensus<M>> {
         if let Some(slot) = self.slots.read().get(ix) {
             return Arc::clone(slot);
         }
         let mut slots = self.slots.write();
         while slots.len() <= ix {
-            slots.push(Arc::new(Consensus::with_telemetry(
+            slots.push(Arc::new(Consensus::with_telemetry_in(
+                self.memory.clone(),
                 Consensus::multivalued_options(self.n, self.capacity),
                 Arc::clone(&self.telemetry),
             )));
@@ -167,7 +192,7 @@ impl ReplicatedLog {
     }
 }
 
-impl std::fmt::Debug for ReplicatedLog {
+impl<M: SharedMemory> std::fmt::Debug for ReplicatedLog<M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ReplicatedLog")
             .field("n", &self.n)

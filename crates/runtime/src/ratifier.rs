@@ -1,29 +1,32 @@
 //! The quorum ratifier on real atomics.
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use mc_model::Decision;
 use mc_quorums::{BinaryScheme, BinomialScheme, BitVectorScheme, QuorumScheme};
 
-use crate::register::AtomicRegister;
+use crate::register::{AtomicMemory, SharedMemory, SharedRegister};
 
 /// Procedure Ratifier (§6.1) as a thread-safe object: an announcement pool
-/// of atomic flags plus a proposal register, over any
-/// [`QuorumScheme`].
+/// of registers plus a proposal register, over any [`QuorumScheme`].
 ///
 /// [`ratify`](AtomicRatifier::ratify) returns the paper's annotated output
 /// `(d, v)`: `(1, v)` means agreement on `v` was detected and the caller
 /// must decide it; `(0, v)` means adopt `v` and continue (e.g. to the next
 /// conciliator). Deterministic, wait-free, at most
 /// `|W| + |R| + 2` register operations.
-pub struct AtomicRatifier {
-    pool: Vec<AtomicBool>,
-    proposal: AtomicRegister,
+///
+/// The announcement pool allocates before the proposal register and slots
+/// write the sentinel `1`, exactly like the model-side `Ratifier`, so an
+/// instrumented [`SharedMemory`] substrate observes identical operation
+/// streams across substrates.
+pub struct AtomicRatifier<M: SharedMemory = AtomicMemory> {
+    pool: Vec<M::Reg>,
+    proposal: M::Reg,
     scheme: Arc<dyn QuorumScheme>,
 }
 
-impl std::fmt::Debug for AtomicRatifier {
+impl<M: SharedMemory> std::fmt::Debug for AtomicRatifier<M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("AtomicRatifier")
             .field("scheme", &self.scheme.name())
@@ -35,14 +38,7 @@ impl std::fmt::Debug for AtomicRatifier {
 impl AtomicRatifier {
     /// Builds a ratifier over an arbitrary quorum scheme.
     pub fn with_scheme(scheme: Arc<dyn QuorumScheme>) -> AtomicRatifier {
-        let pool = (0..scheme.pool_size())
-            .map(|_| AtomicBool::new(false))
-            .collect();
-        AtomicRatifier {
-            pool,
-            proposal: AtomicRegister::new(),
-            scheme,
-        }
+        AtomicRatifier::with_scheme_in(&AtomicMemory, scheme)
     }
 
     /// The 2-valued ratifier (3 registers, ≤ 4 operations).
@@ -71,6 +67,22 @@ impl AtomicRatifier {
             BitVectorScheme::for_capacity(m).expect("m must be positive"),
         ))
     }
+}
+
+impl<M: SharedMemory> AtomicRatifier<M> {
+    /// Builds a ratifier over an arbitrary quorum scheme whose registers
+    /// live in `memory`.
+    ///
+    /// Allocation order — pool slots in slot order, then the proposal
+    /// register — matches the model object and must not change.
+    pub fn with_scheme_in(memory: &M, scheme: Arc<dyn QuorumScheme>) -> AtomicRatifier<M> {
+        let pool = (0..scheme.pool_size()).map(|_| memory.alloc()).collect();
+        AtomicRatifier {
+            pool,
+            proposal: memory.alloc(),
+            scheme,
+        }
+    }
 
     /// Number of values supported.
     pub fn capacity(&self) -> u64 {
@@ -92,7 +104,7 @@ impl AtomicRatifier {
         );
         // Announce.
         for slot in self.scheme.write_quorum(value) {
-            self.pool[slot as usize].store(true, Ordering::SeqCst);
+            self.pool[slot as usize].write(1);
         }
         // Propose or adopt.
         let preference = match self.proposal.read() {
@@ -104,7 +116,7 @@ impl AtomicRatifier {
         };
         // Scan for conflicting announcements.
         for slot in self.scheme.read_quorum(preference) {
-            if self.pool[slot as usize].load(Ordering::SeqCst) {
+            if self.pool[slot as usize].read().is_some() {
                 return Decision::continue_with(preference);
             }
         }

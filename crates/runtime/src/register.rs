@@ -1,6 +1,61 @@
-//! Atomic multiwriter registers on `AtomicU64`.
+//! Atomic multiwriter registers on `AtomicU64`, and the [`SharedMemory`]
+//! abstraction that lets the same algorithms run on other register
+//! substrates (notably `mc-lab`'s deterministically scheduled backend).
 
 use std::sync::atomic::{AtomicU64, Ordering};
+
+use mc_model::Probability;
+use rand::{Rng, RngExt};
+
+/// One shared multiwriter register as the runtime algorithms see it.
+///
+/// The paper's model (§2) has three operations: read, write, and the
+/// probabilistic write of the Chor–Israeli–Li model — a coin flip bound
+/// atomically to a store, which the scheduler cannot observe before
+/// committing to the operation.
+pub trait SharedRegister: Send + Sync {
+    /// Reads the register: `None` is ⊥.
+    fn read(&self) -> Option<u64>;
+
+    /// Writes `value`.
+    fn write(&self, value: u64);
+
+    /// Probabilistic write: with probability `prob` the register takes
+    /// `value`. Returns whether the write landed. The coin comes from
+    /// `rng` and is resolved only as part of the operation itself.
+    fn prob_write(&self, value: u64, prob: Probability, rng: &mut dyn Rng) -> bool;
+}
+
+/// A register substrate: allocates fresh shared registers.
+///
+/// [`AtomicMemory`] is the zero-overhead default (plain `AtomicU64`s);
+/// `mc-lab` provides an instrumented backend whose every operation is a
+/// scheduling yield point. Generic runtime objects take the substrate as a
+/// type parameter defaulted to `AtomicMemory`, so existing call sites pay
+/// nothing.
+pub trait SharedMemory: Clone + Send + Sync + 'static {
+    /// The register type this substrate allocates.
+    type Reg: SharedRegister;
+
+    /// Allocates one fresh register holding ⊥.
+    ///
+    /// Allocation order is observable to instrumented substrates (register
+    /// ids are assigned sequentially), so objects must allocate in a
+    /// deterministic order — the same order the model-side objects use.
+    fn alloc(&self) -> Self::Reg;
+}
+
+/// The default substrate: lock-free `AtomicU64` registers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AtomicMemory;
+
+impl SharedMemory for AtomicMemory {
+    type Reg = AtomicRegister;
+
+    fn alloc(&self) -> AtomicRegister {
+        AtomicRegister::new()
+    }
+}
 
 /// An atomic multiwriter register holding ⊥ or a value in `0..u64::MAX`.
 ///
@@ -44,6 +99,27 @@ impl AtomicRegister {
     }
 }
 
+impl SharedRegister for AtomicRegister {
+    fn read(&self) -> Option<u64> {
+        AtomicRegister::read(self)
+    }
+
+    fn write(&self, value: u64) {
+        AtomicRegister::write(self, value);
+    }
+
+    fn prob_write(&self, value: u64, prob: Probability, rng: &mut dyn Rng) -> bool {
+        // The Chor–Israeli–Li assumption: a local coin followed immediately
+        // by a plain store, with no observable gap the OS scheduler could
+        // condition on.
+        let landed = rng.random_bool(prob.get());
+        if landed {
+            AtomicRegister::write(self, value);
+        }
+        landed
+    }
+}
+
 impl Default for AtomicRegister {
     fn default() -> Self {
         AtomicRegister::new()
@@ -53,6 +129,8 @@ impl Default for AtomicRegister {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
 
     #[test]
     fn starts_empty() {
@@ -88,5 +166,29 @@ mod tests {
         }
         let v = r.read().unwrap();
         assert!(v < 4);
+    }
+
+    #[test]
+    fn prob_write_extremes_are_deterministic() {
+        let r = AtomicRegister::new();
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert!(!r.prob_write(5, Probability::ZERO, &mut rng));
+        assert_eq!(r.read(), None);
+        assert!(r.prob_write(5, Probability::ONE, &mut rng));
+        assert_eq!(r.read(), Some(5));
+    }
+
+    #[test]
+    fn prob_write_consumes_one_coin_per_attempt() {
+        // The engine resolves one `random_bool` per probabilistic write; the
+        // atomic register must match so lab and OS-thread runs share coin
+        // streams.
+        let r = AtomicMemory.alloc();
+        let mut a = SmallRng::seed_from_u64(9);
+        let mut b = SmallRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let landed = r.prob_write(1, Probability::new(0.5).unwrap(), &mut a);
+            assert_eq!(landed, b.random_bool(0.5));
+        }
     }
 }

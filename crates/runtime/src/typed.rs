@@ -8,6 +8,7 @@ use mc_quorums::BitVectorScheme;
 use rand::Rng;
 
 use crate::consensus::{Consensus, ConsensusOptions};
+use crate::register::{AtomicMemory, SharedMemory};
 
 /// A value type usable with [`TypedConsensus`]: a fixed-width bijection with
 /// `BITS`-bit codes.
@@ -104,8 +105,8 @@ impl_value_code_uint!(u8 => 8, u16 => 16, u32 => 32);
 /// assert_eq!(a, b);
 /// ```
 #[derive(Debug)]
-pub struct TypedConsensus<T> {
-    inner: Consensus,
+pub struct TypedConsensus<T, M: SharedMemory = AtomicMemory> {
+    inner: Consensus<M>,
     _marker: PhantomData<fn(T) -> T>,
 }
 
@@ -116,13 +117,27 @@ impl<T: ValueCode> TypedConsensus<T> {
     ///
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> TypedConsensus<T> {
+        TypedConsensus::new_in(AtomicMemory, n)
+    }
+}
+
+impl<T: ValueCode, M: SharedMemory> TypedConsensus<T, M> {
+    /// Creates a typed consensus object whose registers live in `memory`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new_in(memory: M, n: usize) -> TypedConsensus<T, M> {
         TypedConsensus {
-            inner: Consensus::with_options(ConsensusOptions {
-                n,
-                scheme: Arc::new(BitVectorScheme::with_bits(T::BITS.clamp(1, 63))),
-                schedule: WriteSchedule::impatient(),
-                fast_path: true,
-            }),
+            inner: Consensus::with_options_in(
+                memory,
+                ConsensusOptions {
+                    n,
+                    scheme: Arc::new(BitVectorScheme::with_bits(T::BITS.clamp(1, 63))),
+                    schedule: WriteSchedule::impatient(),
+                    fast_path: true,
+                },
+            ),
             _marker: PhantomData,
         }
     }

@@ -366,8 +366,12 @@ impl<'a> Engine<'a> {
         self.pending_buf.clear();
         for (ix, proc) in self.procs.iter().enumerate() {
             let Some(op) = &proc.pending else { continue };
-            self.pending_buf
-                .push(observe(ProcessId(ix), proc.ops_done, op, capability));
+            self.pending_buf.push(observe_pending(
+                ProcessId(ix),
+                proc.ops_done,
+                op,
+                capability,
+            ));
         }
         debug_assert!(!self.pending_buf.is_empty(), "no live processes");
         let memory = match capability {
@@ -394,7 +398,16 @@ impl<'a> Engine<'a> {
 }
 
 /// Builds the view of one pending operation permitted to `capability`.
-fn observe(pid: ProcessId, ops_done: u64, op: &Op, capability: Capability) -> PendingInfo {
+///
+/// Public so other execution substrates (notably `mc-lab`'s cooperative
+/// scheduler over the real runtime) present adversaries with views built by
+/// the same censoring rules the engine uses.
+pub fn observe_pending(
+    pid: ProcessId,
+    ops_done: u64,
+    op: &Op,
+    capability: Capability,
+) -> PendingInfo {
     let mut info = PendingInfo {
         pid,
         ops_done,
@@ -433,7 +446,10 @@ fn observe(pid: ProcessId, ops_done: u64, op: &Op, capability: Capability) -> Pe
 }
 
 /// Derives process `pid`'s coin-stream seed from the run seed.
-fn mix_seed(seed: u64, pid: u64) -> u64 {
+///
+/// Public so other substrates seed per-process rngs identically; coin
+/// streams then line up operation-for-operation across sim and lab runs.
+pub fn mix_seed(seed: u64, pid: u64) -> u64 {
     // SplitMix64-style mixing keeps per-process streams decorrelated even
     // for adjacent seeds.
     let mut z = seed ^ pid.wrapping_mul(0x9E37_79B9_7F4A_7C15);

@@ -81,6 +81,8 @@ pub struct CrashRunOutcome {
     pub crashed: Vec<mc_model::ProcessId>,
     /// Operation counts (crashed processes' pre-crash work included).
     pub metrics: WorkMetrics,
+    /// The execution trace, if recording was enabled.
+    pub trace: Option<Trace>,
 }
 
 impl CrashRunOutcome {
@@ -134,6 +136,7 @@ pub fn run_with_crashes(
         decisions: output.decisions,
         crashed: doomed,
         metrics: output.metrics,
+        trace: output.trace,
     })
 }
 

@@ -60,7 +60,7 @@ pub mod testutil;
 mod trace;
 
 pub use adversary::{Adversary, Capability, PendingInfo, View};
-pub use engine::{Engine, EngineConfig, RunError};
+pub use engine::{mix_seed, observe_pending, Engine, EngineConfig, RunError};
 pub use harness::{run_object, RunOutcome};
 pub use memory::Memory;
 pub use metrics::WorkMetrics;

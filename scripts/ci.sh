@@ -21,4 +21,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 echo "== experiments (quick smoke) =="
 cargo run -p mc-bench --release --bin experiments -- all --quick > /dev/null
 
+echo "== lab conformance (fixed-seed campaign) =="
+# Sim engine vs real-thread lab runtime vs mc-check replay: 10^4 seeds per
+# protocol over the bounded adversary matrix; any divergence exits nonzero.
+cargo run -p mc-bench --release --bin lab_explore -- --seeds 10000
+
 echo "CI OK"

@@ -24,6 +24,7 @@
 //! | [`analysis`] | `mc-analysis` | statistics, fits, tables, and the paper's closed-form bounds |
 //! | [`check`] | `mc-check` | exhaustive bounded model checker: every schedule, every coin |
 //! | [`telemetry`] | `mc-telemetry` | lock-free counters, work/round histograms, JSONL event export |
+//! | [`lab`] | `mc-lab` | deterministic interleaving lab: the real-thread runtime under seeded adversarial schedulers, with cross-substrate conformance |
 //!
 //! # Two ways to run consensus
 //!
@@ -74,6 +75,7 @@
 pub use mc_analysis as analysis;
 pub use mc_check as check;
 pub use mc_core as core;
+pub use mc_lab as lab;
 pub use mc_model as model;
 pub use mc_quorums as quorums;
 pub use mc_runtime as runtime;
@@ -87,6 +89,7 @@ pub mod prelude {
         Chain, ChainProbe, CoinConciliator, CollectRatifier, ConciliatorCoin,
         FirstMoverConciliator, LazyChain, Ratifier, VotingSharedCoin, WriteSchedule,
     };
+    pub use mc_lab::{check_conformance, Conformance, Lab, Protocol as LabProtocol};
     pub use mc_model::{properties, Decision, ObjectSpec, ProcessId, Value};
     pub use mc_runtime::{
         Consensus, Election, ReplicatedLog, RuntimeTelemetry, TestAndSet, TypedConsensus, ValueCode,
@@ -105,6 +108,7 @@ mod tests {
         let _ = crate::analysis::theory::impatient_agreement_lower_bound();
         let _ = crate::check::CheckConfig::default();
         let _ = crate::core::Ratifier::binary();
+        let _ = crate::lab::Protocol::Binary;
         let _ = crate::model::Decision::decide(0);
         let _ = crate::quorums::binomial(4, 2);
         let _ = crate::runtime::AtomicRegister::new();

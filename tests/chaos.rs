@@ -157,3 +157,44 @@ fn chaos_campaign_preserves_safety_everywhere() {
         }
     }
 }
+
+/// The debugging contract behind the campaign's "reproducible from its
+/// printed seed" promise: rebuilding a scenario from nothing but its seed
+/// and re-running it yields a *bit-identical* execution — same trace event
+/// for event, same decisions, same accounting. This is exactly the workflow
+/// for investigating a campaign failure (see `docs/TESTING.md`), so it gets
+/// its own regression test rather than being assumed.
+#[test]
+fn any_scenario_replays_bit_identically_from_its_seed() {
+    // A spread of seeds covering every spec and adversary arm.
+    for seed in (0..400u64).step_by(13) {
+        let run = |seed: u64| {
+            let scenario = make_scenario(seed);
+            let inputs = harness::inputs::random(scenario.n, scenario.m, seed ^ 0xC0A5);
+            let mut config = EngineConfig::default().with_trace();
+            if scenario.cheap_collect {
+                config = config.with_cheap_collect();
+            }
+            let outcome = run_with_crashes(
+                scenario.spec.as_ref(),
+                &inputs,
+                scenario.adversary,
+                &scenario.crashes,
+                seed,
+                &config,
+            )
+            .unwrap_or_else(|e| panic!("seed {seed}: {}: {e}", scenario.spec_name));
+            (outcome, scenario.spec_name)
+        };
+        let (first, name) = run(seed);
+        let (second, _) = run(seed);
+        assert_eq!(
+            first.trace.as_ref().expect("trace recorded"),
+            second.trace.as_ref().expect("trace recorded"),
+            "seed {seed}: {name}: re-run trace differs"
+        );
+        assert_eq!(first.decisions, second.decisions, "seed {seed}: {name}");
+        assert_eq!(first.metrics, second.metrics, "seed {seed}: {name}");
+        assert_eq!(first.crashed, second.crashed, "seed {seed}: {name}");
+    }
+}

@@ -1,0 +1,83 @@
+//! Theorems 8–9 as executable properties: every pair of distinct values
+//! must conflict — some register in `v`'s read quorum is in `v'`'s write
+//! quorum — and no value's own write quorum may touch its read quorum
+//! (otherwise a lone caller would detect a conflict with itself).
+//!
+//! Small capacities are checked exhaustively over *all* value pairs
+//! (quadratic); the sweep then continues to `m = 2¹⁶` with deterministic
+//! pair sampling, plus proptest-driven random capacities in between.
+
+use modular_consensus::quorums::verify::{
+    check_cross_intersection, check_cross_intersection_sampled,
+};
+use modular_consensus::quorums::{BinaryScheme, BinomialScheme, BitVectorScheme, QuorumScheme};
+use proptest::prelude::*;
+
+/// Exhaustive limit: full quadratic check over every ordered pair.
+const EXHAUSTIVE_MAX: u64 = 512;
+/// Sampled pairs per scheme at large capacities.
+const SAMPLED_PAIRS: usize = 20_000;
+
+fn schemes_for(m: u64) -> Vec<(String, Box<dyn QuorumScheme>)> {
+    let mut schemes: Vec<(String, Box<dyn QuorumScheme>)> = vec![
+        (
+            format!("binomial({m})"),
+            Box::new(BinomialScheme::for_capacity(m).expect("m >= 2")),
+        ),
+        (
+            format!("bitvector({m})"),
+            Box::new(BitVectorScheme::for_capacity(m).expect("m >= 2")),
+        ),
+    ];
+    if m == 2 {
+        schemes.push(("binary".to_string(), Box::new(BinaryScheme::new())));
+    }
+    schemes
+}
+
+#[test]
+fn cross_intersection_exhaustive_at_small_capacities() {
+    for m in [2u64, 3, 4, 5, 6, 7, 8, 9, 16, 33, 100, 255, 256, 257, 512] {
+        for (name, scheme) in schemes_for(m) {
+            check_cross_intersection(scheme.as_ref(), EXHAUSTIVE_MAX)
+                .unwrap_or_else(|v| panic!("{name}: {v}"));
+        }
+    }
+}
+
+#[test]
+fn cross_intersection_swept_to_2_pow_16() {
+    // Powers of two, their neighbours (worst cases for ⌈lg m⌉ boundaries),
+    // and 2¹⁶ itself.
+    let mut sweep = Vec::new();
+    for exp in [8u32, 10, 12, 13, 14, 15, 16] {
+        let p = 1u64 << exp;
+        sweep.extend([p - 1, p, p + 1]);
+    }
+    for m in sweep {
+        for (name, scheme) in schemes_for(m) {
+            // The exhaustive prefix catches structural bugs at the low
+            // values; the sampled pass covers the full range.
+            check_cross_intersection(scheme.as_ref(), EXHAUSTIVE_MAX)
+                .unwrap_or_else(|v| panic!("{name} (prefix): {v}"));
+            check_cross_intersection_sampled(scheme.as_ref(), SAMPLED_PAIRS, m ^ 0x5EED)
+                .unwrap_or_else(|v| panic!("{name} (sampled): {v}"));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random capacities anywhere in [2, 2¹⁶]: the property is not special
+    /// to round numbers.
+    #[test]
+    fn cross_intersection_holds_at_random_capacities(m in 2u64..=(1u64 << 16), seed in any::<u64>()) {
+        for (name, scheme) in schemes_for(m) {
+            check_cross_intersection(scheme.as_ref(), 64)
+                .unwrap_or_else(|v| panic!("{name} (prefix): {v}"));
+            check_cross_intersection_sampled(scheme.as_ref(), 1_000, seed)
+                .unwrap_or_else(|v| panic!("{name} (sampled): {v}"));
+        }
+    }
+}

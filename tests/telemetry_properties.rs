@@ -89,4 +89,57 @@ proptest! {
         let seed_stamp = format!("\"seed\":{seed}");
         prop_assert!(last.contains(&seed_stamp));
     }
+
+    /// The lab substrate feeds the same export pipeline: a real-thread run
+    /// under the deterministic scheduler produces a trace and metrics whose
+    /// replayed event stream — including the `work_summary` event —
+    /// reconciles exactly with the lab's own accounting, just as sim runs
+    /// do. (The lab emits sim-vocabulary traces precisely so this holds.)
+    #[test]
+    fn lab_event_stream_reconciles_with_work_metrics(n in 1usize..6, seed in 0u64..50_000) {
+        use modular_consensus::lab::Lab;
+        use modular_consensus::runtime::Consensus;
+
+        let lab = Lab::new(n, Box::new(adversary::RandomScheduler::new(seed)), &[], 100_000);
+        let consensus = Consensus::binary_in(lab.memory(), n);
+        let report = lab
+            .run(seed, |pid, rng| consensus.decide(pid as u64 % 2, rng))
+            .expect("lab run terminates");
+
+        let agg = AggregatingRecorder::new();
+        let emitted = observe::export_run(seed, Some(&report.trace), &report.metrics, &agg);
+        prop_assert_eq!(emitted, report.metrics.total_work());
+        prop_assert_eq!(agg.ops(), report.metrics.total_work());
+        prop_assert_eq!(agg.individual_ops(), report.metrics.individual_work());
+        prop_assert_eq!(agg.per_process_ops(), report.metrics.per_process.clone());
+        prop_assert_eq!(agg.prob_writes_attempted(), report.metrics.prob_writes_attempted);
+        prop_assert_eq!(agg.prob_writes_performed(), report.metrics.prob_writes_performed);
+        // The trace itself accounts for every counted operation.
+        prop_assert_eq!(report.trace.len() as u64, report.metrics.total_work());
+    }
+
+    /// And the lab's `work_summary` JSONL line is well-formed and carries
+    /// the run seed — the contract downstream dashboards rely on, now
+    /// guaranteed for both execution substrates.
+    #[test]
+    fn lab_work_summary_exports_valid_jsonl(n in 1usize..5, seed in 0u64..20_000) {
+        use modular_consensus::lab::Lab;
+        use modular_consensus::runtime::Consensus;
+
+        let lab = Lab::new(n, Box::new(adversary::RandomScheduler::new(seed)), &[], 100_000);
+        let consensus = Consensus::binary_in(lab.memory(), n);
+        let report = lab
+            .run(seed, |pid, rng| consensus.decide(pid as u64 % 2, rng))
+            .expect("lab run terminates");
+
+        let (recorder, buf) = JsonlRecorder::in_memory();
+        observe::export_run(seed, Some(&report.trace), &report.metrics, &recorder);
+        let bytes = buf.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).expect("JSONL is UTF-8");
+        let last = text.lines().last().expect("at least one event");
+        json::validate(last).unwrap_or_else(|e| panic!("invalid JSON ({e}): {last}"));
+        prop_assert!(last.contains("\"ev\":\"work_summary\""));
+        let seed_stamp = format!("\"seed\":{seed}");
+        prop_assert!(last.contains(&seed_stamp));
+    }
 }

@@ -127,6 +127,49 @@ fn theorem10_ratifier_costs() {
     }
 }
 
+/// Theorem 10 at its exact bound for the binary ratifier: 3 registers and
+/// at most 4 register operations per process — certified not by sampling
+/// but by `mc-check` walking *every* interleaving (with acceptance checked:
+/// unanimous inputs must force unanimous decisions), for every binary input
+/// vector at n ∈ {2, 3}.
+#[test]
+fn theorem10_binary_ratifier_exact_bound_exhaustively() {
+    use modular_consensus::check::{CheckConfig, Explorer};
+
+    assert_eq!(Ratifier::binary().register_count(), 3);
+    assert_eq!(Ratifier::binary().individual_work_bound(), 4);
+
+    for n in [2usize, 3] {
+        for bits in 0..(1u64 << n) {
+            let inputs: Vec<u64> = (0..n).map(|p| (bits >> p) & 1).collect();
+            let report = Explorer::new(Ratifier::binary(), inputs.clone())
+                .with_config(CheckConfig {
+                    // 4 ops per process is the theorem's bound; give the
+                    // checker exactly that much room and no more.
+                    max_steps: 4 * n,
+                    check_acceptance: true,
+                    ..CheckConfig::default()
+                })
+                .verify_safety()
+                .unwrap_or_else(|e| panic!("n={n} inputs={inputs:?}: {e}"));
+            // Every path completed within 4n steps — the work bound is
+            // exact, not merely expected — and none violated safety (or
+            // acceptance, on unanimous inputs).
+            assert!(
+                report.is_exhaustive_pass(),
+                "n={n} inputs={inputs:?}: truncated={} violation={:?}",
+                report.truncated_paths,
+                report.violation
+            );
+            assert!(
+                report.max_individual_ops <= 4,
+                "n={n} inputs={inputs:?}: a process took {} ops",
+                report.max_individual_ops
+            );
+        }
+    }
+}
+
 /// §1 headline: binary consensus total work is O(n) — total/n stays bounded
 /// as n grows (Attiya–Censor tightness).
 #[test]
