@@ -1,0 +1,171 @@
+//! Measures what the fault-injection layer costs: bare `AtomicMemory`
+//! versus `FaultyMemory` with an empty plan (must be near-zero — the
+//! passthrough path is one branch per operation, no lock, no allocation)
+//! versus an active plan (the priced path: a mutex + seeded draw per
+//! operation).
+//!
+//! ```text
+//! fault_overhead [--iters <K>] [--out <path>]
+//! ```
+//!
+//! Writes a JSON report (default `BENCH_fault_overhead.json`) with mean
+//! wall-clock per consensus round and relative overheads, following the
+//! `BENCH_telemetry_overhead.json` format. Because a full round is
+//! dominated by thread spawn/join, the report also includes a
+//! single-threaded per-operation microbenchmark (read + write +
+//! probabilistic write loops on one register) where the layer's cost is
+//! actually resolvable.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use mc_model::Probability;
+use mc_runtime::{AtomicMemory, Consensus, FaultPlan, FaultyMemory, SharedMemory, SharedRegister};
+use mc_telemetry::json::Obj;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const N: usize = 8;
+const OPS: u64 = 1_000_000;
+
+/// Mean nanoseconds per call of `f` over `iters` calls (after 3 warmups).
+fn time_ns(iters: u64, mut f: impl FnMut(u64)) -> f64 {
+    for i in 0..3 {
+        f(u64::MAX - i);
+    }
+    let start = Instant::now();
+    for i in 0..iters {
+        f(i);
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// One real-thread binary consensus round across `N` threads in `memory`.
+fn consensus_round<M: SharedMemory>(memory: M, seed: u64) -> u64 {
+    let consensus = Arc::new(Consensus::binary_in(memory, N));
+    let handles: Vec<_> = (0..N as u64)
+        .map(|t| {
+            let c = Arc::clone(&consensus);
+            std::thread::spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(1_000).wrapping_add(t));
+                c.decide(t % 2, &mut rng)
+            })
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join().unwrap()).sum()
+}
+
+/// Mean nanoseconds per register operation: a single thread cycling
+/// write → read → probabilistic write on one register of `memory`.
+fn per_op_ns<M: SharedMemory>(memory: &M, ops: u64) -> f64 {
+    let reg = memory.alloc();
+    let half = Probability::new(0.5).expect("valid probability");
+    let mut rng = SmallRng::seed_from_u64(0x0f_ae17);
+    let start = Instant::now();
+    for i in 0..ops / 3 {
+        reg.write(i);
+        std::hint::black_box(reg.read());
+        std::hint::black_box(reg.prob_write(i, half, &mut rng));
+    }
+    start.elapsed().as_nanos() as f64 / (ops / 3 * 3) as f64
+}
+
+fn overhead_pct(base: f64, loaded: f64) -> f64 {
+    if base <= 0.0 {
+        0.0
+    } else {
+        (loaded - base) / base * 100.0
+    }
+}
+
+fn run(iters: u64, out_path: &str) -> Result<(), String> {
+    eprintln!("fault-layer overhead: {iters} iters per config, n={N}");
+
+    let bare = time_ns(iters, |i| {
+        std::hint::black_box(consensus_round(AtomicMemory, i));
+    });
+    let empty_plan = time_ns(iters, |i| {
+        let memory = FaultyMemory::new(AtomicMemory, FaultPlan::none());
+        std::hint::black_box(consensus_round(memory, i));
+    });
+    let active_plan = time_ns(iters, |i| {
+        let plan = FaultPlan::seeded(i)
+            .lost_prob_writes(0.1)
+            .stale_reads(0.1)
+            .delayed_writes(0.1, 3)
+            .register_resets(0.01);
+        let memory = FaultyMemory::new(AtomicMemory, plan);
+        std::hint::black_box(consensus_round(memory, i));
+    });
+
+    let op_bare = per_op_ns(&AtomicMemory, OPS);
+    let op_empty = per_op_ns(&FaultyMemory::new(AtomicMemory, FaultPlan::none()), OPS);
+    let op_active = {
+        let plan = FaultPlan::seeded(7)
+            .lost_prob_writes(0.1)
+            .stale_reads(0.1)
+            .delayed_writes(0.1, 3)
+            .register_resets(0.01);
+        per_op_ns(&FaultyMemory::new(AtomicMemory, plan), OPS)
+    };
+
+    let mut report = Obj::new();
+    report
+        .str_field("bench", "fault_overhead")
+        .u64_field("iters", iters)
+        .u64_field("n", N as u64)
+        .f64_field("bare_ns", bare)
+        .f64_field("empty_plan_ns", empty_plan)
+        .f64_field("empty_plan_overhead_pct", overhead_pct(bare, empty_plan))
+        .f64_field("active_plan_ns", active_plan)
+        .f64_field("active_plan_overhead_pct", overhead_pct(bare, active_plan))
+        .u64_field("per_op_ops", OPS)
+        .f64_field("per_op_bare_ns", op_bare)
+        .f64_field("per_op_empty_plan_ns", op_empty)
+        .f64_field("per_op_empty_plan_overhead_ns", op_empty - op_bare)
+        .f64_field("per_op_active_plan_ns", op_active)
+        .f64_field("per_op_active_plan_overhead_ns", op_active - op_bare);
+    let json = report.finish();
+    println!("{json}");
+    std::fs::write(out_path, format!("{json}\n"))
+        .map_err(|e| format!("writing {out_path}: {e}"))?;
+    eprintln!("report written to {out_path}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut iters = 200u64;
+    let mut out_path = "BENCH_fault_overhead.json".to_string();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--iters" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(v)) if v > 0 => iters = v,
+                _ => {
+                    eprintln!("--iters needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => {
+                    eprintln!("--out needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown option {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match run(iters, &out_path) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -63,6 +63,7 @@ fn runtime_run(seed: u64, recorder: Arc<dyn Recorder>) -> u64 {
         scheme: Arc::new(BinaryScheme::new()),
         schedule: WriteSchedule::impatient(),
         fast_path: true,
+        max_conciliator_rounds: None,
     };
     let consensus = Arc::new(Consensus::with_recorder(options, recorder));
     let handles: Vec<_> = (0..N as u64)

@@ -185,6 +185,9 @@ struct LazyChainObject {
     n: usize,
     cache: Mutex<Vec<Arc<dyn DecidingObject>>>,
     probe: Option<Arc<ChainProbe>>,
+    /// Highest valid stage index, or `None` for an unbounded chain.
+    /// [`BoundedChain`] sets this to its fallback's index.
+    limit: Option<usize>,
 }
 
 impl LazyChainObject {
@@ -230,12 +233,107 @@ impl ObjectSpec for LazyChain {
                 n: ctx.n,
                 cache: Mutex::new(Vec::new()),
                 probe: self.probe.clone(),
+                limit: None,
             }),
         })
     }
 
     fn name(&self) -> String {
         self.name.clone()
+    }
+}
+
+/// The bounded composition of §4.1.2 / Theorem 5:
+/// `(X₁; X₂; …; X_f; K)` — a truncated generator chain with a designated
+/// final fallback stage `K`.
+///
+/// Like [`LazyChain`], stages are produced by a generator and instantiated
+/// on first use; unlike it, the chain is finite: after `rounds` generated
+/// stages comes the fallback spec, and the chain ends there. A process
+/// that traverses every generated stage without deciding enters `K`
+/// (observable as [`ChainProbe::max_stage`] reaching
+/// [`fallback_index`](BoundedChain::fallback_index)); the composite's
+/// output is then whatever `K` halts with — composition (Lemmas 1–3)
+/// preserves validity and coherence regardless, so the truncated chain is
+/// still a weak consensus object, and it is a full consensus object
+/// exactly when `K` is one.
+#[derive(Clone)]
+pub struct BoundedChain {
+    generator: Arc<dyn Fn(usize) -> Arc<dyn ObjectSpec> + Send + Sync>,
+    rounds: usize,
+    fallback: Arc<dyn ObjectSpec>,
+    name: String,
+    probe: Option<Arc<ChainProbe>>,
+}
+
+impl BoundedChain {
+    /// Creates a bounded chain: `generator(i)` supplies stage `i` for
+    /// `i < rounds`, then `fallback` is the final stage. `rounds` may be 0,
+    /// leaving just the fallback.
+    pub fn new(
+        name: impl Into<String>,
+        generator: impl Fn(usize) -> Arc<dyn ObjectSpec> + Send + Sync + 'static,
+        rounds: usize,
+        fallback: Arc<dyn ObjectSpec>,
+    ) -> BoundedChain {
+        BoundedChain {
+            generator: Arc::new(generator),
+            rounds,
+            fallback,
+            name: name.into(),
+            probe: None,
+        }
+    }
+
+    /// Attaches a probe recording stage depth and halt sites. A process
+    /// took the fallback iff it entered stage [`fallback_index`](Self::fallback_index).
+    pub fn with_probe(mut self, probe: Arc<ChainProbe>) -> BoundedChain {
+        self.probe = Some(probe);
+        self
+    }
+
+    /// The stage index of the fallback `K` (= the number of generated
+    /// stages before it).
+    pub fn fallback_index(&self) -> usize {
+        self.rounds
+    }
+}
+
+impl std::fmt::Debug for BoundedChain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BoundedChain[{}]", self.name)
+    }
+}
+
+impl ObjectSpec for BoundedChain {
+    fn instantiate(&self, ctx: &mut InstantiateCtx<'_>) -> Arc<dyn DecidingObject> {
+        let rounds = self.rounds;
+        let generator = Arc::clone(&self.generator);
+        let fallback = Arc::clone(&self.fallback);
+        Arc::new(LazyChainHandle {
+            object: Arc::new(LazyChainObject {
+                generator: Arc::new(move |i| {
+                    if i < rounds {
+                        generator(i)
+                    } else {
+                        Arc::clone(&fallback)
+                    }
+                }),
+                n: ctx.n,
+                cache: Mutex::new(Vec::new()),
+                probe: self.probe.clone(),
+                limit: Some(rounds),
+            }),
+        })
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "{}[f={}; K={}]",
+            self.name,
+            self.rounds,
+            self.fallback.name()
+        )
     }
 }
 
@@ -250,7 +348,12 @@ impl StageSource {
     fn get(&self, i: usize, ctx: &mut Ctx<'_>) -> Option<Arc<dyn DecidingObject>> {
         match self {
             StageSource::Eager(stages) => stages.get(i).cloned(),
-            StageSource::Lazy(object) => Some(object.stage(i, ctx)),
+            StageSource::Lazy(object) => {
+                if object.limit.is_some_and(|limit| i > limit) {
+                    return None;
+                }
+                Some(object.stage(i, ctx))
+            }
         }
     }
 }
@@ -438,6 +541,111 @@ mod tests {
         // Stage 0's registers only: 3 for a binary ratifier.
         assert_eq!(out.metrics.registers_allocated, 3);
         assert_eq!(probe.halts(), vec![(0, true); 4]);
+    }
+
+    #[test]
+    fn bounded_chain_decides_early_without_touching_the_fallback() {
+        let probe = ChainProbe::new();
+        let spec = BoundedChain::new(
+            "bounded",
+            |_| Arc::new(Ratifier::binary()) as Arc<dyn ObjectSpec>,
+            3,
+            Arc::new(Ratifier::binary()),
+        )
+        .with_probe(Arc::clone(&probe));
+        assert_eq!(spec.fallback_index(), 3);
+        // Unanimous inputs: stage 0 decides for everyone; the fallback (and
+        // stages 1–2) are never instantiated.
+        let out = harness::run_object(
+            &spec,
+            &inputs::unanimous(4, 1),
+            &mut RoundRobin::new(),
+            0,
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        assert!(out.outputs.iter().all(|d| d.is_decided()));
+        assert_eq!(probe.max_stage(), 0);
+        assert_eq!(out.metrics.registers_allocated, 3);
+    }
+
+    #[test]
+    fn exhausted_bounded_chain_enters_the_fallback() {
+        // Conciliators never decide, so every process traverses all f of
+        // them and lands in the fallback ratifier at index f.
+        let probe = ChainProbe::new();
+        let f = 2;
+        let spec = BoundedChain::new(
+            "all-conciliators",
+            |_| Arc::new(FirstMoverConciliator::impatient()) as Arc<dyn ObjectSpec>,
+            f,
+            Arc::new(Ratifier::binary()),
+        )
+        .with_probe(Arc::clone(&probe));
+        let out = harness::run_object(
+            &spec,
+            &inputs::unanimous(3, 1),
+            &mut RandomScheduler::new(7),
+            7,
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(probe.max_stage(), spec.fallback_index());
+        // The fallback ratifier sees a single (conciliated or unanimous)
+        // value and decides it.
+        assert!(out.outputs.iter().all(|d| d.is_decided()));
+        assert_eq!(out.outputs[0].value(), 1);
+    }
+
+    #[test]
+    fn bounded_chain_preserves_weak_consensus() {
+        // Corollary 4 applied to the truncation: even when the fallback is
+        // only a ratifier (weak consensus), the composite stays a weak
+        // consensus object on every schedule.
+        for seed in 0..40 {
+            let spec = BoundedChain::new(
+                "truncated",
+                |i| {
+                    if i % 2 == 0 {
+                        Arc::new(FirstMoverConciliator::impatient()) as Arc<dyn ObjectSpec>
+                    } else {
+                        Arc::new(Ratifier::binary()) as Arc<dyn ObjectSpec>
+                    }
+                },
+                4,
+                Arc::new(Ratifier::binary()),
+            );
+            let ins = inputs::alternating(6, 2);
+            let out = harness::run_object(
+                &spec,
+                &ins,
+                &mut RandomScheduler::new(seed),
+                seed,
+                &EngineConfig::default(),
+            )
+            .unwrap();
+            properties::check_weak_consensus(&ins, &out.outputs).unwrap();
+        }
+    }
+
+    #[test]
+    fn zero_round_bounded_chain_is_just_the_fallback() {
+        let spec = BoundedChain::new(
+            "fallback-only",
+            |_| unreachable!("no generated stages"),
+            0,
+            Arc::new(Ratifier::binary()),
+        );
+        let out = harness::run_object(
+            &spec,
+            &inputs::unanimous(3, 0),
+            &mut RoundRobin::new(),
+            0,
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        assert!(out.outputs.iter().all(|d| d.is_decided() && d.value() == 0));
+        assert_eq!(spec.name(), "fallback-only[f=0; K=ratifier(binary)]");
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub mod protocol;
 pub mod ratifier;
 
 pub use coin::{ConciliatorCoin, VotingSharedCoin};
-pub use compose::{Chain, ChainProbe, LazyChain};
+pub use compose::{BoundedChain, Chain, ChainProbe, LazyChain};
 pub use conciliator::{
     CoinConciliator, DummyWriteConciliator, FirstMoverConciliator, WriteSchedule,
 };

@@ -21,7 +21,7 @@ use std::sync::Arc;
 use mc_check::{replay_to_completion, CoinPolicy};
 use mc_core::ConsensusBuilder;
 use mc_model::ObjectSpec;
-use mc_runtime::Consensus;
+use mc_runtime::{Consensus, FaultPlan, FaultyMemory, SharedMemory};
 use mc_sim::harness::run_object;
 use mc_sim::{Adversary, EngineConfig, RunError, Trace, WorkMetrics};
 
@@ -54,11 +54,17 @@ impl Protocol {
 
     /// The runtime-side object over the lab's instrumented memory.
     pub fn runtime(&self, lab: &Lab, n: usize) -> Consensus<crate::LabMemory> {
+        self.runtime_in(lab.memory(), n)
+    }
+
+    /// The runtime-side object over an arbitrary register substrate (e.g.
+    /// the lab's memory wrapped in a [`FaultyMemory`] layer).
+    pub fn runtime_in<M: SharedMemory>(&self, memory: M, n: usize) -> Consensus<M> {
         match self {
-            Protocol::Binary => Consensus::binary_in(lab.memory(), n),
+            Protocol::Binary => Consensus::binary_in(memory, n),
             Protocol::Multivalued(m) => {
                 assert!(*m > 2, "use Protocol::Binary for m = 2");
-                Consensus::multivalued_in(lab.memory(), n, *m)
+                Consensus::multivalued_in(memory, n, *m)
             }
         }
     }
@@ -186,6 +192,43 @@ pub fn check_conformance(
     seed: u64,
     max_steps: u64,
 ) -> Result<Conformance, Divergence> {
+    check_conformance_wrapped(protocol, inputs, make_adversary, seed, max_steps, |m| m)
+}
+
+/// [`check_conformance`] with the lab side running through a
+/// [`FaultyMemory`] layer under `plan`.
+///
+/// With an *empty* plan this must return exactly what [`check_conformance`]
+/// returns — the fault layer's passthrough is conformance-identical to the
+/// bare substrate (decisions, traces, `WorkMetrics`, replay) — which is the
+/// guarantee this function exists to check. A non-empty plan perturbs the
+/// lab side only, so divergences are then expected and meaningful: they
+/// show which fault classes the sim's fault-free execution can distinguish.
+///
+/// # Errors
+///
+/// Returns the first [`Divergence`] found.
+pub fn check_conformance_with_plan(
+    protocol: Protocol,
+    inputs: &[u64],
+    make_adversary: &dyn Fn() -> Box<dyn Adversary + Send>,
+    seed: u64,
+    max_steps: u64,
+    plan: FaultPlan,
+) -> Result<Conformance, Divergence> {
+    check_conformance_wrapped(protocol, inputs, make_adversary, seed, max_steps, |m| {
+        FaultyMemory::new(m, plan)
+    })
+}
+
+fn check_conformance_wrapped<M: SharedMemory>(
+    protocol: Protocol,
+    inputs: &[u64],
+    make_adversary: &dyn Fn() -> Box<dyn Adversary + Send>,
+    seed: u64,
+    max_steps: u64,
+    wrap: impl FnOnce(crate::LabMemory) -> M,
+) -> Result<Conformance, Divergence> {
     let n = inputs.len();
     assert!(n > 0, "need at least one process");
     for &input in inputs {
@@ -204,7 +247,7 @@ pub fn check_conformance(
     );
 
     let lab = Lab::new(n, make_adversary(), &[], max_steps);
-    let consensus = protocol.runtime(&lab, n);
+    let consensus = protocol.runtime_in(wrap(lab.memory()), n);
     let lab_report = lab.run(seed, |pid, rng| consensus.decide(inputs[pid], rng));
 
     let (sim_outcome, lab_report) = match (sim_outcome, lab_report) {
@@ -327,6 +370,42 @@ mod tests {
                 check_conformance(Protocol::Multivalued(5), &[4, 0, 2], &make, seed, 100_000)
                     .unwrap_or_else(|d| panic!("seed {seed}: {d}"));
             }
+        }
+    }
+
+    #[test]
+    fn empty_fault_plan_is_conformance_identical_to_bare_memory() {
+        for seed in 0..10 {
+            for make in adversary_menu(seed) {
+                let bare = check_conformance(Protocol::Binary, &[0, 1, 1], &make, seed, 100_000)
+                    .unwrap_or_else(|d| panic!("bare seed {seed}: {d}"));
+                let layered = check_conformance_with_plan(
+                    Protocol::Binary,
+                    &[0, 1, 1],
+                    &make,
+                    seed,
+                    100_000,
+                    FaultPlan::none(),
+                )
+                .unwrap_or_else(|d| panic!("layered seed {seed}: {d}"));
+                assert_eq!(bare, layered, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_fault_plan_conforms_on_multivalued_too() {
+        for seed in 0..5 {
+            check_conformance_with_plan(
+                Protocol::Multivalued(5),
+                &[4, 0, 2],
+                &(Box::new(move || Box::new(SplitKeeper::new(seed)) as Box<dyn Adversary + Send>)
+                    as Box<dyn Fn() -> Box<dyn Adversary + Send>>),
+                seed,
+                100_000,
+                FaultPlan::none(),
+            )
+            .unwrap_or_else(|d| panic!("seed {seed}: {d}"));
         }
     }
 

@@ -42,7 +42,9 @@ mod harness;
 pub mod inject;
 pub mod toy;
 
-pub use conform::{check_conformance, Conformance, Divergence, Protocol};
+pub use conform::{
+    check_conformance, check_conformance_with_plan, Conformance, Divergence, Protocol,
+};
 pub use control::{LabError, LabMemory, LabRegister};
 pub use harness::{Lab, LabReport};
 pub use inject::StallingAdversary;
@@ -131,6 +133,45 @@ mod tests {
             .unwrap();
         let d0 = report.decisions[0].unwrap();
         assert_eq!(report.decisions[1], Some(d0));
+    }
+
+    #[test]
+    fn faulty_memory_over_lab_memory_is_deterministic_and_safe() {
+        use mc_runtime::{BoundedConsensus, FaultPlan, FaultyMemory};
+
+        let run = |seed: u64| {
+            let lab = Lab::new(3, Box::new(RandomScheduler::new(seed)), &[], 400_000);
+            let plan = FaultPlan::seeded(seed)
+                .lost_prob_writes(0.4)
+                .stale_reads(0.3)
+                .delayed_writes(0.2, 3)
+                .register_resets(0.02);
+            let memory = FaultyMemory::new(lab.memory(), plan);
+            let counts = memory.clone();
+            let consensus = BoundedConsensus::binary_in(memory, 3);
+            let report = lab
+                .run(seed, |pid, rng| consensus.decide(pid, pid as u64 % 2, rng))
+                .expect("bounded consensus must terminate under faults");
+            (report, counts.fault_counts())
+        };
+        for seed in [2, 13, 31] {
+            let (report, counts) = run(seed);
+            let first = report.decisions[0].expect("decided");
+            assert!(first < 2, "validity under faults");
+            assert!(
+                report.decisions.iter().all(|&d| d == Some(first)),
+                "agreement under faults: {:?}",
+                report.decisions
+            );
+            // Same (adversary, seed, plan) ⇒ bit-identical run, faults and
+            // all: fault decisions land in each thread's exclusive
+            // scheduling window.
+            let (replay, replay_counts) = run(seed);
+            assert_eq!(report.decisions, replay.decisions);
+            assert_eq!(report.trace, replay.trace);
+            assert_eq!(report.path, replay.path);
+            assert_eq!(counts, replay_counts);
+        }
     }
 
     #[test]

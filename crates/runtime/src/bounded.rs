@@ -1,0 +1,455 @@
+//! Bounded consensus with graceful fallback — §4.1.2 / Theorem 5.
+//!
+//! The unbounded construction of §4.1.1 ([`Consensus`]) appends
+//! conciliator/ratifier pairs forever; its space is unbounded and an
+//! adversary controls its tail. Theorem 5 truncates the chain after `f`
+//! conciliator stages and appends a backup protocol `K`:
+//!
+//! ```text
+//! R₋₁; R₀; C₁; R₁; C₂; R₂; …; C_f; R_f; K
+//! ```
+//!
+//! Each conciliator produces agreement with probability at least δ
+//! (independent coins), so the probability that *no* ratifier in the chain
+//! detects agreement — the probability of reaching `K` — is at most
+//! `(1 − δ)^f` (`mc_analysis::theory::fallback_probability`). `K` may be
+//! slow (here: an O(n)-scan leader protocol), but it is deterministic and
+//! always terminates, so the composed object decides on **every**
+//! schedule, trading the unbounded chain's probability-1 termination for a
+//! worst-case bound with an exponentially rare slow path.
+//!
+//! The fallback is pluggable via the [`Fallback`] trait;
+//! [`LeaderFallback`] is the provided `K`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mc_telemetry::{Recorder, StageKind};
+use rand::Rng;
+
+use crate::consensus::{Consensus, ConsensusOptions, Stage};
+use crate::register::{AtomicMemory, SharedMemory, SharedRegister};
+use crate::telemetry::RuntimeTelemetry;
+
+/// Default conciliator bound `f` when
+/// [`ConsensusOptions::max_conciliator_rounds`] is `None`.
+///
+/// With the paper's worst-case δ ≈ 0.0553 (Theorem 7) this gives a
+/// fallback probability of about `0.9447¹⁶ ≈ 0.40` per fully adversarial
+/// object; against the benign schedules of a real runtime the measured δ
+/// is far higher and the fallback is vanishingly rare.
+pub const DEFAULT_MAX_CONCILIATOR_ROUNDS: u32 = 16;
+
+/// A deterministic backup consensus protocol `K` for [`BoundedConsensus`].
+///
+/// `decide` must be a correct consensus protocol on its own (validity +
+/// agreement among fallback callers) and must additionally accept any
+/// value published by [`publish`](Fallback::publish): when a process
+/// decides `v` inside the chain, the ratifier coherence argument
+/// guarantees every value still flowing through later stages equals `v`,
+/// so a published value and the fallback callers' inputs never disagree.
+pub trait Fallback: Send + Sync {
+    /// Decides deterministically; `value` is the caller's current chain
+    /// value, `pid` its process id in `0..n`.
+    fn decide(&self, pid: usize, value: u64) -> u64;
+
+    /// Called when `pid` decides `value` *inside* the chain, before its
+    /// `decide` call returns, so late fallback entrants can learn the
+    /// decision.
+    fn publish(&self, pid: usize, value: u64);
+
+    /// Short name for diagnostics.
+    fn name(&self) -> &'static str {
+        "fallback"
+    }
+}
+
+/// The provided `K`: an O(n)-scan designated-leader protocol.
+///
+/// Registers: one announcement slot per process plus a single-writer
+/// decision register written **only by process 0**, which makes the
+/// decision register race-free by construction — no deterministic
+/// leader-election (impossible wait-free) and no locks (which would
+/// deadlock under `mc-lab`'s serialized scheduler) are needed.
+///
+/// * Process 0 entering the fallback writes its slot, scans all slots in
+///   index order, adopts the first announced value, writes it to the
+///   decision register, and returns it.
+/// * Any other process writes its slot and spin-reads the decision
+///   register.
+/// * A process deciding `v` in-chain publishes: process 0 writes `v` to
+///   the decision register (coherence makes this consistent with every
+///   later chain value); others do nothing.
+///
+/// **Leader dependence**: termination of the fallback requires process 0
+/// to eventually run (it always does under the runtime and under `mc-lab`
+/// without crashes; crashing process 0 before it writes the decision
+/// register starves fallback entrants — the classic cost of a designated
+/// leader, which Theorem 5 tolerates because `K` is only required to be
+/// a correct protocol for the model at hand).
+pub struct LeaderFallback<M: SharedMemory> {
+    slots: Vec<M::Reg>,
+    decision: M::Reg,
+}
+
+impl<M: SharedMemory> LeaderFallback<M> {
+    /// Allocates the fallback's registers (`n` slots + decision) in
+    /// `memory`, in a fixed order.
+    pub fn new_in(memory: &M, n: usize) -> LeaderFallback<M> {
+        assert!(n > 0, "need at least one process");
+        LeaderFallback {
+            slots: (0..n).map(|_| memory.alloc()).collect(),
+            decision: memory.alloc(),
+        }
+    }
+}
+
+impl<M: SharedMemory> Fallback for LeaderFallback<M> {
+    fn decide(&self, pid: usize, value: u64) -> u64 {
+        assert!(pid < self.slots.len(), "pid {pid} out of range");
+        self.slots[pid].write(value);
+        if pid == 0 {
+            let chosen = self
+                .slots
+                .iter()
+                .find_map(|slot| slot.read())
+                .unwrap_or(value);
+            self.decision.write(chosen);
+            chosen
+        } else {
+            loop {
+                if let Some(v) = self.decision.read() {
+                    return v;
+                }
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    fn publish(&self, pid: usize, value: u64) {
+        if pid == 0 {
+            self.decision.write(value);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "leader_scan"
+    }
+}
+
+/// Theorem 5's bounded consensus object:
+/// `R₋₁; R₀; (C; R)^f; K` over any [`SharedMemory`].
+///
+/// Unlike [`Consensus`], [`decide`](BoundedConsensus::decide) takes the
+/// caller's process id (the fallback `K` needs identities) and is
+/// guaranteed to terminate on every schedule — including under
+/// [`FaultyMemory`](crate::FaultyMemory) plans that destroy conciliator
+/// progress — at the price of reaching the slow deterministic fallback
+/// with probability at most `(1 − δ)^f`.
+///
+/// One-shot semantics: each process calls `decide` at most once, with a
+/// distinct `pid` in `0..n`. The fallback's registers are allocated
+/// eagerly at construction (before any lazy chain stage), keeping
+/// register allocation order deterministic across substrates.
+pub struct BoundedConsensus<M: SharedMemory = AtomicMemory, F: Fallback = LeaderFallback<M>> {
+    chain: Consensus<M>,
+    fallback: F,
+    rounds: u32,
+}
+
+impl BoundedConsensus {
+    /// Binary bounded consensus for up to `n` threads with the default
+    /// bound and leader fallback.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn binary(n: usize) -> BoundedConsensus {
+        BoundedConsensus::binary_in(AtomicMemory, n)
+    }
+}
+
+impl<M: SharedMemory> BoundedConsensus<M> {
+    /// Binary bounded consensus whose registers live in `memory`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn binary_in(memory: M, n: usize) -> BoundedConsensus<M> {
+        let fallback = LeaderFallback::new_in(&memory, n);
+        BoundedConsensus::with_fallback_in(
+            memory,
+            ConsensusOptions {
+                n,
+                scheme: Arc::new(mc_quorums::BinaryScheme::new()),
+                schedule: mc_core::conciliator::WriteSchedule::impatient(),
+                fast_path: true,
+                max_conciliator_rounds: None,
+            },
+            fallback,
+        )
+    }
+
+    /// `m`-valued bounded consensus whose registers live in `memory`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `m < 2`.
+    pub fn multivalued_in(memory: M, n: usize, m: u64) -> BoundedConsensus<M> {
+        let fallback = LeaderFallback::new_in(&memory, n);
+        BoundedConsensus::with_fallback_in(memory, Consensus::multivalued_options(n, m), fallback)
+    }
+
+    /// Bounded consensus with explicit options whose registers live in
+    /// `memory`, with the leader fallback.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options.n == 0`.
+    pub fn with_options_in(memory: M, options: ConsensusOptions) -> BoundedConsensus<M> {
+        let fallback = LeaderFallback::new_in(&memory, options.n);
+        BoundedConsensus::with_fallback_in(memory, options, fallback)
+    }
+
+    /// Bounded consensus over `memory` with telemetry events going to
+    /// `recorder` and the leader fallback.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options.n == 0`.
+    pub fn with_recorder_in(
+        memory: M,
+        options: ConsensusOptions,
+        recorder: Arc<dyn Recorder>,
+    ) -> BoundedConsensus<M> {
+        let fallback = LeaderFallback::new_in(&memory, options.n);
+        let telemetry = Arc::new(RuntimeTelemetry::new(options.n, recorder));
+        BoundedConsensus {
+            rounds: options
+                .max_conciliator_rounds
+                .unwrap_or(DEFAULT_MAX_CONCILIATOR_ROUNDS),
+            chain: Consensus::with_telemetry_in(memory, options, telemetry),
+            fallback,
+        }
+    }
+}
+
+impl<M: SharedMemory, F: Fallback> BoundedConsensus<M, F> {
+    /// Bounded consensus with an explicit fallback protocol `K`.
+    ///
+    /// The bound `f` is `options.max_conciliator_rounds`, defaulting to
+    /// [`DEFAULT_MAX_CONCILIATOR_ROUNDS`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options.n == 0`.
+    pub fn with_fallback_in(
+        memory: M,
+        options: ConsensusOptions,
+        fallback: F,
+    ) -> BoundedConsensus<M, F> {
+        BoundedConsensus {
+            rounds: options
+                .max_conciliator_rounds
+                .unwrap_or(DEFAULT_MAX_CONCILIATOR_ROUNDS),
+            chain: Consensus::with_options_in(memory, options),
+            fallback,
+        }
+    }
+
+    /// Live metrics for this object, including `fallbacks_taken`.
+    pub fn telemetry(&self) -> &RuntimeTelemetry {
+        self.chain.telemetry()
+    }
+
+    /// Shared handle to this object's telemetry, for wiring observers —
+    /// e.g. [`FaultyMemory::observed_by`](crate::FaultyMemory::observed_by).
+    pub fn telemetry_handle(&self) -> &Arc<RuntimeTelemetry> {
+        self.chain.telemetry_handle()
+    }
+
+    /// Number of distinct proposal values supported.
+    pub fn capacity(&self) -> u64 {
+        self.chain.capacity()
+    }
+
+    /// The conciliator bound `f`.
+    pub fn max_conciliator_rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    /// The fallback protocol's name.
+    pub fn fallback_name(&self) -> &'static str {
+        self.fallback.name()
+    }
+
+    /// Proposes `value` as process `pid` and returns the agreed decision.
+    ///
+    /// Runs the truncated chain; if all `f` conciliator stages fail to
+    /// ratify, takes the deterministic fallback `K`. Always terminates
+    /// (given every process eventually runs — see [`LeaderFallback`] for
+    /// its leader dependence).
+    ///
+    /// One-shot semantics: each process calls this at most once, with a
+    /// distinct `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value ≥ capacity()` or `pid ≥ n`.
+    pub fn decide(&self, pid: usize, value: u64, rng: &mut dyn Rng) -> u64 {
+        assert!(
+            value < self.capacity(),
+            "value {value} exceeds consensus capacity {}",
+            self.capacity()
+        );
+        let n = self.chain.options().n;
+        assert!(pid < n, "pid {pid} out of range for n = {n}");
+        let telemetry = Arc::clone(self.chain.telemetry_handle());
+        telemetry.on_decide_start();
+        let start = Instant::now();
+        let fast_prefix = if self.chain.options().fast_path { 2 } else { 0 };
+        let total_stages = fast_prefix + 2 * self.rounds as usize;
+        let mut current = value;
+        for ix in 0..total_stages {
+            match &*self.chain.stage(ix) {
+                Stage::Ratifier(r) => {
+                    telemetry.on_stage_entered(ix as u64, StageKind::Ratifier);
+                    let d = r.ratify(current);
+                    telemetry.on_ratifier_verdict(ix as u64, d.is_decided(), d.value());
+                    if d.is_decided() {
+                        // Let late fallback entrants learn the decision.
+                        self.fallback.publish(pid, d.value());
+                        let latency_ns =
+                            u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        telemetry.on_decided(d.value(), ix as u64, ix < fast_prefix, latency_ns);
+                        return d.value();
+                    }
+                    current = d.value();
+                }
+                Stage::Conciliator(c) => {
+                    telemetry.on_stage_entered(ix as u64, StageKind::Conciliator);
+                    current = c.propose(current, rng);
+                }
+            }
+        }
+        telemetry.on_fallback_taken(u64::from(self.rounds));
+        let decided = self.fallback.decide(pid, current);
+        let latency_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        telemetry.on_decided(decided, total_stages as u64, false, latency_ns);
+        decided
+    }
+}
+
+impl<M: SharedMemory, F: Fallback> std::fmt::Debug for BoundedConsensus<M, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoundedConsensus")
+            .field("rounds", &self.rounds)
+            .field("fallback", &self.fallback.name())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn run_bounded(consensus: Arc<BoundedConsensus>, proposals: Vec<u64>, seed: u64) -> Vec<u64> {
+        let handles: Vec<_> = proposals
+            .into_iter()
+            .enumerate()
+            .map(|(pid, v)| {
+                let c = Arc::clone(&consensus);
+                std::thread::spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(seed * 1000 + pid as u64);
+                    c.decide(pid, v, &mut rng)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn binary_agreement_and_validity() {
+        for trial in 0..100 {
+            let c = Arc::new(BoundedConsensus::binary(6));
+            let proposals: Vec<u64> = (0..6).map(|t| (t as u64 + trial) % 2).collect();
+            let results = run_bounded(c, proposals.clone(), trial);
+            let first = results[0];
+            assert!(
+                results.iter().all(|&r| r == first),
+                "trial {trial}: {results:?}"
+            );
+            assert!(proposals.contains(&first), "trial {trial}: invalid {first}");
+        }
+    }
+
+    #[test]
+    fn zero_round_bound_always_falls_back_and_still_agrees() {
+        // f = 0, no fast path: every call goes straight to K.
+        for trial in 0..50 {
+            let options = ConsensusOptions {
+                n: 4,
+                scheme: Arc::new(mc_quorums::BinaryScheme::new()),
+                schedule: mc_core::conciliator::WriteSchedule::impatient(),
+                fast_path: false,
+                max_conciliator_rounds: Some(0),
+            };
+            let c = Arc::new(BoundedConsensus::with_options_in(AtomicMemory, options));
+            let proposals: Vec<u64> = (0..4).map(|t| (t + trial) % 2).collect();
+            let telemetry_check = Arc::clone(&c);
+            let results = run_bounded(c, proposals.clone(), trial);
+            let first = results[0];
+            assert!(
+                results.iter().all(|&r| r == first),
+                "trial {trial}: {results:?}"
+            );
+            assert!(proposals.contains(&first));
+            assert_eq!(telemetry_check.telemetry().fallbacks_taken(), 4);
+        }
+    }
+
+    #[test]
+    fn single_process_decides_its_own_value() {
+        let c = BoundedConsensus::binary(1);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(c.decide(0, 1, &mut rng), 1);
+        assert_eq!(c.telemetry().fallbacks_taken(), 0);
+    }
+
+    #[test]
+    fn leader_fallback_alone_is_a_consensus_protocol() {
+        for trial in 0..50u64 {
+            let fb = Arc::new(LeaderFallback::new_in(&AtomicMemory, 5));
+            let handles: Vec<_> = (0..5usize)
+                .map(|pid| {
+                    let fb = Arc::clone(&fb);
+                    let v = (pid as u64 + trial) % 3;
+                    std::thread::spawn(move || fb.decide(pid, v))
+                })
+                .collect();
+            let results: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            let first = results[0];
+            assert!(results.iter().all(|&r| r == first), "{results:?}");
+            assert!((0..3).contains(&first));
+        }
+    }
+
+    #[test]
+    fn publish_reaches_late_fallback_entrants() {
+        let fb = LeaderFallback::new_in(&AtomicMemory, 2);
+        // pid 0 decided 1 in-chain and published; pid 1 enters the
+        // fallback afterwards and must adopt it.
+        fb.publish(0, 1);
+        assert_eq!(fb.decide(1, 0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_pid_rejected() {
+        let c = BoundedConsensus::binary(2);
+        let mut rng = SmallRng::seed_from_u64(0);
+        c.decide(2, 0, &mut rng);
+    }
+}

@@ -25,6 +25,11 @@ pub struct ConsensusOptions {
     pub schedule: WriteSchedule,
     /// Whether to run the `R₋₁; R₀` fast path before the first conciliator.
     pub fast_path: bool,
+    /// Bound `f` on conciliator stages for
+    /// [`BoundedConsensus`](crate::BoundedConsensus) (§4.1.2 / Theorem 5).
+    /// `None` means unbounded: [`Consensus::decide`] always ignores this
+    /// field, and `BoundedConsensus` substitutes its default bound.
+    pub max_conciliator_rounds: Option<u32>,
 }
 
 impl std::fmt::Debug for ConsensusOptions {
@@ -34,11 +39,12 @@ impl std::fmt::Debug for ConsensusOptions {
             .field("scheme", &self.scheme.name())
             .field("schedule", &self.schedule)
             .field("fast_path", &self.fast_path)
+            .field("max_conciliator_rounds", &self.max_conciliator_rounds)
             .finish()
     }
 }
 
-enum Stage<M: SharedMemory> {
+pub(crate) enum Stage<M: SharedMemory> {
     Ratifier(AtomicRatifier<M>),
     Conciliator(ImpatientConciliator<M>),
 }
@@ -96,6 +102,7 @@ impl Consensus {
             scheme: Arc::new(BinomialScheme::for_capacity(m).expect("m ≥ 2")),
             schedule: WriteSchedule::impatient(),
             fast_path: true,
+            max_conciliator_rounds: None,
         }
     }
 
@@ -134,6 +141,7 @@ impl<M: SharedMemory> Consensus<M> {
                 scheme: Arc::new(BinaryScheme::new()),
                 schedule: WriteSchedule::impatient(),
                 fast_path: true,
+                max_conciliator_rounds: None,
             },
         )
     }
@@ -202,7 +210,18 @@ impl<M: SharedMemory> Consensus<M> {
         self.stages.read().len()
     }
 
-    fn stage(&self, ix: usize) -> Arc<Stage<M>> {
+    pub(crate) fn options(&self) -> &ConsensusOptions {
+        &self.options
+    }
+
+    /// Shared handle to this object's telemetry, for wiring observers that
+    /// outlive individual calls — e.g.
+    /// [`FaultyMemory::observed_by`](crate::FaultyMemory::observed_by).
+    pub fn telemetry_handle(&self) -> &Arc<RuntimeTelemetry> {
+        &self.telemetry
+    }
+
+    pub(crate) fn stage(&self, ix: usize) -> Arc<Stage<M>> {
         if let Some(stage) = self.stages.read().get(ix) {
             return Arc::clone(stage);
         }

@@ -38,18 +38,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bounded;
 mod conciliator;
 mod consensus;
 mod derived;
+mod faults;
 mod log;
 mod ratifier;
 mod register;
 mod telemetry;
 mod typed;
 
+pub use bounded::{BoundedConsensus, Fallback, LeaderFallback, DEFAULT_MAX_CONCILIATOR_ROUNDS};
 pub use conciliator::ImpatientConciliator;
 pub use consensus::{Consensus, ConsensusOptions};
 pub use derived::{Election, TestAndSet};
+pub use faults::{FaultCounts, FaultPlan, FaultyMemory, FaultyRegister, ResetScope};
 pub use log::ReplicatedLog;
 pub use ratifier::AtomicRatifier;
 pub use register::{AtomicMemory, AtomicRegister, SharedMemory, SharedRegister};

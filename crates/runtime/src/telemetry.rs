@@ -10,8 +10,8 @@
 use std::sync::Arc;
 
 use mc_telemetry::{
-    thread_shard, Counter, Gauge, Histogram, NoopRecorder, Recorder, ShardedCounter, Snapshot,
-    StageKind, TelemetryEvent,
+    thread_shard, Counter, FaultClass, Gauge, Histogram, NoopRecorder, Recorder, ShardedCounter,
+    Snapshot, StageKind, TelemetryEvent,
 };
 
 /// Aggregated metrics plus an event sink for runtime consensus objects.
@@ -34,6 +34,12 @@ pub struct RuntimeTelemetry {
     prob_writes_performed: ShardedCounter,
     appends: Counter,
     slot_conflicts: Counter,
+    faults_injected: Counter,
+    lost_prob_writes: Counter,
+    stale_reads: Counter,
+    delayed_commits: Counter,
+    register_resets: Counter,
+    fallbacks_taken: Counter,
 }
 
 impl std::fmt::Debug for RuntimeTelemetry {
@@ -65,6 +71,12 @@ impl RuntimeTelemetry {
             prob_writes_performed: ShardedCounter::new(n),
             appends: Counter::new(),
             slot_conflicts: Counter::new(),
+            faults_injected: Counter::new(),
+            lost_prob_writes: Counter::new(),
+            stale_reads: Counter::new(),
+            delayed_commits: Counter::new(),
+            register_resets: Counter::new(),
+            fallbacks_taken: Counter::new(),
         }
     }
 
@@ -184,6 +196,35 @@ impl RuntimeTelemetry {
     }
 
     #[inline]
+    pub(crate) fn on_fault_injected(&self, class: FaultClass, register: u64, step: u64) {
+        self.faults_injected.incr();
+        match class {
+            FaultClass::LostProbWrite => self.lost_prob_writes.incr(),
+            FaultClass::StaleRead => self.stale_reads.incr(),
+            FaultClass::DelayedVisibility => self.delayed_commits.incr(),
+            FaultClass::RegisterReset => self.register_resets.incr(),
+        }
+        if self.events_on {
+            self.recorder.record(&TelemetryEvent::FaultInjected {
+                class,
+                register,
+                step,
+            });
+        }
+    }
+
+    #[inline]
+    pub(crate) fn on_fallback_taken(&self, conciliator_stages: u64) {
+        self.fallbacks_taken.incr();
+        if self.events_on {
+            self.recorder.record(&TelemetryEvent::FallbackTaken {
+                pid: Self::pid(),
+                conciliator_stages,
+            });
+        }
+    }
+
+    #[inline]
     pub(crate) fn on_append(&self, slots_walked: u64) {
         self.appends.incr();
         // Every slot beyond the first means some other replica's command won
@@ -263,6 +304,37 @@ impl RuntimeTelemetry {
         self.slot_conflicts.get()
     }
 
+    /// Memory faults delivered by an attached `FaultyMemory`, all classes.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected.get()
+    }
+
+    /// Probabilistic writes whose coin fired but whose store was dropped.
+    pub fn lost_prob_writes(&self) -> u64 {
+        self.lost_prob_writes.get()
+    }
+
+    /// Reads served a stale (previous) value.
+    pub fn stale_reads(&self) -> u64 {
+        self.stale_reads.get()
+    }
+
+    /// Writes whose visibility was delayed.
+    pub fn delayed_commits(&self) -> u64 {
+        self.delayed_commits.get()
+    }
+
+    /// Registers wiped back to ⊥.
+    pub fn register_resets(&self) -> u64 {
+        self.register_resets.get()
+    }
+
+    /// Bounded-consensus calls that exhausted every conciliator stage and
+    /// fell back to the backup protocol `K`.
+    pub fn fallbacks_taken(&self) -> u64 {
+        self.fallbacks_taken.get()
+    }
+
     /// A frozen copy of every metric, ready for text/JSON/Prometheus
     /// export.
     pub fn snapshot(&self) -> Snapshot {
@@ -275,6 +347,12 @@ impl RuntimeTelemetry {
             .counter("prob_writes_performed", self.prob_writes_performed())
             .counter("appends", self.appends())
             .counter("slot_conflicts", self.slot_conflicts())
+            .counter("faults_injected", self.faults_injected())
+            .counter("faults_lost_prob_writes", self.lost_prob_writes())
+            .counter("faults_stale_reads", self.stale_reads())
+            .counter("faults_delayed_commits", self.delayed_commits())
+            .counter("faults_register_resets", self.register_resets())
+            .counter("fallbacks_taken", self.fallbacks_taken())
             .gauge(
                 "max_conciliator_round",
                 self.max_conciliator_round.get(),
@@ -325,6 +403,28 @@ mod tests {
         assert_eq!(agg.prob_writes_performed(), 0);
         assert_eq!(agg.fast_path_hits(), 1);
         assert_eq!(agg.decisions(), 1);
+    }
+
+    #[test]
+    fn fault_and_fallback_hooks_count_and_emit() {
+        let agg = Arc::new(AggregatingRecorder::new());
+        let t = RuntimeTelemetry::new(2, Arc::clone(&agg) as Arc<dyn Recorder>);
+        t.on_fault_injected(FaultClass::LostProbWrite, 3, 10);
+        t.on_fault_injected(FaultClass::StaleRead, 1, 11);
+        t.on_fault_injected(FaultClass::StaleRead, 1, 12);
+        t.on_fallback_taken(6);
+        assert_eq!(t.faults_injected(), 3);
+        assert_eq!(t.lost_prob_writes(), 1);
+        assert_eq!(t.stale_reads(), 2);
+        assert_eq!(t.delayed_commits(), 0);
+        assert_eq!(t.register_resets(), 0);
+        assert_eq!(t.fallbacks_taken(), 1);
+        assert_eq!(agg.faults_injected(), 3);
+        assert_eq!(agg.fallbacks_taken(), 1);
+        let snap = t.snapshot();
+        assert_eq!(snap.counter_value("faults_injected"), Some(3));
+        assert_eq!(snap.counter_value("faults_stale_reads"), Some(2));
+        assert_eq!(snap.counter_value("fallbacks_taken"), Some(1));
     }
 
     #[test]

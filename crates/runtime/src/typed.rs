@@ -136,6 +136,7 @@ impl<T: ValueCode, M: SharedMemory> TypedConsensus<T, M> {
                     scheme: Arc::new(BitVectorScheme::with_bits(T::BITS.clamp(1, 63))),
                     schedule: WriteSchedule::impatient(),
                     fast_path: true,
+                    max_conciliator_rounds: None,
                 },
             ),
             _marker: PhantomData,

@@ -35,6 +35,37 @@ impl StageKind {
     }
 }
 
+/// Which register-level fault a fault-injection layer delivered.
+///
+/// The classes mirror `mc-runtime`'s `FaultPlan`: the probabilistic-write
+/// model's store can be *lost*, a read can observe *stale* (regular-register)
+/// state, a write's visibility can be *delayed*, and a register can be
+/// *reset* to ⊥ as if by a crash-recovery wipe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// A probabilistic write whose coin fired but whose store never landed.
+    LostProbWrite,
+    /// A read that returned the register's previous value (HHT regular
+    /// semantics) instead of the current one.
+    StaleRead,
+    /// A write whose visibility was deferred past the operation itself.
+    DelayedVisibility,
+    /// A register wiped back to ⊥.
+    RegisterReset,
+}
+
+impl FaultClass {
+    /// Stable lowercase name used in JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultClass::LostProbWrite => "lost_prob_write",
+            FaultClass::StaleRead => "stale_read",
+            FaultClass::DelayedVisibility => "delayed_visibility",
+            FaultClass::RegisterReset => "register_reset",
+        }
+    }
+}
+
 /// Classification of a single shared-memory operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OpClass {
@@ -136,6 +167,23 @@ pub enum TelemetryEvent {
         /// `true` for every other class.
         performed: bool,
     },
+    /// A fault-injection layer delivered one register-level fault.
+    FaultInjected {
+        /// Which fault class fired.
+        class: FaultClass,
+        /// Index of the affected register within its fault layer.
+        register: u64,
+        /// The fault layer's operation counter when the fault fired.
+        step: u64,
+    },
+    /// A bounded consensus exhausted its conciliator budget and fell back
+    /// to the backup protocol `K` (Theorem 5).
+    FallbackTaken {
+        /// Emitting process.
+        pid: u64,
+        /// Number of conciliator stages that failed before the fallback.
+        conciliator_stages: u64,
+    },
     /// End-of-run totals (mirrors `mc-sim`'s `WorkMetrics`).
     WorkSummary {
         /// Seed the run was driven with.
@@ -168,6 +216,8 @@ impl TelemetryEvent {
             TelemetryEvent::RatifierVerdict { .. } => "ratifier_verdict",
             TelemetryEvent::Decided { .. } => "decided",
             TelemetryEvent::Op { .. } => "op",
+            TelemetryEvent::FaultInjected { .. } => "fault_injected",
+            TelemetryEvent::FallbackTaken { .. } => "fallback_taken",
             TelemetryEvent::WorkSummary { .. } => "work_summary",
         }
     }
@@ -241,6 +291,22 @@ impl TelemetryEvent {
                     .u64_field("pid", *pid)
                     .str_field("class", class.as_str())
                     .bool_field("performed", *performed);
+            }
+            TelemetryEvent::FaultInjected {
+                class,
+                register,
+                step,
+            } => {
+                obj.str_field("class", class.as_str())
+                    .u64_field("register", *register)
+                    .u64_field("step", *step);
+            }
+            TelemetryEvent::FallbackTaken {
+                pid,
+                conciliator_stages,
+            } => {
+                obj.u64_field("pid", *pid)
+                    .u64_field("conciliator_stages", *conciliator_stages);
             }
             TelemetryEvent::WorkSummary {
                 seed,
@@ -413,6 +479,8 @@ pub struct AggregatingRecorder {
     reads: Counter,
     writes: Counter,
     collects: Counter,
+    faults_injected: Counter,
+    fallbacks_taken: Counter,
     per_pid_ops: Mutex<Vec<u64>>,
 }
 
@@ -495,6 +563,16 @@ impl AggregatingRecorder {
     pub fn individual_ops(&self) -> u64 {
         self.per_process_ops().iter().copied().max().unwrap_or(0)
     }
+
+    /// `fault_injected` events seen.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected.get()
+    }
+
+    /// `fallback_taken` events seen.
+    pub fn fallbacks_taken(&self) -> u64 {
+        self.fallbacks_taken.get()
+    }
 }
 
 impl Recorder for AggregatingRecorder {
@@ -547,6 +625,8 @@ impl Recorder for AggregatingRecorder {
                     }
                 }
             }
+            TelemetryEvent::FaultInjected { .. } => self.faults_injected.incr(),
+            TelemetryEvent::FallbackTaken { .. } => self.fallbacks_taken.incr(),
             TelemetryEvent::WorkSummary { .. } => {}
         }
     }
@@ -646,6 +726,15 @@ mod tests {
                 class: OpClass::ProbWrite,
                 performed: false,
             },
+            TelemetryEvent::FaultInjected {
+                class: FaultClass::StaleRead,
+                register: 4,
+                step: 17,
+            },
+            TelemetryEvent::FallbackTaken {
+                pid: 2,
+                conciliator_stages: 6,
+            },
             TelemetryEvent::WorkSummary {
                 seed: 7,
                 total_work: 2,
@@ -692,7 +781,9 @@ mod tests {
         for event in sample_events() {
             agg.record(&event);
         }
-        assert_eq!(agg.events(), 10);
+        assert_eq!(agg.events(), 12);
+        assert_eq!(agg.faults_injected(), 1);
+        assert_eq!(agg.fallbacks_taken(), 1);
         assert_eq!(agg.stage_entries(), 1);
         assert_eq!(agg.fast_path_hits(), 1);
         assert_eq!(agg.conciliator_rounds(), 1);

@@ -161,5 +161,6 @@ fn binary_options(n: usize) -> modular_consensus::runtime::ConsensusOptions {
         // absorbs nearly every decide, leaving nothing for the
         // conciliator histograms this tour is about.
         fast_path: false,
+        max_conciliator_rounds: None,
     }
 }

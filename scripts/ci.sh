@@ -26,4 +26,13 @@ echo "== lab conformance (fixed-seed campaign) =="
 # protocol over the bounded adversary matrix; any divergence exits nonzero.
 cargo run -p mc-bench --release --bin lab_explore -- --seeds 10000
 
+echo "== fault campaign (degradation smoke) =="
+# Fault class x rate x protocol sweep over fault-injected lab runs: safety
+# must hold with zero violations in every cell, bounded consensus must
+# terminate on every seed, and measured fallback rates must reconcile with
+# theory::fallback_probability. One machine-readable JSON line per cell on
+# stdout; nonzero exit on any violation.
+cargo run -p mc-bench --release --bin fault_campaign -- --seeds 1000 > fault_campaign.jsonl
+test -s fault_campaign.jsonl
+
 echo "CI OK"

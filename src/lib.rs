@@ -86,13 +86,16 @@ pub use mc_telemetry as telemetry;
 pub mod prelude {
     pub use mc_core::protocol::ConsensusBuilder;
     pub use mc_core::{
-        Chain, ChainProbe, CoinConciliator, CollectRatifier, ConciliatorCoin,
+        BoundedChain, Chain, ChainProbe, CoinConciliator, CollectRatifier, ConciliatorCoin,
         FirstMoverConciliator, LazyChain, Ratifier, VotingSharedCoin, WriteSchedule,
     };
-    pub use mc_lab::{check_conformance, Conformance, Lab, Protocol as LabProtocol};
+    pub use mc_lab::{
+        check_conformance, check_conformance_with_plan, Conformance, Lab, Protocol as LabProtocol,
+    };
     pub use mc_model::{properties, Decision, ObjectSpec, ProcessId, Value};
     pub use mc_runtime::{
-        Consensus, Election, ReplicatedLog, RuntimeTelemetry, TestAndSet, TypedConsensus, ValueCode,
+        BoundedConsensus, Consensus, Election, FaultPlan, FaultyMemory, LeaderFallback,
+        ReplicatedLog, ResetScope, RuntimeTelemetry, TestAndSet, TypedConsensus, ValueCode,
     };
     pub use mc_sim::{adversary, harness, observe, sched, EngineConfig};
     pub use mc_telemetry::{

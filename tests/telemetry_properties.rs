@@ -143,3 +143,112 @@ proptest! {
         prop_assert!(last.contains(&seed_stamp));
     }
 }
+
+/// One bounded-consensus run over fault-injected lab memory, returning the
+/// pieces every reconciliation check needs: the fault layer's own counters,
+/// the runtime telemetry, and whatever the recorder accumulated.
+fn faulted_bounded_run(
+    n: usize,
+    seed: u64,
+    recorder: std::sync::Arc<dyn Recorder>,
+) -> (
+    modular_consensus::runtime::FaultCounts,
+    u64,      // telemetry.faults_injected()
+    u64,      // telemetry.fallbacks_taken()
+    [u64; 4], // per-class telemetry counters
+) {
+    use modular_consensus::lab::Lab;
+    use modular_consensus::quorums::BinaryScheme;
+    use modular_consensus::runtime::ConsensusOptions;
+    use std::sync::Arc;
+
+    let lab = Lab::new(
+        n,
+        Box::new(adversary::RandomScheduler::new(seed)),
+        &[],
+        400_000,
+    );
+    let plan = FaultPlan::seeded(seed)
+        .lost_prob_writes(0.3)
+        .stale_reads(0.2)
+        .delayed_writes(0.2, 3)
+        .register_resets(0.05);
+    let memory = FaultyMemory::new(lab.memory(), plan);
+    let options = ConsensusOptions {
+        n,
+        scheme: Arc::new(BinaryScheme::new()),
+        schedule: WriteSchedule::impatient(),
+        fast_path: true,
+        max_conciliator_rounds: Some(2),
+    };
+    let consensus = BoundedConsensus::with_recorder_in(memory.clone(), options, recorder);
+    let memory = memory.observed_by(Arc::clone(consensus.telemetry_handle()));
+    lab.run(seed, |pid, rng| consensus.decide(pid, pid as u64 % 2, rng))
+        .expect("bounded run over faulty memory terminates");
+    let telemetry = consensus.telemetry();
+    (
+        memory.fault_counts(),
+        telemetry.faults_injected(),
+        telemetry.fallbacks_taken(),
+        [
+            telemetry.lost_prob_writes(),
+            telemetry.stale_reads(),
+            telemetry.delayed_commits(),
+            telemetry.register_resets(),
+        ],
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every fault the injection layer delivers is triple-accounted: the
+    /// layer's own counters, the runtime telemetry snapshot, and the
+    /// recorder's aggregated event stream agree — in total, per class, and
+    /// on the fallback tally.
+    #[test]
+    fn fault_events_reconcile_across_all_three_ledgers(n in 2usize..5, seed in 0u64..20_000) {
+        use std::sync::Arc;
+
+        let agg = Arc::new(AggregatingRecorder::new());
+        let (counts, tel_total, tel_fallbacks, per_class) =
+            faulted_bounded_run(n, seed, Arc::clone(&agg) as Arc<dyn Recorder>);
+
+        prop_assert_eq!(tel_total, counts.total());
+        prop_assert_eq!(per_class[0], counts.lost_prob_writes);
+        prop_assert_eq!(per_class[1], counts.stale_reads);
+        prop_assert_eq!(per_class[2], counts.delayed_commits);
+        prop_assert_eq!(per_class[3], counts.register_resets);
+        prop_assert_eq!(agg.faults_injected(), counts.total());
+        prop_assert_eq!(agg.fallbacks_taken(), tel_fallbacks);
+    }
+
+    /// The JSONL export carries one well-formed `fault_injected` line per
+    /// delivered fault and one `fallback_taken` line per fallback — the
+    /// event stream neither drops nor duplicates faults.
+    #[test]
+    fn fault_events_export_one_jsonl_line_each(n in 2usize..5, seed in 0u64..20_000) {
+        use std::sync::Arc;
+
+        let (recorder, buf) = JsonlRecorder::in_memory();
+        let (counts, _, tel_fallbacks, _) =
+            faulted_bounded_run(n, seed, Arc::new(recorder) as Arc<dyn Recorder>);
+
+        let bytes = buf.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).expect("JSONL is UTF-8");
+        let mut fault_lines = 0u64;
+        let mut fallback_lines = 0u64;
+        for (ix, line) in text.lines().enumerate() {
+            json::validate(line)
+                .unwrap_or_else(|e| panic!("line {ix} is not valid JSON ({e}): {line}"));
+            if line.contains("\"ev\":\"fault_injected\"") {
+                fault_lines += 1;
+            }
+            if line.contains("\"ev\":\"fallback_taken\"") {
+                fallback_lines += 1;
+            }
+        }
+        prop_assert_eq!(fault_lines, counts.total());
+        prop_assert_eq!(fallback_lines, tel_fallbacks);
+    }
+}
