@@ -1,0 +1,203 @@
+//! Measures what instance pooling buys: sustained `ReplicatedLog` appends
+//! (every decided slot is a consensus instance that must be retired and
+//! recycled) and a sustained `ConsensusEngine` submit stream, reporting
+//! decisions/sec, steady-state RSS, and pool hit rate.
+//!
+//! ```text
+//! engine_throughput [--warmup <K>] [--out <path>]
+//! ```
+//!
+//! The acceptance gates are enforced as process failure, so a CI smoke run
+//! catches regressions:
+//!
+//! * **flat memory** — RSS after appending 10× the warm-up volume must be
+//!   within 5% of the post-warm-up RSS (the learn-then-retire window plus
+//!   the pool means slot machinery does not accumulate);
+//! * **pool hit rate > 90%** — after warm-up, almost every slot activation
+//!   is a recycle, not an allocation;
+//! * **no per-slot scheme re-validation** — every live and pooled instance
+//!   holds the *same* `Arc<ConsensusOptions>` as the log (slot setup is a
+//!   pointer bump), checked via the `Arc` strong count.
+//!
+//! Writes a JSON report (default `BENCH_engine_throughput.json`) in the
+//! `BENCH_*_overhead.json` family format.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use mc_runtime::{ConsensusEngine, EngineOptions, ReplicatedLog};
+use mc_telemetry::json::Obj;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const N: usize = 4;
+const CAPACITY: u64 = 1024;
+
+/// Resident set size in kilobytes from `/proc/self/status`, or `None` on
+/// platforms without procfs.
+fn rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Sustained append-apply loop: append, and every `APPLY_BATCH` slots
+/// consume the learned prefix (here: just fold it into a checksum) and
+/// compact it away, the way a state machine applying the log would.
+fn append_burst(log: &ReplicatedLog, rng: &mut SmallRng, start: u64, count: u64) -> u64 {
+    const APPLY_BATCH: u64 = 1024;
+    let mut checksum = 0u64;
+    let mut applied = log.compacted_below();
+    for i in start..start + count {
+        std::hint::black_box(log.append(i % CAPACITY, rng));
+        if i % APPLY_BATCH == APPLY_BATCH - 1 {
+            let prefix = log.learned_prefix();
+            while applied < prefix {
+                checksum = checksum.wrapping_add(log.get(applied).expect("learned"));
+                applied += 1;
+            }
+            log.compact_below(applied);
+        }
+    }
+    checksum
+}
+
+fn run(warmup: u64, out_path: &str) -> Result<(), String> {
+    let sustained = warmup * 10;
+    eprintln!("engine throughput: {warmup} warm-up appends, {sustained} sustained, n={N}");
+
+    let log = ReplicatedLog::new(N, CAPACITY);
+    let mut rng = SmallRng::seed_from_u64(0x10d);
+
+    std::hint::black_box(append_burst(&log, &mut rng, 0, warmup));
+    let warm_rss = rss_kb();
+
+    let start = Instant::now();
+    std::hint::black_box(append_burst(&log, &mut rng, warmup, sustained));
+    let elapsed = start.elapsed();
+    let steady_rss = rss_kb();
+    let decisions_per_sec = sustained as f64 / elapsed.as_secs_f64();
+
+    let telemetry = log.telemetry();
+    let hit_rate = telemetry.pool_hit_rate();
+    let live = log.live_slots();
+    let pooled = log.pooled_instances();
+
+    // Slot setup must be a pointer bump: the log and every instance it has
+    // kept alive share one validated ConsensusOptions allocation. A slot
+    // path that re-built (and re-validated) options per activation would
+    // leave the log as the sole holder.
+    let options_holders = Arc::strong_count(log.options_handle());
+    if options_holders != 1 + live + pooled {
+        return Err(format!(
+            "per-slot options sharing broken: {options_holders} Arc holders, \
+             expected 1 + {live} live + {pooled} pooled"
+        ));
+    }
+
+    // Engine leg: the same pooled machinery behind the submit API.
+    let engine = ConsensusEngine::new(
+        mc_runtime::ConsensusOptions::clone(log.options_handle()),
+        EngineOptions {
+            participants: 1,
+            ..EngineOptions::default()
+        },
+    );
+    for id in 0..warmup {
+        std::hint::black_box(engine.submit(id, id % CAPACITY, &mut rng));
+    }
+    let engine_start = Instant::now();
+    for id in warmup..warmup + sustained {
+        std::hint::black_box(engine.submit(id, id % CAPACITY, &mut rng));
+    }
+    let engine_elapsed = engine_start.elapsed();
+    let engine_per_sec = sustained as f64 / engine_elapsed.as_secs_f64();
+    let engine_hit_rate = engine.telemetry().pool_hit_rate();
+
+    let rss_growth_pct = match (warm_rss, steady_rss) {
+        (Some(warm), Some(steady)) if warm > 0 => {
+            (steady as f64 - warm as f64) / warm as f64 * 100.0
+        }
+        _ => 0.0,
+    };
+
+    let mut report = Obj::new();
+    report
+        .str_field("bench", "engine_throughput")
+        .u64_field("n", N as u64)
+        .u64_field("warmup_appends", warmup)
+        .u64_field("sustained_appends", sustained)
+        .f64_field("decisions_per_sec", decisions_per_sec)
+        .f64_field("engine_decisions_per_sec", engine_per_sec)
+        .u64_field("warmup_rss_kb", warm_rss.unwrap_or(0))
+        .u64_field("steady_rss_kb", steady_rss.unwrap_or(0))
+        .f64_field("rss_growth_pct", rss_growth_pct)
+        .f64_field("pool_hit_rate", hit_rate)
+        .f64_field("engine_pool_hit_rate", engine_hit_rate)
+        .u64_field("pool_hits", telemetry.pool_hits())
+        .u64_field("pool_misses", telemetry.pool_misses())
+        .u64_field("instances_retired", telemetry.instances_retired())
+        .u64_field("live_slots", live as u64)
+        .u64_field("pooled_instances", pooled as u64)
+        .u64_field("learned_prefix", log.learned_prefix() as u64);
+    let json = report.finish();
+    println!("{json}");
+    std::fs::write(out_path, format!("{json}\n"))
+        .map_err(|e| format!("writing {out_path}: {e}"))?;
+    eprintln!("report written to {out_path}");
+
+    if hit_rate <= 0.9 {
+        return Err(format!(
+            "log pool hit rate {hit_rate:.4} did not exceed 0.9 — recycling is not engaging"
+        ));
+    }
+    if engine_hit_rate <= 0.9 {
+        return Err(format!(
+            "engine pool hit rate {engine_hit_rate:.4} did not exceed 0.9"
+        ));
+    }
+    if warm_rss.is_some() && rss_growth_pct > 5.0 {
+        return Err(format!(
+            "RSS grew {rss_growth_pct:.2}% across 10× the warm-up volume (limit 5%) — \
+             slot machinery is accumulating"
+        ));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut warmup = 20_000u64;
+    let mut out_path = "BENCH_engine_throughput.json".to_string();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--warmup" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(v)) if v > 0 => warmup = v,
+                _ => {
+                    eprintln!("--warmup needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => {
+                    eprintln!("--out needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown option {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match run(warmup, &out_path) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -3,6 +3,13 @@
 //! real-thread lab runtime, and demand identical decisions, traces, and
 //! work accounting (plus `mc-check` replay agreement on the lab's script).
 //!
+//! Each seed also runs the *recycled* leg: the same protocol on the same
+//! `(adversary, seed)` executed on a freshly built object and re-executed on
+//! that object after `reset()` over a rearmed register file; the two runs
+//! must be identical in decisions, trace, schedule/coin script, and
+//! `WorkMetrics`. Any divergence means a recycled generation-tagged object
+//! is distinguishable from a fresh one, and fails the campaign.
+//!
 //! ```text
 //! lab_explore [--seeds <K>] [--n <procs>]
 //! ```
@@ -13,7 +20,7 @@
 
 use std::process::ExitCode;
 
-use mc_lab::{check_conformance, Conformance, Protocol};
+use mc_lab::{check_conformance, check_recycled_conformance, Conformance, Protocol};
 use mc_sim::adversary::{ImpatienceExploiter, RandomScheduler, RoundRobin, SplitKeeper};
 use mc_sim::sched::{PctScheduler, PriorityScheduler, QuantumScheduler};
 use mc_sim::Adversary;
@@ -106,8 +113,18 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+            match check_recycled_conformance(protocol, &inputs, &make, seed, 200_000) {
+                Ok(_) => {}
+                Err(divergence) => {
+                    eprintln!(
+                        "RECYCLE DIVERGENCE protocol={protocol} seed={seed} adversary={name} \
+                         inputs={inputs:?}: {divergence}"
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
         }
-        println!("{protocol}: {seeds} seeds conformed (n={n})");
+        println!("{protocol}: {seeds} seeds conformed, fresh and recycled (n={n})");
     }
     if step_limited > 0 {
         println!("note: {step_limited} runs hit the step limit on both substrates");

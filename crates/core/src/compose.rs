@@ -15,6 +15,20 @@
 //! preserves validity, termination, coherence — and hence the property of
 //! being a weak consensus object — which is what makes the conciliator/
 //! ratifier alternation correct.
+//!
+//! # Recyclability
+//!
+//! Model-side objects are one-shot *per instantiation*: every property
+//! above is stated over the executions of a single instance, so "reuse"
+//! in the model is simply instantiating a fresh [`ObjectSpec`] session.
+//! The thread runtime's recycled objects (`mc-runtime`'s
+//! generation-tagged `reset`) are sound for exactly this reason: after a
+//! reset, every register of the instance reads as initial, making the
+//! recycled instance extensionally equal to a fresh instantiation of its
+//! spec — which is what the lab's recycled-vs-fresh conformance check
+//! (`mc-lab::check_recycled_conformance`) verifies against this model,
+//! execution for execution. Nothing in the composition lemmas needs a
+//! cross-instance argument, so no new proof obligation arises here.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};

@@ -221,6 +221,128 @@ pub fn check_conformance_with_plan(
     })
 }
 
+/// Runs `protocol` twice on the lab substrate at the same `(adversary,
+/// seed)`: once on a freshly built object, then again on the *same* object
+/// after [`Consensus::reset`], over a register file rearmed by
+/// [`Lab::reset_epoch`]. The two executions must be identical in every
+/// observable — per-process decisions, the operation trace event-for-event,
+/// the schedule/coin script, and the `WorkMetrics` — which is the ground
+/// truth that a recycled generation-tagged object is indistinguishable from
+/// a fresh one: every stale register reads as initial, so the adversary sees
+/// the same views and makes the same choices.
+///
+/// In a returned [`Divergence`], the `sim` fields hold the *fresh* run's
+/// view and the `lab` fields the *recycled* run's. A fresh run that hits the
+/// step limit returns [`Conformance::BothStepLimited`]: a step-limited epoch
+/// ends with operations still posted, so its register file cannot be
+/// rearmed mid-flight and there is nothing to recycle.
+///
+/// # Errors
+///
+/// Returns the first [`Divergence`] between the fresh and recycled runs.
+pub fn check_recycled_conformance(
+    protocol: Protocol,
+    inputs: &[u64],
+    make_adversary: &dyn Fn() -> Box<dyn Adversary + Send>,
+    seed: u64,
+    max_steps: u64,
+) -> Result<Conformance, Divergence> {
+    let n = inputs.len();
+    assert!(n > 0, "need at least one process");
+    for &input in inputs {
+        assert!(input < protocol.capacity(), "input out of range");
+    }
+
+    let mut lab = Lab::new(n, make_adversary(), &[], max_steps);
+    let mut consensus = protocol.runtime(&lab, n);
+    let fresh = match lab.run(seed, |pid, rng| consensus.decide(inputs[pid], rng)) {
+        Ok(report) => report,
+        Err(LabError::StepLimitExceeded { .. }) => return Ok(Conformance::BothStepLimited),
+        Err(err) => {
+            return Err(Divergence::Completion {
+                sim: Some(err.to_string()),
+                lab: None,
+            })
+        }
+    };
+
+    consensus.reset();
+    lab.reset_epoch(make_adversary(), &[]);
+    let recycled = match lab.run(seed, |pid, rng| consensus.decide(inputs[pid], rng)) {
+        Ok(report) => report,
+        Err(err) => {
+            // The fresh run completed at this (adversary, seed), so the
+            // recycled run failing — even on the step limit — is divergence.
+            return Err(Divergence::Completion {
+                sim: None,
+                lab: Some(err.to_string()),
+            });
+        }
+    };
+
+    let fresh_decisions: Vec<u64> = fresh
+        .decisions
+        .iter()
+        .map(|d| d.expect("no crashes configured"))
+        .collect();
+    let recycled_decisions: Vec<u64> = recycled
+        .decisions
+        .iter()
+        .map(|d| d.expect("no crashes configured"))
+        .collect();
+    if fresh_decisions != recycled_decisions {
+        return Err(Divergence::Decisions {
+            sim: fresh_decisions,
+            lab: recycled_decisions,
+        });
+    }
+
+    if fresh.trace != recycled.trace {
+        let at = fresh
+            .trace
+            .events()
+            .iter()
+            .zip(recycled.trace.events())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| fresh.trace.len().min(recycled.trace.len()));
+        return Err(Divergence::Trace {
+            at,
+            sim: fresh.trace.events().get(at).map(|e| e.to_string()),
+            lab: recycled.trace.events().get(at).map(|e| e.to_string()),
+        });
+    }
+
+    if fresh.metrics != recycled.metrics {
+        return Err(Divergence::Metrics {
+            sim: fresh.metrics,
+            lab: recycled.metrics,
+        });
+    }
+
+    if fresh.path != recycled.path {
+        let at = fresh
+            .path
+            .iter()
+            .zip(recycled.path.iter())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| fresh.path.len().min(recycled.path.len()));
+        return Err(Divergence::Replay {
+            detail: format!(
+                "recycled schedule/coin script differs from fresh at event {at} \
+                 (fresh has {} events, recycled {})",
+                fresh.path.len(),
+                recycled.path.len()
+            ),
+        });
+    }
+
+    Ok(Conformance::Agreed {
+        decisions: recycled_decisions,
+        trace: recycled.trace,
+        metrics: recycled.metrics,
+    })
+}
+
 fn check_conformance_wrapped<M: SharedMemory>(
     protocol: Protocol,
     inputs: &[u64],
@@ -406,6 +528,63 @@ mod tests {
                 FaultPlan::none(),
             )
             .unwrap_or_else(|d| panic!("seed {seed}: {d}"));
+        }
+    }
+
+    #[test]
+    fn recycled_binary_object_is_identical_to_fresh() {
+        for seed in 0..20 {
+            for make in adversary_menu(seed) {
+                let outcome =
+                    check_recycled_conformance(Protocol::Binary, &[0, 1, 1], &make, seed, 100_000)
+                        .unwrap_or_else(|d| panic!("seed {seed}: {d}"));
+                if let Conformance::Agreed { decisions, .. } = outcome {
+                    assert!(decisions.iter().all(|&d| d == decisions[0]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recycled_multivalued_object_is_identical_to_fresh() {
+        for seed in 0..10 {
+            for make in adversary_menu(seed) {
+                check_recycled_conformance(
+                    Protocol::Multivalued(5),
+                    &[4, 0, 2],
+                    &make,
+                    seed,
+                    100_000,
+                )
+                .unwrap_or_else(|d| panic!("seed {seed}: {d}"));
+            }
+        }
+    }
+
+    #[test]
+    fn twice_recycled_object_still_matches_fresh() {
+        use mc_sim::adversary::RandomScheduler;
+
+        let seed = 17;
+        let mut lab = Lab::new(3, Box::new(RandomScheduler::new(seed)), &[], 100_000);
+        let mut consensus = Protocol::Binary.runtime(&lab, 3);
+        let mut reports = Vec::new();
+        for _ in 0..3 {
+            let report = lab
+                .run(seed, |pid, rng| consensus.decide(pid as u64 % 2, rng))
+                .unwrap();
+            reports.push(report);
+            consensus.reset();
+            lab.reset_epoch(Box::new(RandomScheduler::new(seed)), &[]);
+        }
+        for epoch in 1..reports.len() {
+            assert_eq!(
+                reports[0].decisions, reports[epoch].decisions,
+                "epoch {epoch}"
+            );
+            assert_eq!(reports[0].trace, reports[epoch].trace, "epoch {epoch}");
+            assert_eq!(reports[0].path, reports[epoch].path, "epoch {epoch}");
+            assert_eq!(reports[0].metrics, reports[epoch].metrics, "epoch {epoch}");
         }
     }
 

@@ -163,6 +163,58 @@ impl LabController {
         id
     }
 
+    /// Clears a retired register's mirror cell. Like allocation, retirement
+    /// is not an operation in the model (it happens between instances, with
+    /// exclusive access to the register), so it does not yield.
+    pub(crate) fn retire(&self, reg: RegisterId) {
+        let mut state = self.lock();
+        state.memory.clear_register(reg);
+    }
+
+    /// Rearms the controller for a fresh run ("epoch") over the *same*
+    /// register file identity: register ids and the allocation high-water
+    /// mark survive — pooled objects keep their `LabRegister`s — while every
+    /// piece of per-run state (mirror memory, schedule, trace, path, work
+    /// metrics, crash bookkeeping) is reset as if the lab were newly built.
+    ///
+    /// The fresh epoch's `registers_allocated` is pre-charged with the
+    /// existing high-water mark: a recycled run materializes no new
+    /// registers, and this is exactly the count a fresh-object run at the
+    /// same (adversary, seed) reports after its own allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while a run is in progress.
+    pub(crate) fn reset_epoch(&self, adversary: Box<dyn Adversary + Send>, doomed_pids: &[usize]) {
+        let mut state = self.lock();
+        assert!(
+            state.pending.iter().all(Option::is_none) && state.granted.is_none(),
+            "reset_epoch during a run"
+        );
+        let n = self.n;
+        state.adversary = adversary;
+        state.pending = vec![None; n];
+        state.ops_done = vec![0; n];
+        state.finished = vec![false; n];
+        state.doomed = {
+            let mut doomed = vec![false; n];
+            for &pid in doomed_pids {
+                doomed[pid] = true;
+            }
+            doomed
+        };
+        state.granted = None;
+        state.memory = Memory::new();
+        state.step = 0;
+        state.unfinished = n;
+        state.metrics = WorkMetrics::new(n);
+        state.metrics.registers_allocated = state.next_reg;
+        state.trace = Trace::new();
+        state.path = Vec::new();
+        state.terminated = false;
+        state.error = None;
+    }
+
     /// Posts `op` for the calling worker, waits until the adversary grants
     /// it, executes it against the mirror memory, and returns its result.
     pub(crate) fn perform(&self, op: Op, rng: Option<&mut dyn Rng>) -> Outcome {
@@ -358,13 +410,14 @@ impl LabMemory {
 impl SharedMemory for LabMemory {
     type Reg = LabRegister;
 
-    fn alloc(&self) -> LabRegister {
+    fn alloc_in_generation(&self, generation: u64) -> LabRegister {
         // Allocation is not an operation in the model (BlockAlloc just
         // bumps a counter), so it does not yield; it only claims the next
         // sequential id — the same ids the model's allocator hands out.
         LabRegister {
             ctrl: Arc::clone(&self.ctrl),
             reg: self.ctrl.alloc(),
+            generation,
         }
     }
 }
@@ -374,9 +427,31 @@ impl SharedMemory for LabMemory {
 pub struct LabRegister {
     ctrl: Arc<LabController>,
     reg: RegisterId,
+    /// Pool generation ([`SharedRegister::generation`]). The mirror cell is
+    /// physically cleared on [`retire_to`](SharedRegister::retire_to), so
+    /// stale-read masking needs no tag check here; the field only carries
+    /// the recycle count for the pooling layer.
+    generation: u64,
 }
 
 impl SharedRegister for LabRegister {
+    fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    fn retire_to(&mut self, generation: u64) {
+        debug_assert!(
+            generation > self.generation,
+            "generation must strictly increase on retire ({} -> {generation})",
+            self.generation
+        );
+        // Exclusive access means no operation on this register is pending;
+        // clearing the mirror makes the recycled register read as ⊥ — an
+        // initial read — exactly like a fresh allocation.
+        self.ctrl.retire(self.reg);
+        self.generation = generation;
+    }
+
     fn read(&self) -> Option<u64> {
         match self.ctrl.perform(Op::Read(self.reg), None) {
             Outcome::Read(contents) => contents,

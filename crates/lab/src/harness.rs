@@ -93,6 +93,44 @@ impl Lab {
         LabMemory::new(Arc::clone(&self.ctrl))
     }
 
+    /// Rearms this lab for another run over the *same* register file:
+    /// register ids (and the allocation high-water mark) survive, so pooled
+    /// objects built on [`memory`](Lab::memory) keep working after a
+    /// `reset`, while the mirror memory, schedule state, trace, path, and
+    /// work metrics start over as if the lab were newly built.
+    ///
+    /// This is the recycled-vs-fresh conformance primitive: reset the
+    /// object, `reset_epoch` with an identically-seeded adversary, rerun —
+    /// the two reports must be identical in every observable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a run is in progress, or if a crash target is out of range,
+    /// or if no process survives the crash plan.
+    pub fn reset_epoch(
+        &mut self,
+        adversary: Box<dyn Adversary + Send>,
+        crashes: &[(ProcessId, u64)],
+    ) {
+        let n = self.ctrl.n();
+        let crashed: Vec<ProcessId> = crashes.iter().map(|&(pid, _)| pid).collect();
+        for pid in &crashed {
+            assert!(pid.index() < n, "crash target {pid} out of range");
+        }
+        assert!(
+            crashed.len() < n,
+            "at least one process must survive the crash plan"
+        );
+        let adversary: Box<dyn Adversary + Send> = if crashes.is_empty() {
+            adversary
+        } else {
+            Box::new(CrashingAdversary::new(adversary, crashes.iter().copied()))
+        };
+        let doomed: Vec<usize> = crashed.iter().map(|pid| pid.index()).collect();
+        self.ctrl.reset_epoch(adversary, &doomed);
+        self.crashed = crashed;
+    }
+
     /// Runs `body(pid, rng)` on `n` real threads under the adversary's
     /// schedule and collects the full report.
     ///
@@ -100,8 +138,11 @@ impl Lab {
     /// how `mc-sim`'s engine seeds its per-process coin streams — and in a
     /// lab run only probabilistic writes consume it, so the coin sequences
     /// of the two substrates stay aligned.
+    ///
+    /// A lab is single-shot per epoch: to run again on the same register
+    /// file, call [`reset_epoch`](Lab::reset_epoch) first.
     pub fn run(
-        self,
+        &self,
         seed: u64,
         body: impl Fn(usize, &mut SmallRng) -> u64 + Sync,
     ) -> Result<LabReport, LabError> {
@@ -147,7 +188,7 @@ impl Lab {
         }
         Ok(LabReport {
             decisions,
-            crashed: self.crashed,
+            crashed: self.crashed.clone(),
             metrics,
             trace,
             path,

@@ -43,7 +43,8 @@ pub mod inject;
 pub mod toy;
 
 pub use conform::{
-    check_conformance, check_conformance_with_plan, Conformance, Divergence, Protocol,
+    check_conformance, check_conformance_with_plan, check_recycled_conformance, Conformance,
+    Divergence, Protocol,
 };
 pub use control::{LabError, LabMemory, LabRegister};
 pub use harness::{Lab, LabReport};
@@ -171,6 +172,38 @@ mod tests {
             assert_eq!(report.trace, replay.trace);
             assert_eq!(report.path, replay.path);
             assert_eq!(counts, replay_counts);
+        }
+    }
+
+    #[test]
+    fn recycled_typed_consensus_matches_fresh_on_lab_memory() {
+        use mc_runtime::TypedConsensus;
+        use mc_sim::adversary::RandomScheduler;
+
+        // Non-trivial payloads through a reset instance: the recycled run
+        // at the same (adversary, seed) must reproduce the fresh run's
+        // decisions, trace, schedule script, and register accounting
+        // (same register ids ⇒ same registers_allocated/touched).
+        for seed in [3, 19, 57] {
+            let mut lab = Lab::new(3, Box::new(RandomScheduler::new(seed)), &[], 100_000);
+            let mut typed = TypedConsensus::<u16, LabMemory>::new_in(lab.memory(), 3);
+            let proposals: [u16; 3] = [0xBEEF, 0x0042, 0x7FFF];
+            let run = |lab: &Lab, typed: &TypedConsensus<u16, LabMemory>| {
+                lab.run(seed, |pid, rng| {
+                    u64::from(typed.decide(proposals[pid], rng))
+                })
+                .unwrap()
+            };
+            let fresh = run(&lab, &typed);
+            typed.reset();
+            lab.reset_epoch(Box::new(RandomScheduler::new(seed)), &[]);
+            let recycled = run(&lab, &typed);
+            assert_eq!(fresh.decisions, recycled.decisions, "seed {seed}");
+            assert_eq!(fresh.trace, recycled.trace, "seed {seed}");
+            assert_eq!(fresh.path, recycled.path, "seed {seed}");
+            assert_eq!(fresh.metrics, recycled.metrics, "seed {seed}");
+            let decided = fresh.decisions[0].unwrap() as u16;
+            assert!(proposals.contains(&decided), "seed {seed}: validity");
         }
     }
 

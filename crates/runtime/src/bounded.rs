@@ -58,6 +58,13 @@ pub trait Fallback: Send + Sync {
     /// decision.
     fn publish(&self, pid: usize, value: u64);
 
+    /// Recycles the fallback for a fresh consensus instance: any state left
+    /// by the previous instance (announcements, a published decision) must
+    /// become invisible, exactly as if the object were freshly built.
+    ///
+    /// Exclusive access (`&mut`) guarantees no `decide` call is in flight.
+    fn reset(&mut self);
+
     /// Short name for diagnostics.
     fn name(&self) -> &'static str {
         "fallback"
@@ -130,6 +137,14 @@ impl<M: SharedMemory> Fallback for LeaderFallback<M> {
         if pid == 0 {
             self.decision.write(value);
         }
+    }
+
+    fn reset(&mut self) {
+        let next = self.decision.generation() + 1;
+        for slot in &mut self.slots {
+            slot.retire_to(next);
+        }
+        self.decision.retire_to(next);
     }
 
     fn name(&self) -> &'static str {
@@ -228,7 +243,7 @@ impl<M: SharedMemory> BoundedConsensus<M> {
             rounds: options
                 .max_conciliator_rounds
                 .unwrap_or(DEFAULT_MAX_CONCILIATOR_ROUNDS),
-            chain: Consensus::with_telemetry_in(memory, options, telemetry),
+            chain: Consensus::with_telemetry_in(memory, Arc::new(options), telemetry),
             fallback,
         }
     }
@@ -281,6 +296,18 @@ impl<M: SharedMemory, F: Fallback> BoundedConsensus<M, F> {
     /// The fallback protocol's name.
     pub fn fallback_name(&self) -> &'static str {
         self.fallback.name()
+    }
+
+    /// Recycles this one-shot object for a fresh instance: the truncated
+    /// chain and the fallback both retire their registers into the next
+    /// generation (see [`Consensus::reset`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `decide` call is still in flight.
+    pub fn reset(&mut self) {
+        self.chain.reset();
+        self.fallback.reset();
     }
 
     /// Proposes `value` as process `pid` and returns the agreed decision.
@@ -451,5 +478,23 @@ mod tests {
         let c = BoundedConsensus::binary(2);
         let mut rng = SmallRng::seed_from_u64(0);
         c.decide(2, 0, &mut rng);
+    }
+
+    #[test]
+    fn reset_bounded_clears_chain_and_fallback() {
+        // f = 0, no fast path: every call is served by the fallback, so a
+        // stale published decision would be adopted if reset leaked it.
+        let options = ConsensusOptions {
+            n: 1,
+            scheme: Arc::new(mc_quorums::BinaryScheme::new()),
+            schedule: mc_core::conciliator::WriteSchedule::impatient(),
+            fast_path: false,
+            max_conciliator_rounds: Some(0),
+        };
+        let mut c = BoundedConsensus::with_options_in(AtomicMemory, options);
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(c.decide(0, 1, &mut rng), 1);
+        c.reset();
+        assert_eq!(c.decide(0, 0, &mut rng), 0);
     }
 }

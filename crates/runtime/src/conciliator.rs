@@ -76,6 +76,16 @@ impl<M: SharedMemory> ImpatientConciliator<M> {
         self
     }
 
+    /// Recycles this one-shot object for a fresh instance: the register is
+    /// retired into the next generation, after which it is indistinguishable
+    /// from a fresh allocation (a stale-generation read is an initial read).
+    ///
+    /// Exclusive access (`&mut`) guarantees no `propose` call is in flight.
+    pub fn reset(&mut self) {
+        let next = self.reg.generation() + 1;
+        self.reg.retire_to(next);
+    }
+
     /// Runs the conciliator: returns a value that equals every other
     /// caller's return with at least constant probability, and always equals
     /// some caller's proposal.
@@ -178,5 +188,18 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_rejected() {
         ImpatientConciliator::new(0);
+    }
+
+    #[test]
+    fn reset_conciliator_behaves_like_fresh() {
+        let mut c = ImpatientConciliator::new(2);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let first = c.propose(10, &mut rng);
+        assert_eq!(first, 10);
+        c.reset();
+        // The recycled object must not leak the previous instance's value:
+        // a new caller with a different proposal wins the empty register.
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert_eq!(c.propose(20, &mut rng), 20);
     }
 }

@@ -49,6 +49,16 @@ pub(crate) enum Stage<M: SharedMemory> {
     Conciliator(ImpatientConciliator<M>),
 }
 
+impl<M: SharedMemory> Stage<M> {
+    /// Retires the stage's registers into their next generation.
+    fn reset(&mut self) {
+        match self {
+            Stage::Ratifier(r) => r.reset(),
+            Stage::Conciliator(c) => c.reset(),
+        }
+    }
+}
+
 /// A one-shot randomized consensus object for up to `n` threads: the
 /// unbounded construction `R₋₁; R₀; C₁; R₁; C₂; R₂; …` of §4.1.1, with
 /// stages materialized lazily as threads reach them.
@@ -70,9 +80,17 @@ pub(crate) enum Stage<M: SharedMemory> {
 /// stage allocates its registers in a fixed order, so register ids are
 /// identical across substrates under identical interleavings.
 pub struct Consensus<M: SharedMemory = AtomicMemory> {
-    options: ConsensusOptions,
+    /// Shared, not cloned: a pooling engine (or [`ReplicatedLog`]) hands
+    /// every instance the same validated options, so per-instance setup is
+    /// a pointer bump — no quorum-scheme re-validation.
+    ///
+    /// [`ReplicatedLog`]: crate::ReplicatedLog
+    options: Arc<ConsensusOptions>,
     memory: M,
     stages: RwLock<Vec<Arc<Stage<M>>>>,
+    /// How many times this object has been recycled via
+    /// [`reset`](Consensus::reset); fresh objects are in generation 0.
+    generation: u64,
     telemetry: Arc<RuntimeTelemetry>,
 }
 
@@ -162,6 +180,18 @@ impl<M: SharedMemory> Consensus<M> {
     ///
     /// Panics if `options.n == 0`.
     pub fn with_options_in(memory: M, options: ConsensusOptions) -> Consensus<M> {
+        Consensus::with_shared_options_in(memory, Arc::new(options))
+    }
+
+    /// Consensus whose options are *shared by reference*: repeated instance
+    /// setup (a pooling engine, one [`ReplicatedLog`](crate::ReplicatedLog)
+    /// slot per append) clones only the `Arc`, so the quorum scheme inside
+    /// is validated exactly once, at options construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options.n == 0`.
+    pub fn with_shared_options_in(memory: M, options: Arc<ConsensusOptions>) -> Consensus<M> {
         let telemetry = Arc::new(RuntimeTelemetry::noop(options.n));
         Consensus::with_telemetry_in(memory, options, telemetry)
     }
@@ -177,12 +207,12 @@ impl<M: SharedMemory> Consensus<M> {
         recorder: Arc<dyn Recorder>,
     ) -> Consensus<M> {
         let telemetry = Arc::new(RuntimeTelemetry::new(options.n, recorder));
-        Consensus::with_telemetry_in(memory, options, telemetry)
+        Consensus::with_telemetry_in(memory, Arc::new(options), telemetry)
     }
 
     pub(crate) fn with_telemetry_in(
         memory: M,
-        options: ConsensusOptions,
+        options: Arc<ConsensusOptions>,
         telemetry: Arc<RuntimeTelemetry>,
     ) -> Consensus<M> {
         assert!(options.n > 0, "need at least one thread");
@@ -190,6 +220,7 @@ impl<M: SharedMemory> Consensus<M> {
             options,
             memory,
             stages: RwLock::new(Vec::new()),
+            generation: 0,
             telemetry,
         }
     }
@@ -210,8 +241,47 @@ impl<M: SharedMemory> Consensus<M> {
         self.stages.read().len()
     }
 
+    /// How many times this object has been recycled via
+    /// [`reset`](Consensus::reset). Fresh objects report 0.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     pub(crate) fn options(&self) -> &ConsensusOptions {
         &self.options
+    }
+
+    /// The shared options handle; instances built from the same `Arc`
+    /// report `Arc::ptr_eq` — the per-slot setup cost is a pointer bump.
+    pub fn options_handle(&self) -> &Arc<ConsensusOptions> {
+        &self.options
+    }
+
+    /// Recycles this one-shot object for a fresh instance.
+    ///
+    /// Every materialized stage keeps its registers but retires them into
+    /// the next generation, so each reads as ⊥ again: by the stale-read-as-
+    /// initial contract ([`SharedRegister::retire_to`]) the recycled object
+    /// is indistinguishable from a freshly constructed one — the lab
+    /// conformance suite proves a recycled run is decision-, trace-, and
+    /// work-identical to a fresh run at the same (adversary, seed).
+    ///
+    /// Stages stay materialized (that is the point: no reallocation), and
+    /// cumulative telemetry is deliberately preserved across instances.
+    ///
+    /// [`SharedRegister::retire_to`]: crate::SharedRegister::retire_to
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `decide` call is still in flight (a stage handle is
+    /// still borrowed); recycling is only legal between instances.
+    pub fn reset(&mut self) {
+        for stage in self.stages.get_mut().iter_mut() {
+            Arc::get_mut(stage)
+                .expect("reset with a decide call in flight")
+                .reset();
+        }
+        self.generation += 1;
     }
 
     /// Shared handle to this object's telemetry, for wiring observers that
@@ -401,5 +471,53 @@ mod tests {
     #[should_panic(expected = "at least 2 values")]
     fn tiny_capacity_rejected() {
         Consensus::multivalued(2, 1);
+    }
+
+    #[test]
+    fn reset_consensus_decides_fresh_values() {
+        let mut c = Consensus::multivalued(1, 16);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(c.decide(11, &mut rng), 11);
+        assert_eq!(c.generation(), 0);
+        let stages_before = c.stages_used();
+        c.reset();
+        assert_eq!(c.generation(), 1);
+        // Stages are kept (no reallocation) but the old decision is gone.
+        assert_eq!(c.stages_used(), stages_before);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(c.decide(4, &mut rng), 4);
+    }
+
+    #[test]
+    fn recycled_object_matches_fresh_across_threads() {
+        for trial in 0..20 {
+            // Run a fresh object, then a recycled one, with identical seeds:
+            // both must satisfy agreement/validity independently.
+            let mut c = Consensus::binary(4);
+            let proposals: Vec<u64> = (0..4).map(|t| (t as u64 + trial) % 2).collect();
+            let shared = Arc::new(c);
+            let first = run_consensus(Arc::clone(&shared), proposals.clone(), trial);
+            assert!(first.iter().all(|&r| r == first[0]));
+            c = Arc::try_unwrap(shared).unwrap_or_else(|_| panic!("in-flight handles"));
+            c.reset();
+            let results = run_consensus(Arc::new(c), proposals.clone(), trial);
+            assert!(
+                results.iter().all(|&r| r == results[0]),
+                "trial {trial}: {results:?}"
+            );
+            assert!(proposals.contains(&results[0]));
+        }
+    }
+
+    #[test]
+    fn shared_options_are_not_recloned_per_instance() {
+        let options = Arc::new(Consensus::multivalued_options(2, 8));
+        let a = Consensus::with_shared_options_in(AtomicMemory, Arc::clone(&options));
+        let b = Consensus::with_shared_options_in(AtomicMemory, Arc::clone(&options));
+        assert!(Arc::ptr_eq(a.options_handle(), b.options_handle()));
+        assert!(Arc::ptr_eq(
+            &a.options_handle().scheme,
+            &b.options_handle().scheme
+        ));
     }
 }

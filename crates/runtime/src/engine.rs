@@ -1,0 +1,586 @@
+//! A sharded multi-instance consensus service over pooled, recyclable
+//! objects.
+//!
+//! Every deciding object in the paper is one-shot (§2), and a sustained
+//! workload — a stream of log slots, transactions, leases — needs a fresh
+//! instance per decision. Allocating each one from scratch grows memory
+//! without bound and hammers the allocator. [`ConsensusEngine`] turns the
+//! generation-tagged recycle path ([`Consensus::reset`]) into a service:
+//! instances are sharded by id across per-core shards, each shard keeps a
+//! free-list of reset objects, and a bounded number of instances may be
+//! live per shard at once (backpressure), so steady-state memory is flat
+//! no matter how many decisions flow through.
+//!
+//! The engine reports pool hits/misses, retired instances, and the live
+//! count through [`RuntimeTelemetry`], so the recycling behavior shows up
+//! in the same snapshot/Prometheus/JSONL paths as every other runtime
+//! metric.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+use mc_telemetry::Recorder;
+use rand::Rng;
+
+use crate::consensus::{Consensus, ConsensusOptions};
+use crate::register::{AtomicMemory, SharedMemory};
+use crate::telemetry::RuntimeTelemetry;
+
+/// Tuning for a [`ConsensusEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// Number of shards instances are hashed across. `0` means one per
+    /// available core.
+    pub shards: usize,
+    /// Maximum instances live at once per shard; a `submit` that would
+    /// activate one more blocks until an instance retires
+    /// ([`try_submit`](ConsensusEngine::try_submit) returns
+    /// [`SubmitError::Saturated`] instead).
+    pub max_live_per_shard: usize,
+    /// How many `submit` calls each instance receives. When the last one
+    /// returns, the instance is reset and pooled. `0` means
+    /// `ConsensusOptions::n` (every participant submits).
+    pub participants: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> EngineOptions {
+        EngineOptions {
+            shards: 0,
+            max_live_per_shard: 64,
+            participants: 0,
+        }
+    }
+}
+
+/// Why a [`try_submit`](ConsensusEngine::try_submit) was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The instance's shard is at `max_live_per_shard` live instances;
+    /// retry after some instance retires, or use the blocking
+    /// [`submit`](ConsensusEngine::submit).
+    Saturated,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Saturated => write!(f, "shard is at its live-instance bound"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A live instance: the shared object plus how many of its participants
+/// have not yet claimed their submit.
+struct Entry<M: SharedMemory> {
+    instance: Arc<Consensus<M>>,
+    remaining: usize,
+}
+
+struct ShardState<M: SharedMemory> {
+    live: HashMap<u64, Entry<M>>,
+    free: Vec<Consensus<M>>,
+}
+
+struct Shard<M: SharedMemory> {
+    state: Mutex<ShardState<M>>,
+    cv: Condvar,
+}
+
+impl<M: SharedMemory> Shard<M> {
+    fn lock(&self) -> MutexGuard<'_, ShardState<M>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A service front-end for a stream of consensus instances: `submit` a
+/// proposal under any `instance_id` and get that instance's decision back,
+/// with the underlying one-shot objects pooled and recycled behind the
+/// scenes.
+///
+/// # Instance lifecycle
+///
+/// `instance_id → shard` by hash. The first `submit` for an id activates
+/// an instance on its shard — from the shard's free-list when possible
+/// (`pool_hits`), freshly built otherwise (`pool_misses`); all instances
+/// share one validated [`ConsensusOptions`] by `Arc`, so activation never
+/// re-validates the quorum scheme. Concurrent submits for the same id
+/// join the same instance and therefore agree. When the configured number
+/// of participants have all received their decision, the instance is
+/// [`reset`](Consensus::reset) and parked for reuse
+/// (`instances_retired`).
+///
+/// # Contract
+///
+/// Each instance id must receive **exactly**
+/// [`EngineOptions::participants`] submits, and ids must not be reused
+/// after completion — a reused id would silently activate a fresh
+/// instance, which can decide differently. Under--submitted instances
+/// stay live forever and eat into their shard's backpressure budget.
+///
+/// # Backpressure
+///
+/// At most [`EngineOptions::max_live_per_shard`] instances are live per
+/// shard; `submit` blocks (and [`try_submit`](ConsensusEngine::try_submit)
+/// refuses) activations past that, bounding memory at
+/// `shards × max_live_per_shard` instances plus the pooled free-lists —
+/// flat no matter how many decisions stream through.
+pub struct ConsensusEngine<M: SharedMemory = AtomicMemory> {
+    memory: M,
+    options: Arc<ConsensusOptions>,
+    participants: usize,
+    max_live_per_shard: usize,
+    shards: Vec<Shard<M>>,
+    telemetry: Arc<RuntimeTelemetry>,
+}
+
+impl ConsensusEngine {
+    /// An engine over plain atomics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options.n == 0` or `engine.max_live_per_shard == 0`.
+    pub fn new(options: ConsensusOptions, engine: EngineOptions) -> ConsensusEngine {
+        ConsensusEngine::new_in(AtomicMemory, options, engine)
+    }
+
+    /// An engine over plain atomics, emitting telemetry events to
+    /// `recorder`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options.n == 0` or `engine.max_live_per_shard == 0`.
+    pub fn with_recorder(
+        options: ConsensusOptions,
+        engine: EngineOptions,
+        recorder: Arc<dyn Recorder>,
+    ) -> ConsensusEngine {
+        let telemetry = Arc::new(RuntimeTelemetry::new(options.n, recorder));
+        ConsensusEngine::with_telemetry_in(AtomicMemory, options, engine, telemetry)
+    }
+}
+
+impl<M: SharedMemory> ConsensusEngine<M> {
+    /// An engine whose registers live in `memory`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options.n == 0` or `engine.max_live_per_shard == 0`.
+    pub fn new_in(
+        memory: M,
+        options: ConsensusOptions,
+        engine: EngineOptions,
+    ) -> ConsensusEngine<M> {
+        let telemetry = Arc::new(RuntimeTelemetry::noop(options.n));
+        ConsensusEngine::with_telemetry_in(memory, options, engine, telemetry)
+    }
+
+    fn with_telemetry_in(
+        memory: M,
+        options: ConsensusOptions,
+        engine: EngineOptions,
+        telemetry: Arc<RuntimeTelemetry>,
+    ) -> ConsensusEngine<M> {
+        assert!(options.n > 0, "need at least one participant");
+        assert!(
+            engine.max_live_per_shard > 0,
+            "need room for at least one live instance per shard"
+        );
+        let shard_count = if engine.shards == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            engine.shards
+        };
+        let participants = if engine.participants == 0 {
+            options.n
+        } else {
+            engine.participants
+        };
+        ConsensusEngine {
+            memory,
+            options: Arc::new(options),
+            participants,
+            max_live_per_shard: engine.max_live_per_shard,
+            shards: (0..shard_count)
+                .map(|_| Shard {
+                    state: Mutex::new(ShardState {
+                        live: HashMap::new(),
+                        free: Vec::new(),
+                    }),
+                    cv: Condvar::new(),
+                })
+                .collect(),
+            telemetry,
+        }
+    }
+
+    /// Number of shards instances are distributed across.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Submits per instance before it is retired.
+    pub fn participants(&self) -> usize {
+        self.participants
+    }
+
+    /// Aggregate metrics across every instance this engine has run:
+    /// decide histograms plus `pool_hits`/`pool_misses`/
+    /// `instances_retired`/`live_instances`.
+    pub fn telemetry(&self) -> &RuntimeTelemetry {
+        &self.telemetry
+    }
+
+    /// Shared handle to this engine's telemetry.
+    pub fn telemetry_handle(&self) -> &Arc<RuntimeTelemetry> {
+        &self.telemetry
+    }
+
+    /// The shared options every instance is activated from — one
+    /// allocation, validated once (`Arc::ptr_eq` across instances).
+    pub fn options_handle(&self) -> &Arc<ConsensusOptions> {
+        &self.options
+    }
+
+    /// Instances currently live across all shards.
+    pub fn live_instances(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().live.len()).sum()
+    }
+
+    /// Reset instances parked for reuse across all shards.
+    pub fn pooled_instances(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().free.len()).sum()
+    }
+
+    fn shard_of(&self, instance_id: u64) -> &Shard<M> {
+        // Fibonacci hashing: cheap, deterministic, spreads sequential ids.
+        let h = (instance_id.wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 32;
+        &self.shards[(h as usize) % self.shards.len()]
+    }
+
+    /// Claims this caller's submit slot on `instance_id`, activating the
+    /// instance if needed; `None` when activation would exceed the shard's
+    /// live bound.
+    fn checkout(
+        &self,
+        shard: &Shard<M>,
+        state: &mut ShardState<M>,
+        instance_id: u64,
+    ) -> Option<Arc<Consensus<M>>> {
+        let _ = shard;
+        if let Some(entry) = state.live.get_mut(&instance_id) {
+            assert!(
+                entry.remaining > 0,
+                "instance {instance_id} already received all {} submits",
+                self.participants
+            );
+            entry.remaining -= 1;
+            return Some(Arc::clone(&entry.instance));
+        }
+        if state.live.len() >= self.max_live_per_shard {
+            return None;
+        }
+        let instance = match state.free.pop() {
+            Some(recycled) => {
+                self.telemetry.on_pool_hit();
+                recycled
+            }
+            None => {
+                self.telemetry.on_pool_miss();
+                Consensus::with_telemetry_in(
+                    self.memory.clone(),
+                    Arc::clone(&self.options),
+                    Arc::clone(&self.telemetry),
+                )
+            }
+        };
+        let instance = Arc::new(instance);
+        state.live.insert(
+            instance_id,
+            Entry {
+                instance: Arc::clone(&instance),
+                remaining: self.participants - 1,
+            },
+        );
+        Some(instance)
+    }
+
+    /// Runs the decision and, if this caller was the last participant out,
+    /// retires the instance into the shard's pool.
+    fn decide_and_release(
+        &self,
+        shard: &Shard<M>,
+        instance: Arc<Consensus<M>>,
+        instance_id: u64,
+        proposal: u64,
+        rng: &mut dyn Rng,
+    ) -> u64 {
+        let decided = instance.decide(proposal, rng);
+        drop(instance);
+        let mut state = shard.lock();
+        let done = state
+            .live
+            .get(&instance_id)
+            .is_some_and(|e| e.remaining == 0 && Arc::strong_count(&e.instance) == 1);
+        if done {
+            let entry = state.live.remove(&instance_id).expect("entry exists");
+            let mut instance = Arc::try_unwrap(entry.instance)
+                .unwrap_or_else(|_| unreachable!("checked sole ownership under the shard lock"));
+            instance.reset();
+            state.free.push(instance);
+            self.telemetry.on_instance_retired();
+            drop(state);
+            shard.cv.notify_all();
+        }
+        decided
+    }
+
+    /// Proposes `proposal` on instance `instance_id` and returns that
+    /// instance's decision. Blocks while the shard is at its live-instance
+    /// bound.
+    ///
+    /// Concurrent submits for the same id join the same one-shot object,
+    /// so all of them return the same value, equal to one of their
+    /// proposals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proposal` exceeds the options' value capacity, or if the
+    /// instance has already received all its participants' submits.
+    pub fn submit(&self, instance_id: u64, proposal: u64, rng: &mut dyn Rng) -> u64 {
+        let shard = self.shard_of(instance_id);
+        let instance = {
+            let mut state = shard.lock();
+            loop {
+                if let Some(instance) = self.checkout(shard, &mut state, instance_id) {
+                    break instance;
+                }
+                state = shard.cv.wait(state).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        self.decide_and_release(shard, instance, instance_id, proposal, rng)
+    }
+
+    /// Non-blocking [`submit`](ConsensusEngine::submit): refuses with
+    /// [`SubmitError::Saturated`] instead of waiting when the shard is at
+    /// its live-instance bound.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Saturated`] when activating the instance would
+    /// exceed `max_live_per_shard`; joining an already-live instance never
+    /// fails.
+    ///
+    /// # Panics
+    ///
+    /// As [`submit`](ConsensusEngine::submit).
+    pub fn try_submit(
+        &self,
+        instance_id: u64,
+        proposal: u64,
+        rng: &mut dyn Rng,
+    ) -> Result<u64, SubmitError> {
+        let shard = self.shard_of(instance_id);
+        let instance = {
+            let mut state = shard.lock();
+            self.checkout(shard, &mut state, instance_id)
+                .ok_or(SubmitError::Saturated)?
+        };
+        Ok(self.decide_and_release(shard, instance, instance_id, proposal, rng))
+    }
+}
+
+impl<M: SharedMemory> std::fmt::Debug for ConsensusEngine<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConsensusEngine")
+            .field("shards", &self.shard_count())
+            .field("participants", &self.participants)
+            .field("max_live_per_shard", &self.max_live_per_shard)
+            .field("live_instances", &self.live_instances())
+            .field("pooled_instances", &self.pooled_instances())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn options(n: usize, m: u64) -> ConsensusOptions {
+        let c = Consensus::multivalued(n, m);
+        ConsensusOptions::clone(c.options_handle())
+    }
+
+    #[test]
+    fn single_participant_stream_recycles_instances() {
+        let engine = ConsensusEngine::new(
+            options(1, 64),
+            EngineOptions {
+                shards: 4,
+                participants: 1,
+                ..EngineOptions::default()
+            },
+        );
+        let mut rng = SmallRng::seed_from_u64(0);
+        for id in 0..200u64 {
+            assert_eq!(engine.submit(id, id % 64, &mut rng), id % 64);
+        }
+        assert_eq!(engine.live_instances(), 0);
+        let t = engine.telemetry();
+        assert_eq!(t.pool_hits() + t.pool_misses(), 200);
+        assert_eq!(t.instances_retired(), 200);
+        // One miss per shard at most: after warm-up everything is a hit.
+        assert!(t.pool_misses() <= 4, "{} misses", t.pool_misses());
+        assert!(t.pool_hit_rate() > 0.9);
+        assert!(engine.pooled_instances() >= 1);
+    }
+
+    #[test]
+    fn concurrent_submits_to_one_instance_agree() {
+        for trial in 0..20u64 {
+            let engine = Arc::new(ConsensusEngine::new(
+                options(4, 8),
+                EngineOptions::default(),
+            ));
+            let handles: Vec<_> = (0..4u64)
+                .map(|t| {
+                    let engine = Arc::clone(&engine);
+                    std::thread::spawn(move || {
+                        let mut rng = SmallRng::seed_from_u64(trial * 100 + t);
+                        engine.submit(7, (t + trial) % 8, &mut rng)
+                    })
+                })
+                .collect();
+            let results: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            assert!(
+                results.iter().all(|&r| r == results[0]),
+                "trial {trial}: {results:?}"
+            );
+            assert!(((trial % 8)..(trial % 8) + 4).contains(&results[0]));
+            assert_eq!(engine.live_instances(), 0, "trial {trial}");
+            assert_eq!(engine.telemetry().instances_retired(), 1);
+        }
+    }
+
+    #[test]
+    fn interleaved_instances_all_decide_their_own_stream() {
+        let engine = Arc::new(ConsensusEngine::new(
+            options(4, 1000),
+            EngineOptions::default(),
+        ));
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let engine = Arc::clone(&engine);
+                std::thread::spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(t);
+                    (0..50u64)
+                        .map(|id| engine.submit(id, id * 4 + t, &mut rng))
+                        .collect::<Vec<u64>>()
+                })
+            })
+            .collect();
+        let all: Vec<Vec<u64>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for id in 0..50usize {
+            let decided = all[0][id];
+            assert!(all.iter().all(|r| r[id] == decided), "instance {id}");
+            // Validity: one of the four proposals for this id.
+            assert!((id as u64 * 4..id as u64 * 4 + 4).contains(&decided));
+        }
+        assert_eq!(engine.live_instances(), 0);
+        assert_eq!(engine.telemetry().instances_retired(), 50);
+        // Hit rate depends on thread skew (a fast thread racing ahead keeps
+        // more instances live at once); only the accounting is deterministic.
+        let t = engine.telemetry();
+        assert_eq!(t.pool_hits() + t.pool_misses(), 50);
+        assert_eq!(engine.pooled_instances(), t.pool_misses() as usize);
+    }
+
+    #[test]
+    fn try_submit_refuses_when_the_shard_is_saturated() {
+        let engine = ConsensusEngine::new(
+            options(2, 8),
+            EngineOptions {
+                shards: 1,
+                max_live_per_shard: 1,
+                participants: 2,
+            },
+        );
+        let mut rng = SmallRng::seed_from_u64(0);
+        // First participant of instance 0: decides, instance stays live
+        // awaiting its second participant.
+        assert_eq!(engine.submit(0, 3, &mut rng), 3);
+        assert_eq!(engine.live_instances(), 1);
+        // Activating instance 1 would exceed the bound.
+        assert_eq!(
+            engine.try_submit(1, 5, &mut rng),
+            Err(SubmitError::Saturated)
+        );
+        // Joining the live instance is always allowed — and agrees.
+        assert_eq!(engine.try_submit(0, 7, &mut rng), Ok(3));
+        assert_eq!(engine.live_instances(), 0);
+        // The bound has room again.
+        assert_eq!(engine.try_submit(1, 5, &mut rng), Ok(5));
+    }
+
+    #[test]
+    fn submit_blocks_until_a_live_slot_frees_up() {
+        let engine = Arc::new(ConsensusEngine::new(
+            options(2, 8),
+            EngineOptions {
+                shards: 1,
+                max_live_per_shard: 1,
+                participants: 2,
+            },
+        ));
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(engine.submit(0, 1, &mut rng), 1);
+        let blocked = {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(1);
+                // Blocks: shard full until instance 0 completes.
+                engine.submit(1, 6, &mut rng)
+            })
+        };
+        // Complete instance 0, releasing the shard slot.
+        assert_eq!(engine.submit(0, 2, &mut rng), 1);
+        assert_eq!(blocked.join().unwrap(), 6);
+        // Instance 1 is still awaiting its second participant.
+        assert_eq!(engine.live_instances(), 1);
+        assert_eq!(engine.submit(1, 4, &mut rng), 6);
+        assert_eq!(engine.live_instances(), 0);
+    }
+
+    #[test]
+    fn instances_share_one_options_allocation() {
+        let engine = ConsensusEngine::new(
+            options(1, 8),
+            EngineOptions {
+                participants: 1,
+                ..EngineOptions::default()
+            },
+        );
+        let mut rng = SmallRng::seed_from_u64(0);
+        engine.submit(0, 1, &mut rng);
+        engine.submit(1, 2, &mut rng);
+        // Engine + each pooled instance hold the same Arc.
+        let held = Arc::strong_count(engine.options_handle());
+        assert_eq!(held, 1 + engine.pooled_instances());
+    }
+
+    #[test]
+    #[should_panic(expected = "need room for at least one live instance")]
+    fn zero_live_bound_rejected() {
+        ConsensusEngine::new(
+            options(1, 8),
+            EngineOptions {
+                max_live_per_shard: 0,
+                ..EngineOptions::default()
+            },
+        );
+    }
+}

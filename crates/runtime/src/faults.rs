@@ -415,7 +415,7 @@ impl<M: SharedMemory> FaultyMemory<M> {
 impl<M: SharedMemory> SharedMemory for FaultyMemory<M> {
     type Reg = FaultyRegister<M::Reg>;
 
-    fn alloc(&self) -> FaultyRegister<M::Reg> {
+    fn alloc_in_generation(&self, generation: u64) -> FaultyRegister<M::Reg> {
         let index = match &self.shared {
             Some(shared) => {
                 let mut state = shared.lock();
@@ -425,10 +425,14 @@ impl<M: SharedMemory> SharedMemory for FaultyMemory<M> {
             None => 0,
         };
         FaultyRegister {
-            inner: self.inner.alloc(),
+            inner: self.inner.alloc_in_generation(generation),
             shared: self.shared.clone(),
             index,
         }
+    }
+
+    fn retire_generation(&self, generation: u64) {
+        self.inner.retire_generation(generation);
     }
 }
 
@@ -451,6 +455,33 @@ impl<R: SharedRegister> std::fmt::Debug for FaultyRegister<R> {
 }
 
 impl<R: SharedRegister> SharedRegister for FaultyRegister<R> {
+    fn generation(&self) -> u64 {
+        self.inner.generation()
+    }
+
+    fn retire_to(&mut self, generation: u64) {
+        // The fault layer's mirror state must forget the retired instance
+        // too, or a recycled register could observe pre-retirement windows,
+        // pending wipes, or reset eligibility a fresh register never has.
+        if let Some(shared) = &self.shared {
+            let mut state = shared.lock();
+            let reg = &mut state.regs[self.index];
+            reg.cur = None;
+            reg.reset = false;
+            if reg.window.is_some() {
+                reg.window = None;
+                let index = self.index;
+                state.open_windows.retain(|&ri| ri != index);
+            }
+            if state.regs[self.index].prob_target {
+                state.regs[self.index].prob_target = false;
+                let index = self.index;
+                state.prob_targets.retain(|&ri| ri != index);
+            }
+        }
+        self.inner.retire_to(generation);
+    }
+
     fn read(&self) -> Option<u64> {
         let Some(shared) = &self.shared else {
             return self.inner.read();
@@ -773,5 +804,28 @@ mod tests {
     #[should_panic(expected = "rate must be in [0, 1]")]
     fn out_of_range_rate_rejected() {
         let _ = FaultPlan::seeded(0).stale_reads(1.5);
+    }
+
+    #[test]
+    fn retired_faulty_register_reads_as_fresh() {
+        let mem = FaultyMemory::new(AtomicMemory, FaultPlan::seeded(2).stale_reads(1.0));
+        let mem2 = mem.clone();
+        let mut reg = mem.alloc();
+        reg.write(11);
+        let mut conc = mem2.alloc();
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert!(conc.prob_write(6, p(1.0), &mut rng));
+        reg.retire_to(1);
+        conc.retire_to(1);
+        // Both the substrate value and the fault layer's mirror (windows,
+        // reset eligibility) are gone: the recycled registers are fresh.
+        assert_eq!(reg.read(), None);
+        assert_eq!(conc.read(), None);
+        reg.write(3);
+        assert_eq!(
+            reg.read(),
+            Some(3),
+            "writer sees its own post-recycle write"
+        );
     }
 }

@@ -42,6 +42,7 @@ mod bounded;
 mod conciliator;
 mod consensus;
 mod derived;
+mod engine;
 mod faults;
 mod log;
 mod ratifier;
@@ -53,9 +54,10 @@ pub use bounded::{BoundedConsensus, Fallback, LeaderFallback, DEFAULT_MAX_CONCIL
 pub use conciliator::ImpatientConciliator;
 pub use consensus::{Consensus, ConsensusOptions};
 pub use derived::{Election, TestAndSet};
+pub use engine::{ConsensusEngine, EngineOptions, SubmitError};
 pub use faults::{FaultCounts, FaultPlan, FaultyMemory, FaultyRegister, ResetScope};
 pub use log::ReplicatedLog;
 pub use ratifier::AtomicRatifier;
-pub use register::{AtomicMemory, AtomicRegister, SharedMemory, SharedRegister};
+pub use register::{AtomicMemory, AtomicRegister, SharedMemory, SharedRegister, GENERATION_0};
 pub use telemetry::RuntimeTelemetry;
 pub use typed::{TypedConsensus, ValueCode};

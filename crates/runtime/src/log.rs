@@ -1,14 +1,40 @@
 //! A replicated log: the standard application built from repeated
-//! consensus.
+//! consensus, with a pooled learn-then-retire slot lifecycle.
 
 use mc_telemetry::Recorder;
 use parking_lot::RwLock;
 use rand::Rng;
+use std::collections::VecDeque;
 use std::sync::Arc;
 
-use crate::consensus::Consensus;
+use crate::consensus::{Consensus, ConsensusOptions};
 use crate::register::{AtomicMemory, SharedMemory};
 use crate::telemetry::RuntimeTelemetry;
+
+/// Live consensus machinery for a contiguous band of undecided (or just-
+/// decided, not-yet-retired) slots, plus the recycle pool feeding it.
+struct SlotTable<M: SharedMemory> {
+    /// Index of the first slot still backed by a live consensus object;
+    /// every slot below `base` was learned and retired.
+    base: usize,
+    /// Objects for slots `base..base + live.len()`, in slot order.
+    live: VecDeque<Arc<Consensus<M>>>,
+    /// Reset objects ready to back a future slot (generation-tagged
+    /// registers kept, contents invisible).
+    free: Vec<Consensus<M>>,
+}
+
+/// Decided entries plus the length of their contiguous prefix, maintained
+/// incrementally so [`ReplicatedLog::learned_prefix`] is O(1).
+struct LearnedLog {
+    /// First slot still retained; everything below was compacted away
+    /// after the application consumed it. `entries[i]` is slot `start + i`.
+    start: usize,
+    entries: Vec<Option<u64>>,
+    /// First slot index not yet learned (absolute); every slot in
+    /// `start..prefix` is `Some`.
+    prefix: usize,
+}
 
 /// An append-only totally-ordered log agreed on by up to `n` threads, one
 /// consensus instance per slot (slots materialize lazily).
@@ -21,6 +47,36 @@ use crate::telemetry::RuntimeTelemetry;
 /// Entries are `u64` command codes below `capacity`; layer your own
 /// encoding on top (see [`TypedConsensus`](crate::TypedConsensus) for the
 /// pattern).
+///
+/// # Slot lifecycle and memory behavior
+///
+/// The expensive part of a slot is its consensus machinery (stage objects
+/// and their registers), not its decided entry. The log therefore runs a
+/// **learn-then-retire** lifecycle: once the contiguous learned prefix
+/// advances past a slot, that slot's [`Consensus`] is reset
+/// ([`Consensus::reset`]) and parked on a free-list, and the next
+/// materialized slot reuses it — at steady state a sustained append stream
+/// runs in a bounded window of live instances with a pool hit rate near 1,
+/// visible as `pool_hits`/`pool_misses`/`instances_retired` in
+/// [`telemetry`](ReplicatedLog::telemetry). An instance with a `decide`
+/// still in flight is simply kept until the call returns (retirement
+/// retries on the next learn), so recycling never races a decision.
+///
+/// # Compaction story
+///
+/// Decided *entries* are 8 bytes each and are the log's actual payload:
+/// retained storage grows one `u64` per slot, the floor for an append-only
+/// log. Consumers that apply the log as a state machine should read
+/// entries in order via
+/// [`learned_prefix`](ReplicatedLog::learned_prefix) +
+/// [`get`](ReplicatedLog::get) (O(1) each) and then call
+/// [`compact_below`](ReplicatedLog::compact_below) with their applied
+/// index — retained storage is then bounded by the apply lag, and a
+/// sustained append-apply loop runs at flat RSS (the
+/// `engine_throughput` bench enforces this). Slot indices are never
+/// renumbered; compacted slots simply read as `None`.
+/// [`snapshot`](ReplicatedLog::snapshot) clones the retained prefix and is
+/// meant for tests and small logs.
 ///
 /// # Example
 ///
@@ -44,14 +100,18 @@ use crate::telemetry::RuntimeTelemetry;
 /// assert_ne!(my_slot, their_slot);
 /// ```
 pub struct ReplicatedLog<M: SharedMemory = AtomicMemory> {
-    n: usize,
     capacity: u64,
     memory: M,
-    slots: RwLock<Vec<Arc<Consensus<M>>>>,
-    /// Decided entries, filled in slot order as threads learn them.
-    learned: RwLock<Vec<Option<u64>>>,
+    /// Validated once; every slot's instance shares it by `Arc`, so slot
+    /// setup never re-validates the quorum scheme.
+    options: Arc<ConsensusOptions>,
+    /// Slots the learned prefix must clear a slot by before it is retired
+    /// (0 = retire as soon as learned).
+    retire_lag: usize,
+    slots: RwLock<SlotTable<M>>,
+    learned: RwLock<LearnedLog>,
     /// Shared by every slot's consensus instance, so the log reports one
-    /// aggregate view (plus append/slot-contention counts of its own).
+    /// aggregate view (plus append/slot-contention/pool counts of its own).
     telemetry: Arc<RuntimeTelemetry>,
 }
 
@@ -99,13 +159,32 @@ impl<M: SharedMemory> ReplicatedLog<M> {
         assert!(n > 0, "need at least one replica");
         assert!(capacity >= 2, "need at least two command codes");
         ReplicatedLog {
-            n,
             capacity,
             memory,
-            slots: RwLock::new(Vec::new()),
-            learned: RwLock::new(Vec::new()),
+            options: Arc::new(Consensus::multivalued_options(n, capacity)),
+            retire_lag: 0,
+            slots: RwLock::new(SlotTable {
+                base: 0,
+                live: VecDeque::new(),
+                free: Vec::new(),
+            }),
+            learned: RwLock::new(LearnedLog {
+                start: 0,
+                entries: Vec::new(),
+                prefix: 0,
+            }),
             telemetry,
         }
+    }
+
+    /// Keeps each decided slot's consensus machinery alive until the
+    /// learned prefix is `lag` slots past it (default 0: retire as soon as
+    /// learned). Diagnostics aid; correctness never needs a lag because
+    /// retirement already waits for in-flight `decide` calls.
+    #[must_use]
+    pub fn with_retire_lag(mut self, lag: usize) -> ReplicatedLog<M> {
+        self.retire_lag = lag;
+        self
     }
 
     /// Number of command codes supported.
@@ -114,40 +193,121 @@ impl<M: SharedMemory> ReplicatedLog<M> {
     }
 
     /// Aggregate metrics across the log and every slot's consensus:
-    /// appends, slot conflicts, decide histograms, prob-write counts.
+    /// appends, slot conflicts, decide histograms, pool hits/misses.
     pub fn telemetry(&self) -> &RuntimeTelemetry {
         &self.telemetry
     }
 
-    fn slot(&self, ix: usize) -> Arc<Consensus<M>> {
-        if let Some(slot) = self.slots.read().get(ix) {
-            return Arc::clone(slot);
+    /// The shared options handle every slot instance is built from
+    /// (`Arc::ptr_eq` with any slot's
+    /// [`options_handle`](Consensus::options_handle)).
+    pub fn options_handle(&self) -> &Arc<ConsensusOptions> {
+        &self.options
+    }
+
+    /// Slots currently backed by live consensus machinery (the bounded
+    /// window behind and at the decision frontier).
+    pub fn live_slots(&self) -> usize {
+        self.slots.read().live.len()
+    }
+
+    /// Reset consensus objects parked for reuse.
+    pub fn pooled_instances(&self) -> usize {
+        self.slots.read().free.len()
+    }
+
+    /// The live object for slot `ix`, materializing it (from the pool when
+    /// possible) on first touch; `None` when the slot has already been
+    /// retired — which implies it has been learned.
+    fn slot(&self, ix: usize) -> Option<Arc<Consensus<M>>> {
+        {
+            let table = self.slots.read();
+            if ix < table.base {
+                return None;
+            }
+            if let Some(slot) = table.live.get(ix - table.base) {
+                return Some(Arc::clone(slot));
+            }
         }
-        let mut slots = self.slots.write();
-        while slots.len() <= ix {
-            slots.push(Arc::new(Consensus::with_telemetry_in(
-                self.memory.clone(),
-                Consensus::multivalued_options(self.n, self.capacity),
-                Arc::clone(&self.telemetry),
-            )));
+        let mut table = self.slots.write();
+        if ix < table.base {
+            return None;
         }
-        Arc::clone(&slots[ix])
+        while table.base + table.live.len() <= ix {
+            let instance = match table.free.pop() {
+                Some(recycled) => {
+                    self.telemetry.on_pool_hit();
+                    recycled
+                }
+                None => {
+                    self.telemetry.on_pool_miss();
+                    Consensus::with_telemetry_in(
+                        self.memory.clone(),
+                        Arc::clone(&self.options),
+                        Arc::clone(&self.telemetry),
+                    )
+                }
+            };
+            table.live.push_back(Arc::new(instance));
+        }
+        Some(Arc::clone(&table.live[ix - table.base]))
     }
 
     fn learn(&self, ix: usize, value: u64) {
-        let mut learned = self.learned.write();
-        if learned.len() <= ix {
-            learned.resize(ix + 1, None);
+        let prefix = {
+            let mut learned = self.learned.write();
+            debug_assert!(ix >= learned.start, "learning a compacted slot");
+            let rel = ix - learned.start;
+            if learned.entries.len() <= rel {
+                learned.entries.resize(rel + 1, None);
+            }
+            debug_assert!(
+                learned.entries[rel].is_none_or(|v| v == value),
+                "slot {ix} diverged"
+            );
+            learned.entries[rel] = Some(value);
+            while learned
+                .entries
+                .get(learned.prefix - learned.start)
+                .is_some_and(Option::is_some)
+            {
+                learned.prefix += 1;
+            }
+            learned.prefix
+        };
+        self.retire_below(prefix.saturating_sub(self.retire_lag));
+    }
+
+    /// Retires (resets and pools) live slots strictly below `limit`, in
+    /// slot order, stopping at the first instance with a `decide` still in
+    /// flight — that one is retried on a later learn.
+    fn retire_below(&self, limit: usize) {
+        let mut table = self.slots.write();
+        while table.base < limit {
+            let Some(slot) = table.live.pop_front() else {
+                break;
+            };
+            match Arc::try_unwrap(slot) {
+                Ok(mut instance) => {
+                    instance.reset();
+                    table.free.push(instance);
+                    table.base += 1;
+                    self.telemetry.on_instance_retired();
+                }
+                Err(slot) => {
+                    table.live.push_front(slot);
+                    break;
+                }
+            }
         }
-        debug_assert!(learned[ix].is_none_or(|v| v == value), "slot {ix} diverged");
-        learned[ix] = Some(value);
     }
 
     /// Appends `command`, returning the slot index where it landed.
     ///
-    /// The caller drives consensus on successive slots — learning other
-    /// replicas' entries along the way — until one slot decides its own
-    /// command. Wait-free relative to the underlying consensus instances.
+    /// The caller drives consensus on successive slots — skipping slots
+    /// already learned, learning the rest along the way — until one slot
+    /// decides its own command. Wait-free relative to the underlying
+    /// consensus instances.
     ///
     /// # Panics
     ///
@@ -161,7 +321,20 @@ impl<M: SharedMemory> ReplicatedLog<M> {
         let start_ix = self.first_unknown();
         let mut ix = start_ix;
         loop {
-            let decided = self.slot(ix).decide(command, rng);
+            if self.get(ix).is_some() {
+                // Another replica's command owns this slot already; no
+                // consensus to run, move to the next.
+                ix += 1;
+                continue;
+            }
+            let Some(slot) = self.slot(ix) else {
+                // Retired between the check above and the lookup — retired
+                // implies learned, so this slot is taken too.
+                ix += 1;
+                continue;
+            };
+            let decided = slot.decide(command, rng);
+            drop(slot);
             self.learn(ix, decided);
             if decided == command {
                 self.telemetry.on_append((ix - start_ix + 1) as u64);
@@ -173,31 +346,75 @@ impl<M: SharedMemory> ReplicatedLog<M> {
 
     /// First slot index this log has not yet learned.
     fn first_unknown(&self) -> usize {
-        let learned = self.learned.read();
-        learned
-            .iter()
-            .position(|e| e.is_none())
-            .unwrap_or(learned.len())
+        self.learned.read().prefix
     }
 
-    /// The decided prefix of the log: entries for every learned slot, in
-    /// order, stopping at the first unlearned slot.
+    /// Length of the contiguous decided prefix: every slot in
+    /// `0..learned_prefix()` is learned and readable via
+    /// [`get`](ReplicatedLog::get). O(1) — the prefix is maintained
+    /// incrementally as slots are learned, with no cloning under the lock.
+    pub fn learned_prefix(&self) -> usize {
+        self.learned.read().prefix
+    }
+
+    /// The decided, still-retained prefix of the log: entries for every
+    /// learned slot from [`compacted_below`](ReplicatedLog::compacted_below)
+    /// up, in order, stopping at the first unlearned slot.
+    ///
+    /// Clones the retained prefix; prefer
+    /// [`learned_prefix`](ReplicatedLog::learned_prefix) +
+    /// [`get`](ReplicatedLog::get) for incremental consumption.
     pub fn snapshot(&self) -> Vec<u64> {
-        self.learned.read().iter().map_while(|e| *e).collect()
+        self.learned
+            .read()
+            .entries
+            .iter()
+            .map_while(|e| *e)
+            .collect()
     }
 
-    /// The entry decided in `slot`, if this log has learned it.
+    /// The entry decided in `slot`, if this log has learned it and not yet
+    /// compacted it away.
     pub fn get(&self, slot: usize) -> Option<u64> {
-        self.learned.read().get(slot).copied().flatten()
+        let learned = self.learned.read();
+        if slot < learned.start {
+            return None;
+        }
+        learned.entries.get(slot - learned.start).copied().flatten()
+    }
+
+    /// Discards retained entries below `slot` (clamped to the learned
+    /// prefix), returning the new retention start. Call after applying
+    /// entries to your state machine: retained storage then stays bounded
+    /// by the apply lag instead of growing 8 bytes per slot forever. Slot
+    /// indices are stable — compaction never renumbers — but
+    /// [`get`](ReplicatedLog::get) returns `None` for compacted slots.
+    pub fn compact_below(&self, slot: usize) -> usize {
+        let mut learned = self.learned.write();
+        let limit = slot.min(learned.prefix);
+        if limit > learned.start {
+            let dropped = limit - learned.start;
+            learned.entries.drain(..dropped);
+            learned.start = limit;
+        }
+        learned.start
+    }
+
+    /// First slot still retained: everything below was
+    /// [`compact_below`](ReplicatedLog::compact_below)ed away after being
+    /// learned.
+    pub fn compacted_below(&self) -> usize {
+        self.learned.read().start
     }
 }
 
 impl<M: SharedMemory> std::fmt::Debug for ReplicatedLog<M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ReplicatedLog")
-            .field("n", &self.n)
             .field("capacity", &self.capacity)
-            .field("learned", &self.snapshot())
+            .field("learned_prefix", &self.learned_prefix())
+            .field("live_slots", &self.live_slots())
+            .field("pooled_instances", &self.pooled_instances())
             .finish()
     }
 }
@@ -218,6 +435,7 @@ mod tests {
         assert_eq!(log.snapshot(), vec![5, 9, 5]);
         assert_eq!(log.get(1), Some(9));
         assert_eq!(log.get(7), None);
+        assert_eq!(log.learned_prefix(), 3);
     }
 
     #[test]
@@ -266,6 +484,113 @@ mod tests {
         slots.dedup();
         assert_eq!(slots.len(), threads);
         assert_eq!(log.snapshot(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn decided_slots_are_retired_into_the_pool() {
+        let log = ReplicatedLog::new(1, 16);
+        let mut rng = SmallRng::seed_from_u64(0);
+        for i in 0..100 {
+            log.append(i % 16, &mut rng);
+        }
+        assert_eq!(log.learned_prefix(), 100);
+        // Sequential appends: each slot is learned (and so retired) before
+        // the next materializes — the whole run uses one pooled instance.
+        assert_eq!(log.live_slots(), 0);
+        assert_eq!(log.pooled_instances(), 1);
+        let t = log.telemetry();
+        assert_eq!(t.pool_misses(), 1);
+        assert_eq!(t.pool_hits(), 99);
+        assert_eq!(t.instances_retired(), 100);
+        assert!(t.pool_hit_rate() > 0.9);
+    }
+
+    #[test]
+    fn retire_lag_keeps_a_window_of_live_slots() {
+        let log = ReplicatedLog::new(1, 16).with_retire_lag(5);
+        let mut rng = SmallRng::seed_from_u64(0);
+        for i in 0..20 {
+            log.append(i % 16, &mut rng);
+        }
+        assert_eq!(log.live_slots(), 5);
+        assert_eq!(log.telemetry().instances_retired(), 15);
+        assert_eq!(log.snapshot().len(), 20);
+    }
+
+    #[test]
+    fn concurrent_appends_survive_recycling() {
+        for trial in 0..10 {
+            let threads = 4;
+            let log = Arc::new(ReplicatedLog::new(threads, 128));
+            let handles: Vec<_> = (0..threads as u64)
+                .map(|t| {
+                    let log = Arc::clone(&log);
+                    std::thread::spawn(move || {
+                        let mut rng = SmallRng::seed_from_u64(trial * 100 + t);
+                        (0..25)
+                            .map(|i| log.append(t * 25 + i, &mut rng))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            let mut all_slots: Vec<usize> = handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect();
+            all_slots.sort_unstable();
+            all_slots.dedup();
+            assert_eq!(all_slots.len(), 100, "trial {trial}: a slot was reused");
+            assert_eq!(log.learned_prefix(), 100, "trial {trial}");
+            // Steady state: far fewer instances than slots ever existed.
+            let t = log.telemetry();
+            assert!(t.instances_retired() <= t.pool_hits() + t.pool_misses());
+            assert!(
+                t.pool_misses() < 100,
+                "trial {trial}: pooling never kicked in ({} misses)",
+                t.pool_misses()
+            );
+        }
+    }
+
+    #[test]
+    fn slot_instances_share_the_options_allocation() {
+        let log = ReplicatedLog::new(1, 16);
+        let mut rng = SmallRng::seed_from_u64(0);
+        log.append(3, &mut rng);
+        let slot0 = log.slot(0);
+        if let Some(slot) = slot0 {
+            assert!(Arc::ptr_eq(slot.options_handle(), log.options_handle()));
+        } else {
+            // Slot 0 already retired; the pooled instance still shares.
+            let table = log.slots.read();
+            let pooled = table.free.first().expect("retired instance is pooled");
+            assert!(Arc::ptr_eq(pooled.options_handle(), log.options_handle()));
+        }
+    }
+
+    #[test]
+    fn compaction_drops_applied_entries_without_renumbering() {
+        let log = ReplicatedLog::new(1, 16);
+        let mut rng = SmallRng::seed_from_u64(0);
+        for i in 0..50 {
+            log.append(i % 16, &mut rng);
+        }
+        assert_eq!(log.compact_below(30), 30);
+        assert_eq!(log.compacted_below(), 30);
+        assert_eq!(log.get(29), None, "compacted slots read as None");
+        assert_eq!(
+            log.get(30),
+            Some(30 % 16),
+            "retained slots keep their index"
+        );
+        assert_eq!(log.snapshot(), (30..50).map(|i| i % 16).collect::<Vec<_>>());
+        // Appends continue past compaction with stable numbering.
+        assert_eq!(log.append(7, &mut rng), 50);
+        assert_eq!(log.learned_prefix(), 51);
+        // Compacting beyond the prefix clamps; compacting backwards is a
+        // no-op.
+        assert_eq!(log.compact_below(1_000), 51);
+        assert_eq!(log.compact_below(10), 51);
     }
 
     #[test]

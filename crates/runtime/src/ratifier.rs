@@ -89,6 +89,20 @@ impl<M: SharedMemory> AtomicRatifier<M> {
         self.scheme.capacity()
     }
 
+    /// Recycles this one-shot object for a fresh instance: every pool slot
+    /// and the proposal register are retired into the next generation, after
+    /// which the object is indistinguishable from a freshly built ratifier
+    /// over the same scheme (stale-generation reads are initial reads).
+    ///
+    /// Exclusive access (`&mut`) guarantees no `ratify` call is in flight.
+    pub fn reset(&mut self) {
+        let next = self.proposal.generation() + 1;
+        for slot in &mut self.pool {
+            slot.retire_to(next);
+        }
+        self.proposal.retire_to(next);
+    }
+
     /// Runs the ratifier with proposal `value`.
     ///
     /// One-shot semantics: each thread calls this at most once per object.
@@ -186,5 +200,17 @@ mod tests {
     #[should_panic(expected = "exceeds ratifier capacity")]
     fn oversized_value_rejected() {
         AtomicRatifier::binary().ratify(7);
+    }
+
+    #[test]
+    fn reset_ratifier_behaves_like_fresh() {
+        let mut r = AtomicRatifier::binary();
+        assert_eq!(r.ratify(0), Decision::decide(0));
+        // Without a reset, a conflicting second caller is forced onto 0.
+        assert_eq!(r.ratify(1).value(), 0);
+        r.reset();
+        // After the reset the old announcements and proposal are invisible:
+        // the recycled ratifier decides the new instance's value.
+        assert_eq!(r.ratify(1), Decision::decide(1));
     }
 }

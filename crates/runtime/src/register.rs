@@ -1,11 +1,33 @@
 //! Atomic multiwriter registers on `AtomicU64`, and the [`SharedMemory`]
 //! abstraction that lets the same algorithms run on other register
 //! substrates (notably `mc-lab`'s deterministically scheduled backend).
+//!
+//! # Generations and recycling
+//!
+//! Every deciding object in the paper is one-shot (§2), so a naive runtime
+//! allocates registers per instance and leaks them forever. The generation
+//! API makes registers recyclable without giving up one-shot semantics:
+//! each register carries a *generation* tag, and a value written under an
+//! earlier generation is invisible — a stale-generation read behaves
+//! exactly like an initial read of a fresh register (⊥). Retiring a
+//! register into a new generation ([`SharedRegister::retire_to`]) therefore
+//! makes it indistinguishable from a newly allocated one, which is the
+//! contract the pooled [`ConsensusEngine`](crate::ConsensusEngine) and the
+//! recycled-vs-fresh lab conformance leg rely on.
+//!
+//! Retirement requires exclusive access (`&mut`): recycling happens only
+//! *between* one-shot instances, never concurrently with operations, so
+//! the tag bump is a plain field write and costs no atomics. Code that
+//! never recycles stays in generation 0 and pays one predictable branch
+//! per operation — the engine-off path is a structural passthrough.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use mc_model::Probability;
 use rand::{Rng, RngExt};
+
+/// The generation fresh registers are born into.
+pub const GENERATION_0: u64 = 0;
 
 /// One shared multiwriter register as the runtime algorithms see it.
 ///
@@ -15,15 +37,39 @@ use rand::{Rng, RngExt};
 /// committing to the operation.
 pub trait SharedRegister: Send + Sync {
     /// Reads the register: `None` is ⊥.
+    ///
+    /// A value written under an earlier generation than the register's
+    /// current one is *not* observable: the read behaves as an initial
+    /// read of a fresh register and returns `None`.
     fn read(&self) -> Option<u64>;
 
-    /// Writes `value`.
+    /// Writes `value` under the register's current generation.
     fn write(&self, value: u64);
 
     /// Probabilistic write: with probability `prob` the register takes
     /// `value`. Returns whether the write landed. The coin comes from
     /// `rng` and is resolved only as part of the operation itself.
     fn prob_write(&self, value: u64, prob: Probability, rng: &mut dyn Rng) -> bool;
+
+    /// The allocation generation this register currently belongs to.
+    fn generation(&self) -> u64 {
+        GENERATION_0
+    }
+
+    /// Moves the register into `generation`, invalidating every value
+    /// written under an earlier generation: the next read behaves as an
+    /// initial read (⊥), making the recycled register indistinguishable
+    /// from a fresh allocation.
+    ///
+    /// Exclusive access (`&mut`) is the synchronization: one-shot objects
+    /// are retired only between instances, when no operation can be in
+    /// flight, so implementations need no atomics for the tag bump.
+    ///
+    /// # Panics
+    ///
+    /// Implementations must `debug_assert` that `generation` strictly
+    /// increases — retiring backwards would resurrect stale values.
+    fn retire_to(&mut self, generation: u64);
 }
 
 /// A register substrate: allocates fresh shared registers.
@@ -37,12 +83,33 @@ pub trait SharedMemory: Clone + Send + Sync + 'static {
     /// The register type this substrate allocates.
     type Reg: SharedRegister;
 
-    /// Allocates one fresh register holding ⊥.
+    /// Allocates one fresh register holding ⊥, in [`GENERATION_0`].
     ///
     /// Allocation order is observable to instrumented substrates (register
     /// ids are assigned sequentially), so objects must allocate in a
     /// deterministic order — the same order the model-side objects use.
-    fn alloc(&self) -> Self::Reg;
+    fn alloc(&self) -> Self::Reg {
+        self.alloc_in_generation(GENERATION_0)
+    }
+
+    /// Allocates one fresh register holding ⊥, tagged with `generation`.
+    ///
+    /// A pooling engine allocates each instance's registers in the
+    /// instance's generation so that recycling the whole instance is one
+    /// [`retire_to`](SharedRegister::retire_to) sweep. For substrates with
+    /// no per-generation state the tag is carried by the register itself.
+    fn alloc_in_generation(&self, generation: u64) -> Self::Reg;
+
+    /// Declares every register allocated under `generation` retired.
+    ///
+    /// This is a bookkeeping hook for substrates that keep per-generation
+    /// state (accounting, debug ledgers); the visibility change itself is
+    /// enacted register-by-register via
+    /// [`retire_to`](SharedRegister::retire_to), so the default is a
+    /// no-op.
+    fn retire_generation(&self, generation: u64) {
+        let _ = generation;
+    }
 }
 
 /// The default substrate: lock-free `AtomicU64` registers.
@@ -52,8 +119,8 @@ pub struct AtomicMemory;
 impl SharedMemory for AtomicMemory {
     type Reg = AtomicRegister;
 
-    fn alloc(&self) -> AtomicRegister {
-        AtomicRegister::new()
+    fn alloc_in_generation(&self, generation: u64) -> AtomicRegister {
+        AtomicRegister::in_generation(generation)
     }
 }
 
@@ -63,31 +130,72 @@ impl SharedMemory for AtomicMemory {
 /// rejected. Loads and stores use sequentially consistent ordering — the
 /// paper's model is atomic registers with interleaving semantics, and SeqCst
 /// is the faithful (and simplest) mapping.
+///
+/// # Generation tagging
+///
+/// Alongside the value cell the register keeps the generation of the last
+/// write (`tag`) and its current generation (a plain field, mutated only
+/// under `&mut` in [`retire_to`](SharedRegister::retire_to)). A read whose
+/// tag predates the current generation returns ⊥ — the stale value is
+/// masked, not erased, so retiring costs O(1) regardless of how much was
+/// written. Registers that never leave generation 0 skip the tag entirely:
+/// the fast path is one branch on a non-atomic field.
 #[derive(Debug)]
 pub struct AtomicRegister {
     cell: AtomicU64,
+    /// Generation of the value in `cell`. Only consulted when
+    /// `generation > 0`; in generation 0 it is never written and stays 0.
+    tag: AtomicU64,
+    /// The register's current generation. Plain field: mutated only via
+    /// `retire_to(&mut self)`, when exclusive access rules out readers.
+    generation: u64,
 }
 
 const EMPTY: u64 = u64::MAX;
 
 impl AtomicRegister {
-    /// Creates a register holding ⊥.
+    /// Creates a register holding ⊥ in generation 0.
     pub fn new() -> AtomicRegister {
+        AtomicRegister::in_generation(GENERATION_0)
+    }
+
+    /// Creates a register holding ⊥ in `generation`.
+    pub fn in_generation(generation: u64) -> AtomicRegister {
         AtomicRegister {
             cell: AtomicU64::new(EMPTY),
+            tag: AtomicU64::new(generation),
+            generation,
         }
     }
 
-    /// Reads the register: `None` is ⊥.
+    /// Reads the register: `None` is ⊥. A value from a retired generation
+    /// reads as ⊥, exactly like a fresh register.
     #[inline]
     pub fn read(&self) -> Option<u64> {
         match self.cell.load(Ordering::SeqCst) {
             EMPTY => None,
-            v => Some(v),
+            v => {
+                if self.generation != GENERATION_0 {
+                    let tag = self.tag.load(Ordering::SeqCst);
+                    if tag != self.generation {
+                        // The recycling contract: a stale-generation read
+                        // behaves as an initial read. Tags only ever lag the
+                        // current generation — a tag from the future would
+                        // mean a write leaked across a retire_to.
+                        debug_assert!(
+                            tag < self.generation,
+                            "register tag {tag} is ahead of generation {}",
+                            self.generation
+                        );
+                        return None;
+                    }
+                }
+                Some(v)
+            }
         }
     }
 
-    /// Writes `value`.
+    /// Writes `value` under the current generation.
     ///
     /// # Panics
     ///
@@ -96,6 +204,13 @@ impl AtomicRegister {
     pub fn write(&self, value: u64) {
         assert_ne!(value, EMPTY, "u64::MAX is reserved for the null value");
         self.cell.store(value, Ordering::SeqCst);
+        if self.generation != GENERATION_0 {
+            // All writers of one instance share the generation, so this
+            // store is idempotent; a reader that sees the new cell with the
+            // old tag linearizes before this (still in-flight) write and
+            // correctly observes the initial state.
+            self.tag.store(self.generation, Ordering::SeqCst);
+        }
     }
 }
 
@@ -117,6 +232,24 @@ impl SharedRegister for AtomicRegister {
             AtomicRegister::write(self, value);
         }
         landed
+    }
+
+    fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    fn retire_to(&mut self, generation: u64) {
+        debug_assert!(
+            generation > self.generation,
+            "generation must strictly increase: {} -> {generation}",
+            self.generation
+        );
+        self.generation = generation;
+        debug_assert_eq!(
+            AtomicRegister::read(self),
+            None,
+            "a retired register must be indistinguishable from a fresh one"
+        );
     }
 }
 
@@ -190,5 +323,59 @@ mod tests {
             let landed = r.prob_write(1, Probability::new(0.5).unwrap(), &mut a);
             assert_eq!(landed, b.random_bool(0.5));
         }
+    }
+
+    #[test]
+    fn retired_register_reads_as_fresh() {
+        let mut r = AtomicMemory.alloc();
+        r.write(7);
+        assert_eq!(SharedRegister::read(&r), Some(7));
+        r.retire_to(1);
+        assert_eq!(r.generation(), 1);
+        // The stale-generation value is invisible: an initial read.
+        assert_eq!(SharedRegister::read(&r), None);
+        // A post-retire write is visible under the new generation.
+        r.write(9);
+        assert_eq!(SharedRegister::read(&r), Some(9));
+        r.retire_to(2);
+        assert_eq!(SharedRegister::read(&r), None);
+    }
+
+    #[test]
+    fn alloc_in_generation_starts_fresh() {
+        let r = AtomicMemory.alloc_in_generation(5);
+        assert_eq!(r.generation(), 5);
+        assert_eq!(SharedRegister::read(&r), None);
+        r.write(3);
+        assert_eq!(SharedRegister::read(&r), Some(3));
+    }
+
+    #[test]
+    fn retire_generation_hook_is_a_noop_by_default() {
+        // The default substrate keeps no per-generation state; the hook
+        // must be callable with no observable effect on live registers.
+        let r = AtomicMemory.alloc_in_generation(1);
+        r.write(4);
+        AtomicMemory.retire_generation(1);
+        assert_eq!(SharedRegister::read(&r), Some(4));
+    }
+
+    #[test]
+    fn prob_write_lands_in_current_generation() {
+        let mut r = AtomicMemory.alloc();
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert!(r.prob_write(5, Probability::ONE, &mut rng));
+        r.retire_to(1);
+        assert_eq!(SharedRegister::read(&r), None);
+        assert!(r.prob_write(6, Probability::ONE, &mut rng));
+        assert_eq!(SharedRegister::read(&r), Some(6));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "strictly increase")]
+    fn retiring_backwards_is_rejected() {
+        let mut r = AtomicMemory.alloc_in_generation(3);
+        r.retire_to(3);
     }
 }

@@ -34,6 +34,9 @@ pub struct RuntimeTelemetry {
     prob_writes_performed: ShardedCounter,
     appends: Counter,
     slot_conflicts: Counter,
+    pool_hits: Counter,
+    pool_misses: Counter,
+    instances_retired: Counter,
     faults_injected: Counter,
     lost_prob_writes: Counter,
     stale_reads: Counter,
@@ -71,6 +74,9 @@ impl RuntimeTelemetry {
             prob_writes_performed: ShardedCounter::new(n),
             appends: Counter::new(),
             slot_conflicts: Counter::new(),
+            pool_hits: Counter::new(),
+            pool_misses: Counter::new(),
+            instances_retired: Counter::new(),
             faults_injected: Counter::new(),
             lost_prob_writes: Counter::new(),
             stale_reads: Counter::new(),
@@ -224,6 +230,24 @@ impl RuntimeTelemetry {
         }
     }
 
+    /// A consensus instance was served from the recycle pool.
+    #[inline]
+    pub(crate) fn on_pool_hit(&self) {
+        self.pool_hits.incr();
+    }
+
+    /// A consensus instance had to be freshly constructed (empty pool).
+    #[inline]
+    pub(crate) fn on_pool_miss(&self) {
+        self.pool_misses.incr();
+    }
+
+    /// A decided instance was reset and returned to the recycle pool.
+    #[inline]
+    pub(crate) fn on_instance_retired(&self) {
+        self.instances_retired.incr();
+    }
+
     #[inline]
     pub(crate) fn on_append(&self, slots_walked: u64) {
         self.appends.incr();
@@ -304,6 +328,49 @@ impl RuntimeTelemetry {
         self.slot_conflicts.get()
     }
 
+    /// Consensus instances served from the recycle pool.
+    pub fn pool_hits(&self) -> u64 {
+        self.pool_hits.get()
+    }
+
+    /// Consensus instances constructed because the pool was empty.
+    pub fn pool_misses(&self) -> u64 {
+        self.pool_misses.get()
+    }
+
+    /// Fraction of instance activations served from the pool (0 when no
+    /// instance was ever activated).
+    pub fn pool_hit_rate(&self) -> f64 {
+        let total = self.pool_hits() + self.pool_misses();
+        if total == 0 {
+            0.0
+        } else {
+            self.pool_hits() as f64 / total as f64
+        }
+    }
+
+    /// Decided instances reset and returned to the recycle pool.
+    pub fn instances_retired(&self) -> u64 {
+        self.instances_retired.get()
+    }
+
+    /// Instances currently live (activated but not yet retired). Every
+    /// activation is a pool hit or a pool miss, so live = hits + misses −
+    /// retired.
+    pub fn live_instances(&self) -> u64 {
+        (self.pool_hits() + self.pool_misses()).saturating_sub(self.instances_retired())
+    }
+
+    /// Upper bound on the median wall-clock `decide` latency, nanoseconds.
+    pub fn decide_latency_p50_ns(&self) -> u64 {
+        self.decide_latency_ns.quantile_upper(0.50)
+    }
+
+    /// Upper bound on the 99th-percentile `decide` latency, nanoseconds.
+    pub fn decide_latency_p99_ns(&self) -> u64 {
+        self.decide_latency_ns.quantile_upper(0.99)
+    }
+
     /// Memory faults delivered by an attached `FaultyMemory`, all classes.
     pub fn faults_injected(&self) -> u64 {
         self.faults_injected.get()
@@ -347,6 +414,9 @@ impl RuntimeTelemetry {
             .counter("prob_writes_performed", self.prob_writes_performed())
             .counter("appends", self.appends())
             .counter("slot_conflicts", self.slot_conflicts())
+            .counter("pool_hits", self.pool_hits())
+            .counter("pool_misses", self.pool_misses())
+            .counter("instances_retired", self.instances_retired())
             .counter("faults_injected", self.faults_injected())
             .counter("faults_lost_prob_writes", self.lost_prob_writes())
             .counter("faults_stale_reads", self.stale_reads())
@@ -357,6 +427,11 @@ impl RuntimeTelemetry {
                 "max_conciliator_round",
                 self.max_conciliator_round.get(),
                 self.max_conciliator_round(),
+            )
+            .gauge(
+                "live_instances",
+                self.live_instances(),
+                self.live_instances(),
             )
             .histogram("rounds_to_decide", self.rounds_to_decide.snapshot())
             .histogram("decide_latency_ns", self.decide_latency_ns.snapshot())
@@ -434,6 +509,37 @@ mod tests {
         t.on_append(3);
         assert_eq!(t.appends(), 2);
         assert_eq!(t.slot_conflicts(), 2);
+    }
+
+    #[test]
+    fn pool_counters_track_hit_rate_and_live_instances() {
+        let t = RuntimeTelemetry::noop(2);
+        t.on_pool_miss();
+        t.on_pool_hit();
+        t.on_pool_hit();
+        t.on_instance_retired();
+        assert_eq!(t.pool_hits(), 2);
+        assert_eq!(t.pool_misses(), 1);
+        assert!((t.pool_hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(t.instances_retired(), 1);
+        assert_eq!(t.live_instances(), 2);
+        let snap = t.snapshot();
+        assert_eq!(snap.counter_value("pool_hits"), Some(2));
+        assert_eq!(snap.counter_value("pool_misses"), Some(1));
+        assert_eq!(snap.counter_value("instances_retired"), Some(1));
+    }
+
+    #[test]
+    fn decide_latency_percentiles_are_exposed() {
+        let t = RuntimeTelemetry::noop(2);
+        for latency in [100, 200, 400, 800, 100_000] {
+            t.on_decided(1, 1, false, latency);
+        }
+        let p50 = t.decide_latency_p50_ns();
+        let p99 = t.decide_latency_p99_ns();
+        assert!(p50 >= 200, "p50 {p50}");
+        assert!(p99 >= 100_000, "p99 {p99}");
+        assert!(p50 <= p99);
     }
 
     #[test]

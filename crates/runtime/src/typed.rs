@@ -151,6 +151,29 @@ impl<T: ValueCode, M: SharedMemory> TypedConsensus<T, M> {
         T::from_code(code)
             .expect("agreed code decodes: validity guarantees it was some thread's proposal")
     }
+
+    /// How many times this object has been recycled via
+    /// [`reset`](TypedConsensus::reset). Fresh objects report 0.
+    pub fn generation(&self) -> u64 {
+        self.inner.generation()
+    }
+
+    /// Number of stages materialized so far (diagnostics).
+    pub fn stages_used(&self) -> usize {
+        self.inner.stages_used()
+    }
+
+    /// Recycles this one-shot object for a fresh instance (see
+    /// [`Consensus::reset`]): stages keep their registers but retire them
+    /// into the next generation, after which the object is
+    /// indistinguishable from a freshly constructed one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `decide` call is still in flight.
+    pub fn reset(&mut self) {
+        self.inner.reset();
+    }
 }
 
 #[cfg(test)]
@@ -189,6 +212,57 @@ mod tests {
             assert!(results.windows(2).all(|w| w[0] == w[1]), "{results:?}");
             assert_eq!(results[0] % 10, 0);
             assert!(results[0] <= 40);
+        }
+    }
+
+    #[test]
+    fn recycled_typed_object_does_not_leak_the_previous_decision() {
+        // Single participant: decide() deterministically returns the
+        // proposal, so any stale register surviving reset would surface as
+        // the old payload.
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut c = TypedConsensus::<u16>::new(1);
+        assert_eq!(c.decide(0xBEEF, &mut rng), 0xBEEF);
+        assert_eq!(c.generation(), 0);
+        c.reset();
+        assert_eq!(c.generation(), 1);
+        assert_eq!(c.decide(0x0042, &mut rng), 0x0042);
+        c.reset();
+        assert_eq!(c.decide(0x7777, &mut rng), 0x7777);
+        assert_eq!(c.generation(), 2);
+    }
+
+    #[test]
+    fn recycled_typed_object_still_agrees_across_threads() {
+        for trial in 0..10u64 {
+            let mut c = TypedConsensus::<u16>::new(3);
+            for epoch in 0..2u64 {
+                let proposals: Vec<u16> =
+                    (0..3u16).map(|t| 0x0100 * (t + 1) + trial as u16).collect();
+                let results: Vec<u16> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..3usize)
+                        .map(|t| {
+                            let c = &c;
+                            let proposal = proposals[t];
+                            scope.spawn(move || {
+                                let mut rng =
+                                    SmallRng::seed_from_u64(trial * 100 + epoch * 10 + t as u64);
+                                c.decide(proposal, &mut rng)
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                });
+                assert!(
+                    results.windows(2).all(|w| w[0] == w[1]),
+                    "trial {trial} epoch {epoch}: {results:?}"
+                );
+                assert!(
+                    proposals.contains(&results[0]),
+                    "trial {trial} epoch {epoch}: validity"
+                );
+                c.reset();
+            }
         }
     }
 

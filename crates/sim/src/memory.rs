@@ -41,6 +41,15 @@ impl Memory {
         (0..len).map(|d| self.read(base.offset(d))).collect()
     }
 
+    /// Clears register `reg` back to ⊥: a subsequent read observes an
+    /// initial register, exactly as if it had never been written. Pool
+    /// recycling support — the materialized high-water mark is unchanged.
+    pub fn clear_register(&mut self, reg: RegisterId) {
+        if let Some(cell) = self.cells.get_mut(index(reg)) {
+            *cell = None;
+        }
+    }
+
     /// Number of register slots currently materialized (a high-water mark of
     /// the highest register ever written, plus one).
     pub fn touched(&self) -> usize {
@@ -94,6 +103,18 @@ mod tests {
         m.write(RegisterId(0), 1);
         m.write(RegisterId(0), 2);
         assert_eq!(m.read(RegisterId(0)), Some(2));
+    }
+
+    #[test]
+    fn cleared_register_reads_bottom_again() {
+        let mut m = Memory::new();
+        m.write(RegisterId(2), 9);
+        m.clear_register(RegisterId(2));
+        assert_eq!(m.read(RegisterId(2)), None);
+        assert_eq!(m.touched(), 3, "high-water mark is preserved");
+        // Clearing a never-materialized register is a no-op.
+        m.clear_register(RegisterId(100));
+        assert_eq!(m.touched(), 3);
     }
 
     #[test]

@@ -148,6 +148,26 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// An upper bound on the `q`-quantile (`0 ≤ q ≤ 1`), mirroring
+    /// [`Histogram::quantile_upper`] on the frozen buckets: the upper edge
+    /// of the first bucket whose cumulative count reaches `q · count`,
+    /// clamped to the observed max. 0 when empty.
+    pub fn quantile_upper(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let rank = rank.max(1);
+        let mut cumulative = 0u64;
+        for &(upper, n) in &self.buckets {
+            cumulative += n;
+            if cumulative >= rank {
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
 }
 
 #[cfg(test)]
@@ -195,5 +215,18 @@ mod tests {
         assert_eq!(h.quantile_upper(0.0), 1);
         let empty = Histogram::new();
         assert_eq!(empty.quantile_upper(0.5), 0);
+    }
+
+    #[test]
+    fn snapshot_quantiles_match_the_live_histogram() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(snap.quantile_upper(q), h.quantile_upper(q), "q={q}");
+        }
+        assert_eq!(HistogramSnapshot::default().quantile_upper(0.5), 0);
     }
 }

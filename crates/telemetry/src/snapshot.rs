@@ -75,11 +75,13 @@ impl Snapshot {
         for (name, hist) in &self.histograms {
             let _ = writeln!(
                 out,
-                "{name}: count={} sum={} max={} mean={:.2}",
+                "{name}: count={} sum={} max={} mean={:.2} p50<={} p99<={}",
                 hist.count,
                 hist.sum,
                 hist.max,
-                hist.mean()
+                hist.mean(),
+                hist.quantile_upper(0.50),
+                hist.quantile_upper(0.99)
             );
             for &(upper, n) in &hist.buckets {
                 let _ = writeln!(out, "  <= {upper}: {n}");
@@ -142,6 +144,12 @@ impl Snapshot {
             let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", hist.count);
             let _ = writeln!(out, "{name}_sum {}", hist.sum);
             let _ = writeln!(out, "{name}_count {}", hist.count);
+            // Pre-computed quantile upper bounds, as gauges: scrapers that
+            // never learned `histogram_quantile` still get p50/p99.
+            let _ = writeln!(out, "# TYPE {name}_p50 gauge");
+            let _ = writeln!(out, "{name}_p50 {}", hist.quantile_upper(0.50));
+            let _ = writeln!(out, "# TYPE {name}_p99 gauge");
+            let _ = writeln!(out, "{name}_p99 {}", hist.quantile_upper(0.99));
         }
         out
     }
@@ -166,7 +174,9 @@ fn histogram_json(hist: &HistogramSnapshot) -> String {
     obj.u64_field("count", hist.count)
         .u64_field("sum", hist.sum)
         .u64_field("max", hist.max)
-        .f64_field("mean", hist.mean());
+        .f64_field("mean", hist.mean())
+        .u64_field("p50", hist.quantile_upper(0.50))
+        .u64_field("p99", hist.quantile_upper(0.99));
     let mut buckets = String::from("[");
     for (i, &(upper, n)) in hist.buckets.iter().enumerate() {
         if i > 0 {
@@ -203,6 +213,7 @@ mod tests {
         assert!(text.contains("ops_total = 42"));
         assert!(text.contains("active_stages = 2 (max 5)"));
         assert!(text.contains("rounds_to_decide: count=4 sum=106 max=100"));
+        assert!(text.contains("p50<=3 p99<=100"));
         assert!(text.contains("  <= 1: 1"));
     }
 
@@ -213,6 +224,8 @@ mod tests {
         assert!(out.contains(r#""ops_total":42"#));
         assert!(out.contains(r#""active_stages":{"value":2,"max":5}"#));
         assert!(out.contains(r#""count":4"#));
+        assert!(out.contains(r#""p50":3"#));
+        assert!(out.contains(r#""p99":100"#));
         assert!(out.contains(r#""buckets":[[1,1],[3,2],[127,1]]"#));
     }
 
@@ -227,6 +240,8 @@ mod tests {
         assert!(out.contains("rounds_to_decide_bucket{le=\"+Inf\"} 4"));
         assert!(out.contains("rounds_to_decide_sum 106"));
         assert!(out.contains("rounds_to_decide_count 4"));
+        assert!(out.contains("# TYPE rounds_to_decide_p50 gauge\nrounds_to_decide_p50 3"));
+        assert!(out.contains("rounds_to_decide_p99 100"));
     }
 
     #[test]

@@ -26,6 +26,14 @@ echo "== lab conformance (fixed-seed campaign) =="
 # protocol over the bounded adversary matrix; any divergence exits nonzero.
 cargo run -p mc-bench --release --bin lab_explore -- --seeds 10000
 
+echo "== engine throughput (pooling smoke) =="
+# Sustained ReplicatedLog append-apply loop plus a ConsensusEngine submit
+# stream: exits nonzero unless RSS after 10x the warm-up volume stays
+# within 5% of the warm-up RSS, pool hit rate exceeds 90%, and every slot
+# instance shares the log's validated options allocation.
+cargo run -p mc-bench --release --bin engine_throughput -- --warmup 5000
+test -s BENCH_engine_throughput.json
+
 echo "== fault campaign (degradation smoke) =="
 # Fault class x rate x protocol sweep over fault-injected lab runs: safety
 # must hold with zero violations in every cell, bounded consensus must

@@ -90,12 +90,14 @@ pub mod prelude {
         FirstMoverConciliator, LazyChain, Ratifier, VotingSharedCoin, WriteSchedule,
     };
     pub use mc_lab::{
-        check_conformance, check_conformance_with_plan, Conformance, Lab, Protocol as LabProtocol,
+        check_conformance, check_conformance_with_plan, check_recycled_conformance, Conformance,
+        Lab, Protocol as LabProtocol,
     };
     pub use mc_model::{properties, Decision, ObjectSpec, ProcessId, Value};
     pub use mc_runtime::{
-        BoundedConsensus, Consensus, Election, FaultPlan, FaultyMemory, LeaderFallback,
-        ReplicatedLog, ResetScope, RuntimeTelemetry, TestAndSet, TypedConsensus, ValueCode,
+        BoundedConsensus, Consensus, ConsensusEngine, Election, EngineOptions, FaultPlan,
+        FaultyMemory, LeaderFallback, ReplicatedLog, ResetScope, RuntimeTelemetry, SubmitError,
+        TestAndSet, TypedConsensus, ValueCode,
     };
     pub use mc_sim::{adversary, harness, observe, sched, EngineConfig};
     pub use mc_telemetry::{
