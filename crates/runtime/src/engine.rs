@@ -39,7 +39,9 @@ pub struct EngineOptions {
     pub max_live_per_shard: usize,
     /// How many `submit` calls each instance receives. When the last one
     /// returns, the instance is reset and pooled. `0` means
-    /// `ConsensusOptions::n` (every participant submits).
+    /// `ConsensusOptions::n` (every participant submits). Must not exceed
+    /// `ConsensusOptions::n` — an instance admits at most the `n`
+    /// concurrent callers its quorum scheme was sized for.
     pub participants: usize,
 }
 
@@ -141,7 +143,8 @@ impl ConsensusEngine {
     ///
     /// # Panics
     ///
-    /// Panics if `options.n == 0` or `engine.max_live_per_shard == 0`.
+    /// Panics if `options.n == 0`, `engine.max_live_per_shard == 0`, or
+    /// `engine.participants > options.n`.
     pub fn new(options: ConsensusOptions, engine: EngineOptions) -> ConsensusEngine {
         ConsensusEngine::new_in(AtomicMemory, options, engine)
     }
@@ -151,7 +154,8 @@ impl ConsensusEngine {
     ///
     /// # Panics
     ///
-    /// Panics if `options.n == 0` or `engine.max_live_per_shard == 0`.
+    /// Panics if `options.n == 0`, `engine.max_live_per_shard == 0`, or
+    /// `engine.participants > options.n`.
     pub fn with_recorder(
         options: ConsensusOptions,
         engine: EngineOptions,
@@ -167,7 +171,8 @@ impl<M: SharedMemory> ConsensusEngine<M> {
     ///
     /// # Panics
     ///
-    /// Panics if `options.n == 0` or `engine.max_live_per_shard == 0`.
+    /// Panics if `options.n == 0`, `engine.max_live_per_shard == 0`, or
+    /// `engine.participants > options.n`.
     pub fn new_in(
         memory: M,
         options: ConsensusOptions,
@@ -198,6 +203,14 @@ impl<M: SharedMemory> ConsensusEngine<M> {
         } else {
             engine.participants
         };
+        // More concurrent decide() callers than the n-thread bound the
+        // quorum scheme was built for would silently void the algorithm's
+        // guarantees.
+        assert!(
+            participants <= options.n,
+            "participants ({participants}) exceeds the instance bound n ({})",
+            options.n
+        );
         ConsensusEngine {
             memory,
             options: Arc::new(options),
@@ -579,6 +592,18 @@ mod tests {
             options(1, 8),
             EngineOptions {
                 max_live_per_shard: 0,
+                ..EngineOptions::default()
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the instance bound")]
+    fn participants_beyond_n_rejected() {
+        ConsensusEngine::new(
+            options(2, 8),
+            EngineOptions {
+                participants: 3,
                 ..EngineOptions::default()
             },
         );

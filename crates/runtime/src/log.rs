@@ -256,24 +256,32 @@ impl<M: SharedMemory> ReplicatedLog<M> {
     fn learn(&self, ix: usize, value: u64) {
         let prefix = {
             let mut learned = self.learned.write();
-            debug_assert!(ix >= learned.start, "learning a compacted slot");
-            let rel = ix - learned.start;
-            if learned.entries.len() <= rel {
-                learned.entries.resize(rel + 1, None);
+            if ix < learned.start {
+                // A lagging appender finishing `decide` on a slot the
+                // application already applied and compacted away: compacted
+                // implies learned, so there is nothing to record — but
+                // still give retirement a chance below, now that this
+                // appender has dropped its handle on the slot's instance.
+                learned.prefix
+            } else {
+                let rel = ix - learned.start;
+                if learned.entries.len() <= rel {
+                    learned.entries.resize(rel + 1, None);
+                }
+                debug_assert!(
+                    learned.entries[rel].is_none_or(|v| v == value),
+                    "slot {ix} diverged"
+                );
+                learned.entries[rel] = Some(value);
+                while learned
+                    .entries
+                    .get(learned.prefix - learned.start)
+                    .is_some_and(Option::is_some)
+                {
+                    learned.prefix += 1;
+                }
+                learned.prefix
             }
-            debug_assert!(
-                learned.entries[rel].is_none_or(|v| v == value),
-                "slot {ix} diverged"
-            );
-            learned.entries[rel] = Some(value);
-            while learned
-                .entries
-                .get(learned.prefix - learned.start)
-                .is_some_and(Option::is_some)
-            {
-                learned.prefix += 1;
-            }
-            learned.prefix
         };
         self.retire_below(prefix.saturating_sub(self.retire_lag));
     }
@@ -591,6 +599,23 @@ mod tests {
         // no-op.
         assert_eq!(log.compact_below(1_000), 51);
         assert_eq!(log.compact_below(10), 51);
+    }
+
+    #[test]
+    fn learning_a_compacted_slot_is_a_noop() {
+        // A lagging appender can finish `decide` on a slot others already
+        // learned, after the application compacted past it — its `learn`
+        // must not panic or disturb the retained log.
+        let log = ReplicatedLog::new(1, 16);
+        let mut rng = SmallRng::seed_from_u64(0);
+        for i in 0..10 {
+            log.append(i, &mut rng);
+        }
+        assert_eq!(log.compact_below(5), 5);
+        log.learn(2, 2);
+        assert_eq!(log.learned_prefix(), 10);
+        assert_eq!(log.compacted_below(), 5);
+        assert_eq!(log.snapshot(), (5..10).collect::<Vec<_>>());
     }
 
     #[test]

@@ -17,9 +17,9 @@
 //!
 //! Retirement requires exclusive access (`&mut`): recycling happens only
 //! *between* one-shot instances, never concurrently with operations, so
-//! the tag bump is a plain field write and costs no atomics. Code that
-//! never recycles stays in generation 0 and pays one predictable branch
-//! per operation — the engine-off path is a structural passthrough.
+//! implementations physically clear the retired value with plain
+//! (non-atomic) writes. Code that never recycles pays nothing per
+//! operation — the engine-off path is a structural passthrough.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -63,7 +63,10 @@ pub trait SharedRegister: Send + Sync {
     ///
     /// Exclusive access (`&mut`) is the synchronization: one-shot objects
     /// are retired only between instances, when no operation can be in
-    /// flight, so implementations need no atomics for the tag bump.
+    /// flight, so implementations clear the retired value with plain
+    /// writes and need no atomics. The value must be *physically* cleared,
+    /// not masked behind a separate tag a concurrent reader could observe
+    /// out of step with the cell.
     ///
     /// # Panics
     ///
@@ -131,21 +134,19 @@ impl SharedMemory for AtomicMemory {
 /// paper's model is atomic registers with interleaving semantics, and SeqCst
 /// is the faithful (and simplest) mapping.
 ///
-/// # Generation tagging
+/// # Generation recycling
 ///
-/// Alongside the value cell the register keeps the generation of the last
-/// write (`tag`) and its current generation (a plain field, mutated only
-/// under `&mut` in [`retire_to`](SharedRegister::retire_to)). A read whose
-/// tag predates the current generation returns ⊥ — the stale value is
-/// masked, not erased, so retiring costs O(1) regardless of how much was
-/// written. Registers that never leave generation 0 skip the tag entirely:
-/// the fast path is one branch on a non-atomic field.
+/// The register's current generation is a plain field, mutated only under
+/// `&mut` in [`retire_to`](SharedRegister::retire_to), which also
+/// physically clears the value cell back to ⊥. Clearing — rather than
+/// masking the stale value behind a separate generation tag — keeps every
+/// operation a single atomic access: there is no (value, tag) pair a
+/// concurrent reader could observe half-updated, so a torn read can never
+/// surface a retired instance's value as current, and reads/writes cost
+/// exactly what an unpooled register's do.
 #[derive(Debug)]
 pub struct AtomicRegister {
     cell: AtomicU64,
-    /// Generation of the value in `cell`. Only consulted when
-    /// `generation > 0`; in generation 0 it is never written and stays 0.
-    tag: AtomicU64,
     /// The register's current generation. Plain field: mutated only via
     /// `retire_to(&mut self)`, when exclusive access rules out readers.
     generation: u64,
@@ -163,35 +164,18 @@ impl AtomicRegister {
     pub fn in_generation(generation: u64) -> AtomicRegister {
         AtomicRegister {
             cell: AtomicU64::new(EMPTY),
-            tag: AtomicU64::new(generation),
             generation,
         }
     }
 
-    /// Reads the register: `None` is ⊥. A value from a retired generation
-    /// reads as ⊥, exactly like a fresh register.
+    /// Reads the register: `None` is ⊥. Retiring physically clears the
+    /// cell, so a recycled register reads as ⊥ until its first
+    /// current-generation write — exactly like a fresh register.
     #[inline]
     pub fn read(&self) -> Option<u64> {
         match self.cell.load(Ordering::SeqCst) {
             EMPTY => None,
-            v => {
-                if self.generation != GENERATION_0 {
-                    let tag = self.tag.load(Ordering::SeqCst);
-                    if tag != self.generation {
-                        // The recycling contract: a stale-generation read
-                        // behaves as an initial read. Tags only ever lag the
-                        // current generation — a tag from the future would
-                        // mean a write leaked across a retire_to.
-                        debug_assert!(
-                            tag < self.generation,
-                            "register tag {tag} is ahead of generation {}",
-                            self.generation
-                        );
-                        return None;
-                    }
-                }
-                Some(v)
-            }
+            v => Some(v),
         }
     }
 
@@ -204,13 +188,6 @@ impl AtomicRegister {
     pub fn write(&self, value: u64) {
         assert_ne!(value, EMPTY, "u64::MAX is reserved for the null value");
         self.cell.store(value, Ordering::SeqCst);
-        if self.generation != GENERATION_0 {
-            // All writers of one instance share the generation, so this
-            // store is idempotent; a reader that sees the new cell with the
-            // old tag linearizes before this (still in-flight) write and
-            // correctly observes the initial state.
-            self.tag.store(self.generation, Ordering::SeqCst);
-        }
     }
 }
 
@@ -244,6 +221,12 @@ impl SharedRegister for AtomicRegister {
             "generation must strictly increase: {} -> {generation}",
             self.generation
         );
+        // Physically clear the stale value. Masking it behind a (cell, tag)
+        // pair instead would take two atomic loads per read, and a torn
+        // read — old cell, tag stored by the new generation's first write —
+        // would surface the retired instance's value as current. Exclusive
+        // access makes the plain store safe.
+        *self.cell.get_mut() = EMPTY;
         self.generation = generation;
         debug_assert_eq!(
             AtomicRegister::read(self),
@@ -339,6 +322,18 @@ mod tests {
         assert_eq!(SharedRegister::read(&r), Some(9));
         r.retire_to(2);
         assert_eq!(SharedRegister::read(&r), None);
+    }
+
+    #[test]
+    fn retire_physically_clears_the_cell() {
+        // The recycled-reads-as-fresh contract must hold by physical
+        // clearing, not by masking: a masked-but-present stale value could
+        // leak through a torn (cell, tag) read once a new-generation write
+        // races a reader. Pin the cell itself to ⊥ after retirement.
+        let mut r = AtomicMemory.alloc();
+        r.write(7);
+        r.retire_to(1);
+        assert_eq!(r.cell.load(Ordering::SeqCst), EMPTY);
     }
 
     #[test]
