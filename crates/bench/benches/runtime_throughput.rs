@@ -19,7 +19,7 @@ fn bench_runtime(c: &mut Criterion) {
                 let mut instance = 0u64;
                 b.iter(|| {
                     instance = instance.wrapping_add(1);
-                    let consensus = Arc::new(Consensus::binary(threads));
+                    let consensus = Arc::new(Consensus::builder().n(threads).build());
                     let handles: Vec<_> = (0..threads as u64)
                         .map(|t| {
                             let c = Arc::clone(&consensus);
@@ -45,7 +45,7 @@ fn bench_runtime(c: &mut Criterion) {
     group.bench_function("solo_decide", |b| {
         let mut rng = SmallRng::seed_from_u64(7);
         b.iter(|| {
-            let consensus = Consensus::binary(1);
+            let consensus = Consensus::builder().n(1).build();
             black_box(consensus.decide(1, &mut rng))
         });
     });

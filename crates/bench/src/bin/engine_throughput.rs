@@ -26,7 +26,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
-use mc_runtime::{ConsensusEngine, EngineOptions, ReplicatedLog};
+use mc_runtime::{ConsensusEngine, ReplicatedLog};
 use mc_telemetry::json::Obj;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -97,13 +97,11 @@ fn run(warmup: u64, out_path: &str) -> Result<(), String> {
     }
 
     // Engine leg: the same pooled machinery behind the submit API.
-    let engine = ConsensusEngine::new(
-        mc_runtime::ConsensusOptions::clone(log.options_handle()),
-        EngineOptions {
-            participants: 1,
-            ..EngineOptions::default()
-        },
-    );
+    let engine = ConsensusEngine::builder()
+        .n(N)
+        .values(CAPACITY)
+        .participants(1)
+        .build();
     for id in 0..warmup {
         std::hint::black_box(engine.submit(id, id % CAPACITY, &mut rng));
     }

@@ -43,7 +43,7 @@ fn time_ns(iters: u64, mut f: impl FnMut(u64)) -> f64 {
 
 /// One real-thread binary consensus round across `N` threads in `memory`.
 fn consensus_round<M: SharedMemory>(memory: M, seed: u64) -> u64 {
-    let consensus = Arc::new(Consensus::binary_in(memory, N));
+    let consensus = Arc::new(Consensus::builder().n(N).memory(memory).build());
     let handles: Vec<_> = (0..N as u64)
         .map(|t| {
             let c = Arc::clone(&consensus);

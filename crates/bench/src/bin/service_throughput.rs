@@ -1,0 +1,259 @@
+//! Measures what the pipelined service buys: the same proposal stream
+//! pushed by 8 producer threads through (a) per-call `ConsensusEngine::
+//! submit` and (b) `ConsensusService::submit_batch` + `DecisionHandle`
+//! waits, reporting ops/sec for both legs, the speedup, and the service's
+//! submit→decision latency quantiles.
+//!
+//! ```text
+//! service_throughput [--ops <K>] [--min-speedup <X>] [--out <path>]
+//! ```
+//!
+//! Both legs run with a streaming [`mc_telemetry::JsonlRecorder`] attached
+//! (draining into `io::sink`), because that is the configuration the
+//! service was built to fix: per-call `submit` emits the full per-decide
+//! event stream — `StageEntered`, `RatifierVerdict`, `Decided`, and
+//! friends — for every proposal, while the service amortizes recorder
+//! traffic into one `batch_drained` event per worker drain (counters and
+//! latency histograms stay per-op). The acceptance gate is enforced as
+//! process failure so a CI smoke run catches regressions: the service leg
+//! must sustain at least `--min-speedup` (default 2.0) times the per-call
+//! leg's ops/sec. The report also carries `percall_bare_ops_per_sec` /
+//! `bare_speedup` — the same comparison with no recorder attached — as an
+//! ungated honesty figure: on a single core the structural savings alone
+//! (one ring lock per producer chunk instead of two shard-mutex crossings
+//! per proposal) are real but far smaller than the telemetry amortization.
+//!
+//! Writes a JSON report (default `BENCH_service_throughput.json`) in the
+//! `BENCH_*_overhead.json` family format.
+
+use std::process::ExitCode;
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use mc_runtime::{ConsensusEngine, ConsensusService};
+use mc_telemetry::json::Obj;
+use mc_telemetry::{JsonlRecorder, Recorder};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const PRODUCERS: usize = 8;
+const CAPACITY: u64 = 2;
+/// Producer-side chunk: one ring lock per this many proposals.
+const SUBMIT_BATCH: usize = 64;
+
+/// A streaming recorder that formats every event but writes nowhere, so
+/// the benchmark measures event-emission cost without filesystem noise.
+fn sink_recorder() -> Arc<dyn Recorder> {
+    Arc::new(JsonlRecorder::new(Box::new(std::io::sink())))
+}
+
+/// Resident set size in kilobytes from `/proc/self/status`, or `None` on
+/// platforms without procfs.
+fn rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Per-call leg: `PRODUCERS` threads each submit `ops` proposals straight
+/// into the engine, one instance per proposal. Returns ops/sec.
+fn run_percall(ops: u64, recorder: Option<Arc<dyn Recorder>>) -> f64 {
+    let mut builder = ConsensusEngine::builder()
+        .n(2)
+        .values(CAPACITY)
+        .participants(1);
+    if let Some(recorder) = recorder {
+        builder = builder.recorder(recorder);
+    }
+    let engine = Arc::new(builder.build());
+    // Warm the pool so both legs measure steady-state recycling.
+    let mut rng = SmallRng::seed_from_u64(0xCA11);
+    for id in 0..256 {
+        std::hint::black_box(engine.submit(id, id % CAPACITY, &mut rng));
+    }
+
+    let barrier = Arc::new(Barrier::new(PRODUCERS + 1));
+    let threads: Vec<_> = (0..PRODUCERS as u64)
+        .map(|p| {
+            let engine = Arc::clone(&engine);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(0xCA11 + p);
+                let base = 1_000 + p * ops;
+                barrier.wait();
+                for i in 0..ops {
+                    std::hint::black_box(engine.submit(base + i, i % CAPACITY, &mut rng));
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    let start = Instant::now();
+    for t in threads {
+        t.join().expect("producer thread");
+    }
+    (PRODUCERS as u64 * ops) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Service leg: the same offered load through the batching frontend, with
+/// the same streaming recorder attached. Returns ops/sec plus the service
+/// handle for telemetry readout.
+fn run_service(ops: u64) -> (f64, ConsensusService) {
+    let service = Arc::new(
+        ConsensusService::builder()
+            .n(2)
+            .values(CAPACITY)
+            .participants(1)
+            .recorder(sink_recorder())
+            .build(),
+    );
+    // Same pool warm-up as the per-call leg.
+    for id in 0..256 {
+        let handle = service.submit(id, id % CAPACITY).expect("warmup admits");
+        handle.wait().expect("warmup decides");
+    }
+
+    let barrier = Arc::new(Barrier::new(PRODUCERS + 1));
+    let threads: Vec<_> = (0..PRODUCERS as u64)
+        .map(|p| {
+            let service = Arc::clone(&service);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let base = 1_000 + p * ops;
+                barrier.wait();
+                let mut handles = Vec::with_capacity(ops as usize);
+                for chunk_start in (0..ops).step_by(SUBMIT_BATCH) {
+                    let chunk: Vec<(u64, u64)> = (chunk_start
+                        ..(chunk_start + SUBMIT_BATCH as u64).min(ops))
+                        .map(|i| (base + i, i % CAPACITY))
+                        .collect();
+                    for result in service.submit_batch(&chunk) {
+                        handles.push(result.expect("Block admits every proposal"));
+                    }
+                }
+                for handle in handles {
+                    std::hint::black_box(handle.wait().expect("every proposal decides"));
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    let start = Instant::now();
+    for t in threads {
+        t.join().expect("producer thread");
+    }
+    let ops_per_sec = (PRODUCERS as u64 * ops) as f64 / start.elapsed().as_secs_f64();
+    let service = Arc::into_inner(service).expect("all producers joined");
+    (ops_per_sec, service)
+}
+
+fn run(ops: u64, min_speedup: f64, out_path: &str) -> Result<(), String> {
+    eprintln!(
+        "service throughput: {PRODUCERS} producers x {ops} proposals, \
+         submit batch {SUBMIT_BATCH}"
+    );
+
+    let percall_per_sec = run_percall(ops, Some(sink_recorder()));
+    let percall_bare_per_sec = run_percall(ops, None);
+    let (service_per_sec, mut service) = run_service(ops);
+    let speedup = service_per_sec / percall_per_sec;
+    let bare_speedup = service_per_sec / percall_bare_per_sec;
+
+    let telemetry = service.telemetry();
+    let total = PRODUCERS as u64 * ops;
+    let enqueued = telemetry.proposals_enqueued();
+    let batches = telemetry.batches_drained();
+    let mean_batch = if batches > 0 {
+        enqueued as f64 / batches as f64
+    } else {
+        0.0
+    };
+    let wait_p50_ns = telemetry.service_wait_p50_ns();
+    let wait_p99_ns = telemetry.service_wait_p99_ns();
+    let max_depth = telemetry.max_queue_depth_seen();
+
+    let mut report = Obj::new();
+    report
+        .str_field("bench", "service_throughput")
+        .u64_field("producers", PRODUCERS as u64)
+        .u64_field("ops_per_producer", ops)
+        .u64_field("submit_batch", SUBMIT_BATCH as u64)
+        .f64_field("percall_ops_per_sec", percall_per_sec)
+        .f64_field("percall_bare_ops_per_sec", percall_bare_per_sec)
+        .f64_field("service_ops_per_sec", service_per_sec)
+        .f64_field("speedup", speedup)
+        .f64_field("bare_speedup", bare_speedup)
+        .u64_field("handle_wait_p50_ns", wait_p50_ns)
+        .u64_field("handle_wait_p99_ns", wait_p99_ns)
+        .u64_field("batches_drained", batches)
+        .f64_field("mean_drain_batch", mean_batch)
+        .u64_field("max_queue_depth", max_depth)
+        .u64_field("rss_kb", rss_kb().unwrap_or(0));
+    let json = report.finish();
+    println!("{json}");
+    std::fs::write(out_path, format!("{json}\n"))
+        .map_err(|e| format!("writing {out_path}: {e}"))?;
+    eprintln!("report written to {out_path}");
+
+    // Counting cross-check before the throughput gate: a "fast" service
+    // that lost proposals would be a bug, not a win. Warm-up adds 256.
+    if enqueued != total + 256 {
+        return Err(format!(
+            "service enqueued {enqueued} proposals, expected {} — the ring \
+             admitted or dropped the wrong count",
+            total + 256
+        ));
+    }
+    service.shutdown();
+    if speedup < min_speedup {
+        return Err(format!(
+            "service leg sustained only {speedup:.2}x the per-call leg \
+             (gate {min_speedup:.2}x) — batching is not amortizing"
+        ));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut ops = 20_000u64;
+    let mut min_speedup = 2.0f64;
+    let mut out_path = "BENCH_service_throughput.json".to_string();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--ops" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(v)) if v > 0 => ops = v,
+                _ => {
+                    eprintln!("--ops needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--min-speedup" => match it.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(v)) if v > 0.0 => min_speedup = v,
+                _ => {
+                    eprintln!("--min-speedup needs a positive number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => {
+                    eprintln!("--out needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown option {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match run(ops, min_speedup, &out_path) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -15,10 +15,8 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
-use mc_core::conciliator::WriteSchedule;
 use mc_core::protocol::ConsensusBuilder;
-use mc_quorums::BinaryScheme;
-use mc_runtime::{Consensus, ConsensusOptions};
+use mc_runtime::Consensus;
 use mc_sim::adversary::RandomScheduler;
 use mc_sim::harness::{self, inputs};
 use mc_sim::{observe, EngineConfig};
@@ -58,14 +56,7 @@ fn sim_run(seed: u64, recorder: &dyn Recorder) -> u64 {
 
 /// One real-thread consensus round across `N` threads.
 fn runtime_run(seed: u64, recorder: Arc<dyn Recorder>) -> u64 {
-    let options = ConsensusOptions {
-        n: N,
-        scheme: Arc::new(BinaryScheme::new()),
-        schedule: WriteSchedule::impatient(),
-        fast_path: true,
-        max_conciliator_rounds: None,
-    };
-    let consensus = Arc::new(Consensus::with_recorder(options, recorder));
+    let consensus = Arc::new(Consensus::builder().n(N).recorder(recorder).build());
     let handles: Vec<_> = (0..N as u64)
         .map(|t| {
             let c = Arc::clone(&consensus);

@@ -31,7 +31,7 @@ pub fn e12_runtime(mode: Mode) -> String {
             let mut stages_total = 0usize;
             let start = Instant::now();
             for instance in 0..instances {
-                let c = Arc::new(Consensus::multivalued(threads, m));
+                let c = Arc::new(Consensus::builder().n(threads).values(m).build());
                 let handles: Vec<_> = (0..threads as u64)
                     .map(|t| {
                         let c = Arc::clone(&c);

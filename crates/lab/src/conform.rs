@@ -21,9 +21,13 @@ use std::sync::Arc;
 use mc_check::{replay_to_completion, CoinPolicy};
 use mc_core::ConsensusBuilder;
 use mc_model::ObjectSpec;
-use mc_runtime::{Consensus, FaultPlan, FaultyMemory, SharedMemory};
+use mc_runtime::{
+    Consensus, ConsensusEngine, ConsensusService, FaultPlan, FaultyMemory, SharedMemory,
+};
 use mc_sim::harness::run_object;
 use mc_sim::{Adversary, EngineConfig, RunError, Trace, WorkMetrics};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 
 use crate::control::LabError;
 use crate::harness::Lab;
@@ -61,10 +65,10 @@ impl Protocol {
     /// the lab's memory wrapped in a [`FaultyMemory`] layer).
     pub fn runtime_in<M: SharedMemory>(&self, memory: M, n: usize) -> Consensus<M> {
         match self {
-            Protocol::Binary => Consensus::binary_in(memory, n),
+            Protocol::Binary => Consensus::builder().n(n).memory(memory).build(),
             Protocol::Multivalued(m) => {
                 assert!(*m > 2, "use Protocol::Binary for m = 2");
-                Consensus::multivalued_in(memory, n, *m)
+                Consensus::builder().n(n).values(*m).memory(memory).build()
             }
         }
     }
@@ -128,6 +132,16 @@ pub enum Divergence {
         /// What the replayer reported.
         detail: String,
     },
+    /// The batching service pipeline decided differently from the direct
+    /// engine submit path.
+    Service {
+        /// Index of the first proposal whose decisions differ.
+        at: usize,
+        /// What `ConsensusEngine::submit` decided for that proposal.
+        submit: u64,
+        /// What the service handle reported (a decision or an error).
+        service: String,
+    },
 }
 
 impl fmt::Display for Divergence {
@@ -152,6 +166,14 @@ impl fmt::Display for Divergence {
                 write!(f, "metrics divergence: sim={sim:?}, lab={lab:?}")
             }
             Divergence::Replay { detail } => write!(f, "replay divergence: {detail}"),
+            Divergence::Service {
+                at,
+                submit,
+                service,
+            } => write!(
+                f,
+                "service divergence at proposal {at}: submit={submit}, service={service}",
+            ),
         }
     }
 }
@@ -341,6 +363,84 @@ pub fn check_recycled_conformance(
         trace: recycled.trace,
         metrics: recycled.metrics,
     })
+}
+
+/// Runs the same `(instance_id, proposal)` stream through two
+/// identically-configured engines — once via the direct
+/// [`ConsensusEngine::submit`] path, once through a pipelined
+/// [`ConsensusService`] — and checks that every proposal decides the same
+/// value on both.
+///
+/// Both legs run single-participant instances (`participants = 1`), where a
+/// decision is deterministic, so the comparison is exact: the batching
+/// frontend (intake rings, worker threads, detached slots, handle
+/// completion) must be observationally identical to calling the engine
+/// inline. Any inequality is a bug in the service pipeline — an item
+/// reordered within an instance, a decision delivered to the wrong handle,
+/// or a proposal lost or poisoned in flight.
+///
+/// Returns the shared decision vector, in submission order.
+///
+/// # Errors
+///
+/// Returns [`Divergence::Service`] at the first differing proposal.
+///
+/// # Panics
+///
+/// Panics if `proposals` is empty or any proposal value is outside the
+/// protocol's capacity.
+pub fn check_service_conformance(
+    protocol: Protocol,
+    proposals: &[(u64, u64)],
+    seed: u64,
+) -> Result<Vec<u64>, Divergence> {
+    assert!(!proposals.is_empty(), "need at least one proposal");
+    for &(_, proposal) in proposals {
+        assert!(proposal < protocol.capacity(), "proposal out of range");
+    }
+
+    // Direct leg: decide each proposal inline on the caller's thread.
+    let engine = ConsensusEngine::builder()
+        .n(2)
+        .values(protocol.capacity())
+        .participants(1)
+        .build();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let direct: Vec<u64> = proposals
+        .iter()
+        .map(|&(id, proposal)| engine.submit(id, proposal, &mut rng))
+        .collect();
+
+    // Service leg: the same stream through the intake rings and workers.
+    let service = ConsensusService::builder()
+        .n(2)
+        .values(protocol.capacity())
+        .participants(1)
+        .seed(seed)
+        .build();
+    let handles = service.submit_batch(proposals);
+    let mut decisions = Vec::with_capacity(proposals.len());
+    for (at, handle) in handles.into_iter().enumerate() {
+        let outcome = handle.and_then(|h| h.wait());
+        match outcome {
+            Ok(value) if value == direct[at] => decisions.push(value),
+            Ok(value) => {
+                return Err(Divergence::Service {
+                    at,
+                    submit: direct[at],
+                    service: value.to_string(),
+                })
+            }
+            Err(err) => {
+                return Err(Divergence::Service {
+                    at,
+                    submit: direct[at],
+                    service: err.to_string(),
+                })
+            }
+        }
+    }
+    Ok(decisions)
 }
 
 fn check_conformance_wrapped<M: SharedMemory>(
@@ -586,6 +686,31 @@ mod tests {
             assert_eq!(reports[0].path, reports[epoch].path, "epoch {epoch}");
             assert_eq!(reports[0].metrics, reports[epoch].metrics, "epoch {epoch}");
         }
+    }
+
+    #[test]
+    fn service_pipeline_matches_direct_submit_across_seeds() {
+        for seed in 0..10 {
+            let proposals: Vec<(u64, u64)> =
+                (0..64u64).map(|i| (i % 7, (i * 31 + seed) % 5)).collect();
+            let decisions = check_service_conformance(Protocol::Multivalued(5), &proposals, seed)
+                .unwrap_or_else(|d| panic!("seed {seed}: {d}"));
+            // Single-participant instances decide their own proposal, so
+            // conformance here is exact and predictable.
+            for (ix, &(_, proposal)) in proposals.iter().enumerate() {
+                assert_eq!(decisions[ix], proposal, "seed {seed} proposal {ix}");
+            }
+        }
+    }
+
+    #[test]
+    fn binary_service_conforms_with_repeated_instances() {
+        // Repeated instance ids: every submit retires its solo instance, so
+        // both legs must agree run-for-run even when ids collide.
+        let proposals: Vec<(u64, u64)> = (0..32u64).map(|i| (i % 3, i % 2)).collect();
+        let decisions = check_service_conformance(Protocol::Binary, &proposals, 7)
+            .unwrap_or_else(|d| panic!("{d}"));
+        assert_eq!(decisions.len(), proposals.len());
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub struct LabReport {
 /// use mc_sim::adversary::RandomScheduler;
 ///
 /// let lab = Lab::new(2, Box::new(RandomScheduler::new(7)), &[], 10_000);
-/// let consensus = Consensus::binary_in(lab.memory(), 2);
+/// let consensus = Consensus::builder().n(2).memory(lab.memory()).build();
 /// let report = lab
 ///     .run(7, |pid, rng| consensus.decide(pid as u64 % 2, rng))
 ///     .unwrap();

@@ -152,7 +152,7 @@ mod tests {
             let stalls = (0..3).map(|p| (ProcessId(p), u64::MAX));
             let adversary = StallingAdversary::new(RandomScheduler::new(seed), stalls);
             let lab = Lab::new(3, Box::new(adversary), &[], 50_000);
-            let consensus = Consensus::binary_in(lab.memory(), 3);
+            let consensus = Consensus::builder().n(3).memory(lab.memory()).build();
             lab.run(seed, |pid, rng| consensus.decide(pid as u64 % 2, rng))
                 .expect("all-stalled run must stay live, not wedge")
         };

@@ -43,8 +43,8 @@ pub mod inject;
 pub mod toy;
 
 pub use conform::{
-    check_conformance, check_conformance_with_plan, check_recycled_conformance, Conformance,
-    Divergence, Protocol,
+    check_conformance, check_conformance_with_plan, check_recycled_conformance,
+    check_service_conformance, Conformance, Divergence, Protocol,
 };
 pub use control::{LabError, LabMemory, LabRegister};
 pub use harness::{Lab, LabReport};
@@ -72,7 +72,7 @@ mod tests {
     fn lab_consensus_decides_and_agrees() {
         for adversary in adversaries(11) {
             let lab = Lab::new(3, adversary, &[], 50_000);
-            let consensus = Consensus::binary_in(lab.memory(), 3);
+            let consensus = Consensus::builder().n(3).memory(lab.memory()).build();
             let report = lab
                 .run(11, |pid, rng| consensus.decide(pid as u64 % 2, rng))
                 .unwrap();
@@ -91,7 +91,7 @@ mod tests {
     fn same_seed_reproduces_the_exact_run() {
         let run = |seed: u64| {
             let lab = Lab::new(3, Box::new(RandomScheduler::new(seed)), &[], 50_000);
-            let consensus = Consensus::binary_in(lab.memory(), 3);
+            let consensus = Consensus::builder().n(3).memory(lab.memory()).build();
             lab.run(seed, |pid, rng| consensus.decide(pid as u64 % 2, rng))
                 .unwrap()
         };
@@ -111,7 +111,7 @@ mod tests {
             &[(ProcessId(2), 4)],
             50_000,
         );
-        let consensus = Consensus::binary_in(lab.memory(), 3);
+        let consensus = Consensus::builder().n(3).memory(lab.memory()).build();
         let report = lab
             .run(5, |pid, rng| consensus.decide(pid as u64 % 2, rng))
             .unwrap();
@@ -128,7 +128,7 @@ mod tests {
         let inner = RandomScheduler::new(9);
         let adversary = StallingAdversary::new(inner, [(ProcessId(0), 30)]);
         let lab = Lab::new(2, Box::new(adversary), &[], 50_000);
-        let consensus = Consensus::binary_in(lab.memory(), 2);
+        let consensus = Consensus::builder().n(2).memory(lab.memory()).build();
         let report = lab
             .run(9, |pid, rng| consensus.decide(pid as u64, rng))
             .unwrap();
@@ -210,7 +210,7 @@ mod tests {
     #[test]
     fn step_limit_is_reported() {
         let lab = Lab::new(2, Box::new(RandomScheduler::new(1)), &[], 3);
-        let consensus = Consensus::binary_in(lab.memory(), 2);
+        let consensus = Consensus::builder().n(2).memory(lab.memory()).build();
         let err = lab
             .run(1, |pid, rng| consensus.decide(pid as u64, rng))
             .unwrap_err();
@@ -241,7 +241,7 @@ mod tests {
     fn real_worker_panics_propagate() {
         let result = std::panic::catch_unwind(|| {
             let lab = Lab::new(2, Box::new(RandomScheduler::new(3)), &[], 10_000);
-            let consensus = Consensus::binary_in(lab.memory(), 2);
+            let consensus = Consensus::builder().n(2).memory(lab.memory()).build();
             lab.run(3, |pid, rng| {
                 if pid == 1 {
                     panic!("worker bug");

@@ -263,11 +263,23 @@ impl<M: SharedMemory, F: Fallback> BoundedConsensus<M, F> {
         options: ConsensusOptions,
         fallback: F,
     ) -> BoundedConsensus<M, F> {
+        BoundedConsensus::from_parts(
+            Consensus::with_shared_options_in(memory, Arc::new(options)),
+            fallback,
+        )
+    }
+
+    /// Composes an already-built chain with its fallback `K`; the bound `f`
+    /// comes from the chain's options. This is the seam
+    /// [`ConsensusBuilder::build_bounded_with`](crate::ConsensusBuilder::build_bounded_with)
+    /// uses after wiring telemetry into the chain.
+    pub(crate) fn from_parts(chain: Consensus<M>, fallback: F) -> BoundedConsensus<M, F> {
         BoundedConsensus {
-            rounds: options
+            rounds: chain
+                .options()
                 .max_conciliator_rounds
                 .unwrap_or(DEFAULT_MAX_CONCILIATOR_ROUNDS),
-            chain: Consensus::with_options_in(memory, options),
+            chain,
             fallback,
         }
     }

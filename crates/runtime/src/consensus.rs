@@ -95,13 +95,36 @@ pub struct Consensus<M: SharedMemory = AtomicMemory> {
 }
 
 impl Consensus {
+    /// Starts building a consensus object: the single documented
+    /// construction path.
+    ///
+    /// ```
+    /// use mc_runtime::Consensus;
+    /// let c = Consensus::builder().n(4).values(100).build();
+    /// // Binomial quorums round the capacity up to the next C(k, k/2).
+    /// assert!(c.capacity() >= 100);
+    /// ```
+    pub fn builder() -> crate::ConsensusBuilder {
+        crate::ConsensusBuilder::new()
+    }
+
     /// Binary consensus for up to `n` threads.
     ///
     /// # Panics
     ///
     /// Panics if `n == 0`.
+    #[deprecated(note = "use `Consensus::builder().n(n)`")]
     pub fn binary(n: usize) -> Consensus {
-        Consensus::binary_in(AtomicMemory, n)
+        Consensus::with_shared_options_in(
+            AtomicMemory,
+            Arc::new(ConsensusOptions {
+                n,
+                scheme: Arc::new(BinaryScheme::new()),
+                schedule: WriteSchedule::impatient(),
+                fast_path: true,
+                max_conciliator_rounds: None,
+            }),
+        )
     }
 
     /// `m`-valued consensus for up to `n` threads (binomial quorums).
@@ -109,8 +132,12 @@ impl Consensus {
     /// # Panics
     ///
     /// Panics if `n == 0` or `m < 2`.
+    #[deprecated(note = "use `Consensus::builder().n(n).values(m)`")]
     pub fn multivalued(n: usize, m: u64) -> Consensus {
-        Consensus::multivalued_in(AtomicMemory, n, m)
+        Consensus::with_shared_options_in(
+            AtomicMemory,
+            Arc::new(Consensus::multivalued_options(n, m)),
+        )
     }
 
     pub(crate) fn multivalued_options(n: usize, m: u64) -> ConsensusOptions {
@@ -130,7 +157,7 @@ impl Consensus {
     ///
     /// Panics if `options.n == 0`.
     pub fn with_options(options: ConsensusOptions) -> Consensus {
-        Consensus::with_options_in(AtomicMemory, options)
+        Consensus::with_shared_options_in(AtomicMemory, Arc::new(options))
     }
 
     /// Consensus with explicit options, emitting telemetry events to
@@ -140,8 +167,10 @@ impl Consensus {
     /// # Panics
     ///
     /// Panics if `options.n == 0`.
+    #[deprecated(note = "use `Consensus::builder().recorder(r)`")]
     pub fn with_recorder(options: ConsensusOptions, recorder: Arc<dyn Recorder>) -> Consensus {
-        Consensus::with_recorder_in(AtomicMemory, options, recorder)
+        let telemetry = Arc::new(RuntimeTelemetry::new(options.n, recorder));
+        Consensus::with_telemetry_in(AtomicMemory, Arc::new(options), telemetry)
     }
 }
 
@@ -151,16 +180,17 @@ impl<M: SharedMemory> Consensus<M> {
     /// # Panics
     ///
     /// Panics if `n == 0`.
+    #[deprecated(note = "use `Consensus::builder().n(n).memory(memory)`")]
     pub fn binary_in(memory: M, n: usize) -> Consensus<M> {
-        Consensus::with_options_in(
+        Consensus::with_shared_options_in(
             memory,
-            ConsensusOptions {
+            Arc::new(ConsensusOptions {
                 n,
                 scheme: Arc::new(BinaryScheme::new()),
                 schedule: WriteSchedule::impatient(),
                 fast_path: true,
                 max_conciliator_rounds: None,
-            },
+            }),
         )
     }
 
@@ -170,8 +200,9 @@ impl<M: SharedMemory> Consensus<M> {
     /// # Panics
     ///
     /// Panics if `n == 0` or `m < 2`.
+    #[deprecated(note = "use `Consensus::builder().n(n).values(m).memory(memory)`")]
     pub fn multivalued_in(memory: M, n: usize, m: u64) -> Consensus<M> {
-        Consensus::with_options_in(memory, Consensus::multivalued_options(n, m))
+        Consensus::with_shared_options_in(memory, Arc::new(Consensus::multivalued_options(n, m)))
     }
 
     /// Consensus with explicit options whose registers live in `memory`.
@@ -179,6 +210,7 @@ impl<M: SharedMemory> Consensus<M> {
     /// # Panics
     ///
     /// Panics if `options.n == 0`.
+    #[deprecated(note = "use `Consensus::builder().memory(memory)` or `with_shared_options_in`")]
     pub fn with_options_in(memory: M, options: ConsensusOptions) -> Consensus<M> {
         Consensus::with_shared_options_in(memory, Arc::new(options))
     }
@@ -201,6 +233,7 @@ impl<M: SharedMemory> Consensus<M> {
     /// # Panics
     ///
     /// Panics if `options.n == 0`.
+    #[deprecated(note = "use `Consensus::builder().recorder(r).memory(memory)`")]
     pub fn with_recorder_in(
         memory: M,
         options: ConsensusOptions,
@@ -406,7 +439,7 @@ mod tests {
     #[test]
     fn binary_agreement_and_validity() {
         for trial in 0..100 {
-            let c = Arc::new(Consensus::binary(6));
+            let c = Arc::new(Consensus::builder().n(6).build());
             let proposals: Vec<u64> = (0..6).map(|t| (t as u64 + trial) % 2).collect();
             let results = run_consensus(c, proposals.clone(), trial);
             let first = results[0];
@@ -422,7 +455,7 @@ mod tests {
     fn multivalued_agreement_and_validity() {
         for trial in 0..50 {
             let m = 20;
-            let c = Arc::new(Consensus::multivalued(8, m));
+            let c = Arc::new(Consensus::builder().n(8).values(m).build());
             let proposals: Vec<u64> = (0..8).map(|t| (t as u64 * 3 + trial) % m).collect();
             let results = run_consensus(c, proposals.clone(), trial);
             let first = results[0];
@@ -436,7 +469,7 @@ mod tests {
 
     #[test]
     fn unanimous_proposals_use_only_the_fast_path() {
-        let c = Arc::new(Consensus::binary(8));
+        let c = Arc::new(Consensus::builder().n(8).build());
         let results = run_consensus(Arc::clone(&c), vec![1; 8], 0);
         assert!(results.iter().all(|&r| r == 1));
         // Fast path: at most the two prefix ratifiers materialized.
@@ -445,14 +478,14 @@ mod tests {
 
     #[test]
     fn single_thread_decides_its_own_value() {
-        let c = Consensus::multivalued(1, 16);
+        let c = Consensus::builder().n(1).values(16).build();
         let mut rng = SmallRng::seed_from_u64(1);
         assert_eq!(c.decide(11, &mut rng), 11);
     }
 
     #[test]
     fn stages_are_reported() {
-        let c = Consensus::binary(2);
+        let c = Consensus::builder().n(2).build();
         assert_eq!(c.stages_used(), 0);
         let mut rng = SmallRng::seed_from_u64(0);
         c.decide(0, &mut rng);
@@ -462,7 +495,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "exceeds consensus capacity")]
     fn oversized_proposal_rejected() {
-        let c = Consensus::binary(2);
+        let c = Consensus::builder().n(2).build();
         let mut rng = SmallRng::seed_from_u64(0);
         c.decide(9, &mut rng);
     }
@@ -470,12 +503,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least 2 values")]
     fn tiny_capacity_rejected() {
-        Consensus::multivalued(2, 1);
+        Consensus::builder().n(2).values(1).build();
     }
 
     #[test]
     fn reset_consensus_decides_fresh_values() {
-        let mut c = Consensus::multivalued(1, 16);
+        let mut c = Consensus::builder().n(1).values(16).build();
         let mut rng = SmallRng::seed_from_u64(1);
         assert_eq!(c.decide(11, &mut rng), 11);
         assert_eq!(c.generation(), 0);
@@ -493,7 +526,7 @@ mod tests {
         for trial in 0..20 {
             // Run a fresh object, then a recycled one, with identical seeds:
             // both must satisfy agreement/validity independently.
-            let mut c = Consensus::binary(4);
+            let mut c = Consensus::builder().n(4).build();
             let proposals: Vec<u64> = (0..4).map(|t| (t as u64 + trial) % 2).collect();
             let shared = Arc::new(c);
             let first = run_consensus(Arc::clone(&shared), proposals.clone(), trial);

@@ -5,6 +5,8 @@
 //! consensus literature motivates, provided here as ready-made wrappers so
 //! the library is useful without assembling protocols by hand.
 
+use std::sync::Arc;
+
 use rand::Rng;
 
 use crate::consensus::Consensus;
@@ -61,9 +63,9 @@ impl<M: SharedMemory> Election<M> {
         // Candidate ids are 0..n; consensus capacity must cover them. The
         // degenerate n = 1 still needs a 2-value object.
         Election {
-            consensus: Consensus::with_options_in(
+            consensus: Consensus::with_shared_options_in(
                 memory,
-                Consensus::multivalued_options(n, (n as u64).max(2)),
+                Arc::new(Consensus::multivalued_options(n, (n as u64).max(2))),
             ),
         }
     }

@@ -19,10 +19,11 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
-use mc_telemetry::Recorder;
 use rand::Rng;
 
+use crate::builder::EngineBuilder;
 use crate::consensus::{Consensus, ConsensusOptions};
+use crate::error::EngineError;
 use crate::register::{AtomicMemory, SharedMemory};
 use crate::telemetry::RuntimeTelemetry;
 
@@ -35,7 +36,7 @@ pub struct EngineOptions {
     /// Maximum instances live at once per shard; a `submit` that would
     /// activate one more blocks until an instance retires
     /// ([`try_submit`](ConsensusEngine::try_submit) returns
-    /// [`SubmitError::Saturated`] instead).
+    /// [`EngineError::Saturated`] instead).
     pub max_live_per_shard: usize,
     /// How many `submit` calls each instance receives. When the last one
     /// returns, the instance is reset and pooled. `0` means
@@ -54,25 +55,6 @@ impl Default for EngineOptions {
         }
     }
 }
-
-/// Why a [`try_submit`](ConsensusEngine::try_submit) was refused.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SubmitError {
-    /// The instance's shard is at `max_live_per_shard` live instances;
-    /// retry after some instance retires, or use the blocking
-    /// [`submit`](ConsensusEngine::submit).
-    Saturated,
-}
-
-impl std::fmt::Display for SubmitError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            SubmitError::Saturated => write!(f, "shard is at its live-instance bound"),
-        }
-    }
-}
-
-impl std::error::Error for SubmitError {}
 
 /// A live instance: the shared object plus how many of its participants
 /// have not yet claimed their submit.
@@ -139,14 +121,27 @@ pub struct ConsensusEngine<M: SharedMemory = AtomicMemory> {
 }
 
 impl ConsensusEngine {
+    /// Starts building an engine: the single documented construction path.
+    ///
+    /// ```
+    /// use mc_runtime::ConsensusEngine;
+    /// let engine = ConsensusEngine::builder().n(4).values(64).build();
+    /// assert_eq!(engine.participants(), 4);
+    /// ```
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
     /// An engine over plain atomics.
     ///
     /// # Panics
     ///
     /// Panics if `options.n == 0`, `engine.max_live_per_shard == 0`, or
     /// `engine.participants > options.n`.
+    #[deprecated(note = "use `ConsensusEngine::builder()`")]
     pub fn new(options: ConsensusOptions, engine: EngineOptions) -> ConsensusEngine {
-        ConsensusEngine::new_in(AtomicMemory, options, engine)
+        let telemetry = Arc::new(RuntimeTelemetry::noop(options.n));
+        ConsensusEngine::with_telemetry_in(AtomicMemory, options, engine, telemetry)
     }
 
     /// An engine over plain atomics, emitting telemetry events to
@@ -156,10 +151,11 @@ impl ConsensusEngine {
     ///
     /// Panics if `options.n == 0`, `engine.max_live_per_shard == 0`, or
     /// `engine.participants > options.n`.
+    #[deprecated(note = "use `ConsensusEngine::builder().recorder(r)`")]
     pub fn with_recorder(
         options: ConsensusOptions,
         engine: EngineOptions,
-        recorder: Arc<dyn Recorder>,
+        recorder: std::sync::Arc<dyn mc_telemetry::Recorder>,
     ) -> ConsensusEngine {
         let telemetry = Arc::new(RuntimeTelemetry::new(options.n, recorder));
         ConsensusEngine::with_telemetry_in(AtomicMemory, options, engine, telemetry)
@@ -173,6 +169,7 @@ impl<M: SharedMemory> ConsensusEngine<M> {
     ///
     /// Panics if `options.n == 0`, `engine.max_live_per_shard == 0`, or
     /// `engine.participants > options.n`.
+    #[deprecated(note = "use `ConsensusEngine::builder().memory(m)`")]
     pub fn new_in(
         memory: M,
         options: ConsensusOptions,
@@ -182,7 +179,7 @@ impl<M: SharedMemory> ConsensusEngine<M> {
         ConsensusEngine::with_telemetry_in(memory, options, engine, telemetry)
     }
 
-    fn with_telemetry_in(
+    pub(crate) fn with_telemetry_in(
         memory: M,
         options: ConsensusOptions,
         engine: EngineOptions,
@@ -281,6 +278,7 @@ impl<M: SharedMemory> ConsensusEngine<M> {
         shard: &Shard<M>,
         state: &mut ShardState<M>,
         instance_id: u64,
+        bounded: bool,
     ) -> Option<Arc<Consensus<M>>> {
         let _ = shard;
         if let Some(entry) = state.live.get_mut(&instance_id) {
@@ -292,7 +290,7 @@ impl<M: SharedMemory> ConsensusEngine<M> {
             entry.remaining -= 1;
             return Some(Arc::clone(&entry.instance));
         }
-        if state.live.len() >= self.max_live_per_shard {
+        if bounded && state.live.len() >= self.max_live_per_shard {
             return None;
         }
         let instance = match state.free.pop() {
@@ -322,6 +320,14 @@ impl<M: SharedMemory> ConsensusEngine<M> {
 
     /// Runs the decision and, if this caller was the last participant out,
     /// retires the instance into the shard's pool.
+    ///
+    /// The retire path keeps its critical section minimal: only the map
+    /// removal, the reset, and the free-list push happen under the shard
+    /// lock. The condvar notification and the telemetry increment run
+    /// *after* the lock is released — a `notify_all` issued while still
+    /// holding the mutex makes every woken waiter immediately block on the
+    /// lock the notifier still owns (a wake-then-block hiccup that shows up
+    /// in `engine_throughput` tail latency under saturation).
     fn decide_and_release(
         &self,
         shard: &Shard<M>,
@@ -332,19 +338,24 @@ impl<M: SharedMemory> ConsensusEngine<M> {
     ) -> u64 {
         let decided = instance.decide(proposal, rng);
         drop(instance);
-        let mut state = shard.lock();
-        let done = state
-            .live
-            .get(&instance_id)
-            .is_some_and(|e| e.remaining == 0 && Arc::strong_count(&e.instance) == 1);
-        if done {
-            let entry = state.live.remove(&instance_id).expect("entry exists");
-            let mut instance = Arc::try_unwrap(entry.instance)
-                .unwrap_or_else(|_| unreachable!("checked sole ownership under the shard lock"));
-            instance.reset();
-            state.free.push(instance);
+        let retired = {
+            let mut state = shard.lock();
+            let done = state
+                .live
+                .get(&instance_id)
+                .is_some_and(|e| e.remaining == 0 && Arc::strong_count(&e.instance) == 1);
+            if done {
+                let entry = state.live.remove(&instance_id).expect("entry exists");
+                let mut instance = Arc::try_unwrap(entry.instance).unwrap_or_else(|_| {
+                    unreachable!("checked sole ownership under the shard lock")
+                });
+                instance.reset();
+                state.free.push(instance);
+            }
+            done
+        };
+        if retired {
             self.telemetry.on_instance_retired();
-            drop(state);
             shard.cv.notify_all();
         }
         decided
@@ -367,7 +378,7 @@ impl<M: SharedMemory> ConsensusEngine<M> {
         let instance = {
             let mut state = shard.lock();
             loop {
-                if let Some(instance) = self.checkout(shard, &mut state, instance_id) {
+                if let Some(instance) = self.checkout(shard, &mut state, instance_id, true) {
                     break instance;
                 }
                 state = shard.cv.wait(state).unwrap_or_else(PoisonError::into_inner);
@@ -377,12 +388,12 @@ impl<M: SharedMemory> ConsensusEngine<M> {
     }
 
     /// Non-blocking [`submit`](ConsensusEngine::submit): refuses with
-    /// [`SubmitError::Saturated`] instead of waiting when the shard is at
+    /// [`EngineError::Saturated`] instead of waiting when the shard is at
     /// its live-instance bound.
     ///
     /// # Errors
     ///
-    /// [`SubmitError::Saturated`] when activating the instance would
+    /// [`EngineError::Saturated`] when activating the instance would
     /// exceed `max_live_per_shard`; joining an already-live instance never
     /// fails.
     ///
@@ -394,14 +405,117 @@ impl<M: SharedMemory> ConsensusEngine<M> {
         instance_id: u64,
         proposal: u64,
         rng: &mut dyn Rng,
-    ) -> Result<u64, SubmitError> {
+    ) -> Result<u64, EngineError> {
         let shard = self.shard_of(instance_id);
         let instance = {
             let mut state = shard.lock();
-            self.checkout(shard, &mut state, instance_id)
-                .ok_or(SubmitError::Saturated)?
+            self.checkout(shard, &mut state, instance_id, true)
+                .ok_or(EngineError::Saturated)?
         };
         Ok(self.decide_and_release(shard, instance, instance_id, proposal, rng))
+    }
+
+    /// [`submit`](ConsensusEngine::submit) minus the live-instance bound:
+    /// the checkout never blocks and never refuses. Service shard workers
+    /// use this — the service applies its *own* queue-depth backpressure at
+    /// admission ([`BackpressurePolicy`](crate::BackpressurePolicy)), and a
+    /// worker that parked on the engine bound while the submissions that
+    /// would complete the blocking instances sat behind it in its own ring
+    /// would deadlock.
+    pub(crate) fn submit_unbounded(
+        &self,
+        instance_id: u64,
+        proposal: u64,
+        rng: &mut dyn Rng,
+    ) -> u64 {
+        let shard = self.shard_of(instance_id);
+        let instance = {
+            let mut state = shard.lock();
+            self.checkout(shard, &mut state, instance_id, false)
+                .expect("unbounded checkout always succeeds")
+        };
+        self.decide_and_release(shard, instance, instance_id, proposal, rng)
+    }
+
+    /// Checks out a long-lived single-participant slot for a batch worker;
+    /// `shard_ix` picks which shard's pool backs it.
+    ///
+    /// Only valid when [`participants`](ConsensusEngine::participants) is
+    /// 1: every logical instance receives exactly one submit, so one pooled
+    /// object, reset between decisions, can serve an unbounded stream of
+    /// instances without ever touching the live map or wrapping in an
+    /// `Arc`. This is the amortization that makes batched draining cheap —
+    /// one pool checkout per worker, zero shard-lock acquisitions per
+    /// decision.
+    pub(crate) fn detached_slot(&self, shard_ix: usize) -> DetachedSlot<'_, M> {
+        assert_eq!(
+            self.participants, 1,
+            "detached slots serve single-participant streams only"
+        );
+        DetachedSlot {
+            engine: self,
+            shard_ix: shard_ix % self.shards.len(),
+            instance: None,
+        }
+    }
+}
+
+/// A worker-owned consensus slot serving a stream of single-participant
+/// instances from one pooled object (see
+/// [`ConsensusEngine::detached_slot`]). Returns the object to its shard's
+/// pool on drop.
+pub(crate) struct DetachedSlot<'e, M: SharedMemory> {
+    engine: &'e ConsensusEngine<M>,
+    shard_ix: usize,
+    instance: Option<Consensus<M>>,
+}
+
+impl<M: SharedMemory> DetachedSlot<'_, M> {
+    /// Decides one logical instance: activation (pool hit/miss), decide,
+    /// retire — the same per-instance accounting as
+    /// [`ConsensusEngine::submit`], without per-instance locking.
+    pub(crate) fn decide(&mut self, proposal: u64, rng: &mut dyn Rng) -> u64 {
+        let engine = self.engine;
+        let instance = match &mut self.instance {
+            Some(instance) => {
+                // Re-activating the object this slot already holds is a
+                // pool hit by construction.
+                engine.telemetry.on_pool_hit();
+                instance
+            }
+            None => {
+                let shard = &engine.shards[self.shard_ix];
+                let recycled = { shard.lock().free.pop() };
+                let instance = match recycled {
+                    Some(recycled) => {
+                        engine.telemetry.on_pool_hit();
+                        recycled
+                    }
+                    None => {
+                        engine.telemetry.on_pool_miss();
+                        Consensus::with_telemetry_in(
+                            engine.memory.clone(),
+                            Arc::clone(&engine.options),
+                            Arc::clone(&engine.telemetry),
+                        )
+                    }
+                };
+                self.instance.insert(instance)
+            }
+        };
+        let decided = instance.decide(proposal, rng);
+        instance.reset();
+        engine.telemetry.on_instance_retired();
+        decided
+    }
+}
+
+impl<M: SharedMemory> Drop for DetachedSlot<'_, M> {
+    fn drop(&mut self) {
+        if let Some(instance) = self.instance.take() {
+            let shard = &self.engine.shards[self.shard_ix];
+            shard.lock().free.push(instance);
+        }
     }
 }
 
@@ -423,21 +537,14 @@ mod tests {
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
-    fn options(n: usize, m: u64) -> ConsensusOptions {
-        let c = Consensus::multivalued(n, m);
-        ConsensusOptions::clone(c.options_handle())
-    }
-
     #[test]
     fn single_participant_stream_recycles_instances() {
-        let engine = ConsensusEngine::new(
-            options(1, 64),
-            EngineOptions {
-                shards: 4,
-                participants: 1,
-                ..EngineOptions::default()
-            },
-        );
+        let engine = ConsensusEngine::builder()
+            .n(1)
+            .values(64)
+            .shards(4)
+            .participants(1)
+            .build();
         let mut rng = SmallRng::seed_from_u64(0);
         for id in 0..200u64 {
             assert_eq!(engine.submit(id, id % 64, &mut rng), id % 64);
@@ -455,10 +562,7 @@ mod tests {
     #[test]
     fn concurrent_submits_to_one_instance_agree() {
         for trial in 0..20u64 {
-            let engine = Arc::new(ConsensusEngine::new(
-                options(4, 8),
-                EngineOptions::default(),
-            ));
+            let engine = Arc::new(ConsensusEngine::builder().n(4).values(8).build());
             let handles: Vec<_> = (0..4u64)
                 .map(|t| {
                     let engine = Arc::clone(&engine);
@@ -481,10 +585,7 @@ mod tests {
 
     #[test]
     fn interleaved_instances_all_decide_their_own_stream() {
-        let engine = Arc::new(ConsensusEngine::new(
-            options(4, 1000),
-            EngineOptions::default(),
-        ));
+        let engine = Arc::new(ConsensusEngine::builder().n(4).values(1000).build());
         let handles: Vec<_> = (0..4u64)
             .map(|t| {
                 let engine = Arc::clone(&engine);
@@ -514,14 +615,13 @@ mod tests {
 
     #[test]
     fn try_submit_refuses_when_the_shard_is_saturated() {
-        let engine = ConsensusEngine::new(
-            options(2, 8),
-            EngineOptions {
-                shards: 1,
-                max_live_per_shard: 1,
-                participants: 2,
-            },
-        );
+        let engine = ConsensusEngine::builder()
+            .n(2)
+            .values(8)
+            .shards(1)
+            .max_live_per_shard(1)
+            .participants(2)
+            .build();
         let mut rng = SmallRng::seed_from_u64(0);
         // First participant of instance 0: decides, instance stays live
         // awaiting its second participant.
@@ -530,7 +630,7 @@ mod tests {
         // Activating instance 1 would exceed the bound.
         assert_eq!(
             engine.try_submit(1, 5, &mut rng),
-            Err(SubmitError::Saturated)
+            Err(EngineError::Saturated)
         );
         // Joining the live instance is always allowed — and agrees.
         assert_eq!(engine.try_submit(0, 7, &mut rng), Ok(3));
@@ -541,14 +641,15 @@ mod tests {
 
     #[test]
     fn submit_blocks_until_a_live_slot_frees_up() {
-        let engine = Arc::new(ConsensusEngine::new(
-            options(2, 8),
-            EngineOptions {
-                shards: 1,
-                max_live_per_shard: 1,
-                participants: 2,
-            },
-        ));
+        let engine = Arc::new(
+            ConsensusEngine::builder()
+                .n(2)
+                .values(8)
+                .shards(1)
+                .max_live_per_shard(1)
+                .participants(2)
+                .build(),
+        );
         let mut rng = SmallRng::seed_from_u64(0);
         assert_eq!(engine.submit(0, 1, &mut rng), 1);
         let blocked = {
@@ -570,13 +671,11 @@ mod tests {
 
     #[test]
     fn instances_share_one_options_allocation() {
-        let engine = ConsensusEngine::new(
-            options(1, 8),
-            EngineOptions {
-                participants: 1,
-                ..EngineOptions::default()
-            },
-        );
+        let engine = ConsensusEngine::builder()
+            .n(1)
+            .values(8)
+            .participants(1)
+            .build();
         let mut rng = SmallRng::seed_from_u64(0);
         engine.submit(0, 1, &mut rng);
         engine.submit(1, 2, &mut rng);
@@ -588,24 +687,53 @@ mod tests {
     #[test]
     #[should_panic(expected = "need room for at least one live instance")]
     fn zero_live_bound_rejected() {
-        ConsensusEngine::new(
-            options(1, 8),
-            EngineOptions {
-                max_live_per_shard: 0,
-                ..EngineOptions::default()
-            },
-        );
+        ConsensusEngine::builder()
+            .n(1)
+            .values(8)
+            .max_live_per_shard(0)
+            .build();
     }
 
     #[test]
     #[should_panic(expected = "exceeds the instance bound")]
     fn participants_beyond_n_rejected() {
-        ConsensusEngine::new(
-            options(2, 8),
-            EngineOptions {
-                participants: 3,
-                ..EngineOptions::default()
-            },
-        );
+        ConsensusEngine::builder()
+            .n(2)
+            .values(8)
+            .participants(3)
+            .build();
+    }
+
+    #[test]
+    fn detached_slot_matches_submit_accounting() {
+        let engine = ConsensusEngine::builder()
+            .n(1)
+            .values(64)
+            .shards(1)
+            .participants(1)
+            .build();
+        let mut rng = SmallRng::seed_from_u64(0);
+        {
+            let mut slot = engine.detached_slot(0);
+            for id in 0..50u64 {
+                assert_eq!(slot.decide(id % 64, &mut rng), id % 64);
+            }
+        }
+        let t = engine.telemetry();
+        // Same per-instance accounting as 50 direct submits: one
+        // activation and one retirement per logical instance.
+        assert_eq!(t.pool_hits() + t.pool_misses(), 50);
+        assert_eq!(t.instances_retired(), 50);
+        assert_eq!(t.pool_misses(), 1);
+        // The slot parked its object back into the pool on drop.
+        assert_eq!(engine.pooled_instances(), 1);
+        assert_eq!(engine.live_instances(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-participant streams only")]
+    fn detached_slot_requires_single_participant() {
+        let engine = ConsensusEngine::builder().n(2).values(8).build();
+        engine.detached_slot(0);
     }
 }

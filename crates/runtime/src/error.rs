@@ -1,0 +1,101 @@
+//! The one error type for the engine/service submission surface.
+//!
+//! PR 4's `SubmitError` covered exactly one failure (`Saturated`); the
+//! batching service layer adds admission-control refusals (`Rejected`,
+//! `Shed`), handle-wait timeouts, and worker-death poisoning. Rather than
+//! grow a zoo of per-layer error enums, every way a proposal can fail to
+//! produce a decision is one variant of [`EngineError`], hand-rolled over
+//! `std` only.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a proposal submitted to a [`ConsensusEngine`] or
+/// [`ConsensusService`] did not (or will not) produce a decision.
+///
+/// [`ConsensusEngine`]: crate::ConsensusEngine
+/// [`ConsensusService`]: crate::ConsensusService
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineError {
+    /// The instance's engine shard is at its `max_live_per_shard` bound;
+    /// retry after some instance retires, or use the blocking
+    /// [`submit`](crate::ConsensusEngine::submit).
+    Saturated,
+    /// The service's intake ring is at capacity under
+    /// [`BackpressurePolicy::Reject`](crate::BackpressurePolicy::Reject);
+    /// the proposal was never enqueued.
+    Rejected,
+    /// The service's queue depth reached the configured shedding bound
+    /// under [`BackpressurePolicy::Shed`](crate::BackpressurePolicy::Shed);
+    /// the proposal was dropped at admission.
+    Shed {
+        /// The depth bound that was hit.
+        max_queue_depth: usize,
+    },
+    /// A [`DecisionHandle::wait_timeout`](crate::DecisionHandle::wait_timeout)
+    /// elapsed before the decision arrived. The proposal is still in
+    /// flight: waiting again can succeed.
+    Timeout,
+    /// The proposal was accepted but its shard worker died before
+    /// completing it (worker panic or service teardown with the proposal
+    /// unprocessed). The decision will never arrive.
+    Poisoned,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Saturated => write!(f, "shard is at its live-instance bound"),
+            EngineError::Rejected => write!(f, "intake ring is at capacity"),
+            EngineError::Shed { max_queue_depth } => {
+                write!(
+                    f,
+                    "queue depth reached the shedding bound {max_queue_depth}"
+                )
+            }
+            EngineError::Timeout => write!(f, "timed out waiting for the decision"),
+            EngineError::Poisoned => write!(f, "the shard worker died before deciding"),
+        }
+    }
+}
+
+impl Error for EngineError {}
+
+/// The pre-service name for [`EngineError`].
+#[deprecated(note = "use `EngineError`; the service layer folded every submission failure into it")]
+pub type SubmitError = EngineError;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_displays_and_is_an_error() {
+        let variants: Vec<Box<dyn Error>> = vec![
+            Box::new(EngineError::Saturated),
+            Box::new(EngineError::Rejected),
+            Box::new(EngineError::Shed {
+                max_queue_depth: 64,
+            }),
+            Box::new(EngineError::Timeout),
+            Box::new(EngineError::Poisoned),
+        ];
+        for e in variants {
+            assert!(!e.to_string().is_empty());
+        }
+        assert_eq!(
+            EngineError::Shed {
+                max_queue_depth: 64
+            }
+            .to_string(),
+            "queue depth reached the shedding bound 64"
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_alias_still_names_the_same_type() {
+        let e: SubmitError = EngineError::Saturated;
+        assert_eq!(e, EngineError::Saturated);
+    }
+}

@@ -21,7 +21,7 @@
 //! use rand::{rngs::SmallRng, SeedableRng};
 //! use std::sync::Arc;
 //!
-//! let consensus = Arc::new(Consensus::binary(4));
+//! let consensus = Arc::new(Consensus::builder().n(4).build());
 //! let mut handles = Vec::new();
 //! for thread_id in 0..4u64 {
 //!     let consensus = Arc::clone(&consensus);
@@ -39,25 +39,35 @@
 #![warn(missing_docs)]
 
 mod bounded;
+mod builder;
 mod conciliator;
 mod consensus;
 mod derived;
 mod engine;
+mod error;
 mod faults;
 mod log;
 mod ratifier;
 mod register;
+mod service;
 mod telemetry;
 mod typed;
 
 pub use bounded::{BoundedConsensus, Fallback, LeaderFallback, DEFAULT_MAX_CONCILIATOR_ROUNDS};
+pub use builder::{ConsensusBuilder, EngineBuilder};
 pub use conciliator::ImpatientConciliator;
 pub use consensus::{Consensus, ConsensusOptions};
 pub use derived::{Election, TestAndSet};
-pub use engine::{ConsensusEngine, EngineOptions, SubmitError};
+pub use engine::{ConsensusEngine, EngineOptions};
+pub use error::EngineError;
+#[allow(deprecated)]
+pub use error::SubmitError;
 pub use faults::{FaultCounts, FaultPlan, FaultyMemory, FaultyRegister, ResetScope};
 pub use log::ReplicatedLog;
 pub use ratifier::AtomicRatifier;
 pub use register::{AtomicMemory, AtomicRegister, SharedMemory, SharedRegister, GENERATION_0};
+pub use service::{
+    BackpressurePolicy, ConsensusService, DecisionHandle, ServiceBuilder, ServiceOptions,
+};
 pub use telemetry::RuntimeTelemetry;
 pub use typed::{TypedConsensus, ValueCode};

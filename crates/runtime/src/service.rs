@@ -1,0 +1,1080 @@
+//! A pipelined batching frontend over the [`ConsensusEngine`].
+//!
+//! `ConsensusEngine::submit` is a blocking per-call path: every caller
+//! crosses the shard mutex twice, pays per-operation telemetry, and parks
+//! on a condvar under backpressure — so at high request rates throughput is
+//! bounded by caller-side contention, not by the paper's `O(n log m)`
+//! total-work bound. [`ConsensusService`] decouples the two sides:
+//!
+//! ```text
+//!  producers ──submit──▶ per-worker intake rings ──batch──▶ workers
+//!      │                  (std MPSC, Mutex+Condvar)            │
+//!      ╰◀─── DecisionHandle (poll / wait / wait_timeout) ◀─────╯
+//! ```
+//!
+//! Producers enqueue `(instance_id, proposal)` and immediately receive a
+//! [`DecisionHandle`]; dedicated worker threads drain each ring in batches,
+//! run the decisions against the engine's pooled instances, and complete
+//! the handles. Telemetry is amortized to one structured
+//! [`batch_drained`](mc_telemetry::TelemetryEvent::BatchDrained) event per
+//! batch, and admission control is a configurable [`BackpressurePolicy`].
+//!
+//! Routing uses the same Fibonacci hash as the engine's shards, so every
+//! submission for one `instance_id` lands in the same ring and is decided
+//! serially by one worker — concurrent proposals for the same instance
+//! still agree, exactly as with direct `submit`.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::engine::ConsensusEngine;
+use crate::error::EngineError;
+use crate::register::{AtomicMemory, SharedMemory};
+use crate::telemetry::RuntimeTelemetry;
+
+/// What [`ConsensusService::submit`] does when an intake ring is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackpressurePolicy {
+    /// Block the producer until the worker drains room. No proposal is
+    /// ever lost; producers absorb the overload.
+    Block,
+    /// Refuse with [`EngineError::Rejected`]; the proposal is never
+    /// enqueued and the caller retries (or not) on its own schedule.
+    Reject,
+    /// Drop with [`EngineError::Shed`] once the ring holds
+    /// `max_queue_depth` proposals — load shedding with an explicit bound,
+    /// independent of the ring's configured capacity.
+    Shed {
+        /// Queue depth at which admission starts shedding.
+        max_queue_depth: usize,
+    },
+}
+
+/// Tuning for a [`ConsensusService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceOptions {
+    /// Admission control when a ring is full (default
+    /// [`BackpressurePolicy::Block`]).
+    pub policy: BackpressurePolicy,
+    /// Proposals a ring holds before [`BackpressurePolicy::Block`] blocks
+    /// or [`BackpressurePolicy::Reject`] refuses (default 1024). Ignored
+    /// by [`BackpressurePolicy::Shed`], which carries its own bound.
+    pub ring_capacity: usize,
+    /// Most proposals a worker takes per drain (default 256). Larger
+    /// batches amortize ring locking and telemetry further but hold
+    /// decisions back longer under light load.
+    pub batch_max: usize,
+    /// Worker threads / intake rings. `0` (default) means one per engine
+    /// shard.
+    pub workers: usize,
+    /// Base seed for the workers' deterministic RNGs; worker `i` runs on
+    /// `seed + i`. Identical seeds and submission order reproduce
+    /// identical coin flips.
+    pub seed: u64,
+}
+
+impl Default for ServiceOptions {
+    fn default() -> ServiceOptions {
+        ServiceOptions {
+            policy: BackpressurePolicy::Block,
+            ring_capacity: 1024,
+            batch_max: 256,
+            workers: 0,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Completion states of one submitted proposal.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum CellState {
+    /// Enqueued, not yet decided.
+    Waiting,
+    /// Decided.
+    Done(u64),
+    /// The worker died (panic or teardown) before deciding it.
+    Poisoned,
+}
+
+const CELL_WAITING: u8 = 0;
+const CELL_DONE: u8 = 1;
+const CELL_POISONED: u8 = 2;
+
+/// The completion cell a [`DecisionHandle`] waits on.
+///
+/// The common case — worker fills, producer polls an already-done cell —
+/// is two atomics with no lock: `value` is stored relaxed, then `state` is
+/// published with a release store, and readers load `state` acquire. The
+/// condvar path only engages when a producer actually sleeps: waiters
+/// register under `waiters` before parking, and the filler takes that lock
+/// (pairing with the waiter's registered-then-recheck) and broadcasts only
+/// when somebody is parked.
+struct Cell {
+    state: AtomicU8,
+    value: AtomicU64,
+    waiters: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Cell {
+    fn new() -> Arc<Cell> {
+        Arc::new(Cell {
+            state: AtomicU8::new(CELL_WAITING),
+            value: AtomicU64::new(0),
+            waiters: Mutex::new(0),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn read(&self) -> CellState {
+        match self.state.load(Ordering::Acquire) {
+            CELL_WAITING => CellState::Waiting,
+            CELL_DONE => CellState::Done(self.value.load(Ordering::Relaxed)),
+            _ => CellState::Poisoned,
+        }
+    }
+
+    /// First fill wins: `Waiting → Done(v)` or `Waiting → Poisoned`; a cell
+    /// already filled is left alone (a completed `Pending` is dropped right
+    /// after, and its poison pass must not overwrite the decision).
+    fn fill(&self, state: CellState) {
+        let next = match state {
+            CellState::Waiting => return,
+            CellState::Done(v) => {
+                self.value.store(v, Ordering::Relaxed);
+                CELL_DONE
+            }
+            CellState::Poisoned => CELL_POISONED,
+        };
+        if self
+            .state
+            .compare_exchange(CELL_WAITING, next, Ordering::Release, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        // Taking the lock (even when nobody waits) orders this fill against
+        // a waiter's register-then-recheck, so no wakeup is ever missed.
+        let parked = *self.waiters.lock().unwrap_or_else(PoisonError::into_inner);
+        if parked > 0 {
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// The producer's receipt for one submitted proposal: poll or wait for the
+/// decision.
+///
+/// Cloning yields another handle on the same decision. Dropping every
+/// handle is fine — the proposal still runs; only the result goes
+/// unobserved.
+#[derive(Clone)]
+pub struct DecisionHandle {
+    cell: Arc<Cell>,
+}
+
+impl DecisionHandle {
+    /// The decision if it has arrived: `None` while in flight,
+    /// `Some(Err(`[`EngineError::Poisoned`]`))` if its worker died first.
+    /// Lock-free.
+    pub fn poll(&self) -> Option<Result<u64, EngineError>> {
+        match self.cell.read() {
+            CellState::Waiting => None,
+            CellState::Done(v) => Some(Ok(v)),
+            CellState::Poisoned => Some(Err(EngineError::Poisoned)),
+        }
+    }
+
+    /// Blocks until the decision arrives. A decision that already landed
+    /// returns without taking any lock.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Poisoned`] if the proposal's worker died before
+    /// deciding it.
+    pub fn wait(&self) -> Result<u64, EngineError> {
+        loop {
+            match self.cell.read() {
+                CellState::Waiting => {}
+                CellState::Done(v) => return Ok(v),
+                CellState::Poisoned => return Err(EngineError::Poisoned),
+            }
+            let mut parked = self
+                .cell
+                .waiters
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            // Recheck under the lock: a fill between the lock-free read and
+            // the registration is ordered by the filler's own lock take.
+            if self.cell.read() != CellState::Waiting {
+                continue;
+            }
+            *parked += 1;
+            let mut parked = self
+                .cell
+                .cv
+                .wait(parked)
+                .unwrap_or_else(PoisonError::into_inner);
+            *parked -= 1;
+        }
+    }
+
+    /// Blocks until the decision arrives or `timeout` elapses.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Timeout`] when the wait elapsed — the proposal is
+    /// still in flight and waiting again can succeed;
+    /// [`EngineError::Poisoned`] as [`wait`](DecisionHandle::wait).
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<u64, EngineError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.cell.read() {
+                CellState::Waiting => {}
+                CellState::Done(v) => return Ok(v),
+                CellState::Poisoned => return Err(EngineError::Poisoned),
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(EngineError::Timeout);
+            }
+            let mut parked = self
+                .cell
+                .waiters
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if self.cell.read() != CellState::Waiting {
+                continue;
+            }
+            *parked += 1;
+            let (mut parked, _) = self
+                .cell
+                .cv
+                .wait_timeout(parked, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            *parked -= 1;
+        }
+    }
+}
+
+impl std::fmt::Debug for DecisionHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = match self.poll() {
+            None => "waiting",
+            Some(Ok(_)) => "done",
+            Some(Err(_)) => "poisoned",
+        };
+        f.debug_struct("DecisionHandle")
+            .field("state", &state)
+            .finish()
+    }
+}
+
+/// One enqueued proposal. Dropping it while its cell is still `Waiting`
+/// poisons the cell — this is the worker-death path: a panicking worker
+/// unwinds its local batch, and service teardown drops ring leftovers, and
+/// either way every orphaned handle resolves to
+/// [`EngineError::Poisoned`] instead of hanging forever.
+struct Pending {
+    instance_id: u64,
+    proposal: u64,
+    enqueued_at: Instant,
+    cell: Arc<Cell>,
+}
+
+impl Pending {
+    fn complete(&self, decided: u64) {
+        self.cell.fill(CellState::Done(decided));
+    }
+}
+
+impl Drop for Pending {
+    fn drop(&mut self) {
+        // First fill wins: a no-op after `complete`, poison otherwise.
+        self.cell.fill(CellState::Poisoned);
+    }
+}
+
+struct RingState {
+    queue: VecDeque<Pending>,
+    /// No further submissions; workers drain what is left, then exit.
+    closed: bool,
+    /// Workers hold off draining (tests use this to fill rings
+    /// deterministically).
+    paused: bool,
+}
+
+/// One MPSC intake ring: producers push under the mutex, its dedicated
+/// worker drains in batches.
+struct Ring {
+    state: Mutex<RingState>,
+    /// Signals the worker: items available, unpaused, or closed.
+    to_worker: Condvar,
+    /// Signals blocked producers ([`BackpressurePolicy::Block`]): room
+    /// available or closed.
+    to_producers: Condvar,
+}
+
+impl Ring {
+    fn new() -> Ring {
+        Ring {
+            state: Mutex::new(RingState {
+                queue: VecDeque::new(),
+                closed: false,
+                paused: false,
+            }),
+            to_worker: Condvar::new(),
+            to_producers: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, RingState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A pipelined batch-submission service over a [`ConsensusEngine`].
+///
+/// Build one with [`ConsensusService::builder`] (or wrap an existing
+/// engine with [`ConsensusService::over`]). Submit with
+/// [`submit`](ConsensusService::submit) /
+/// [`submit_batch`](ConsensusService::submit_batch) and collect decisions
+/// through the returned [`DecisionHandle`]s:
+///
+/// ```
+/// use mc_runtime::ConsensusService;
+///
+/// let service = ConsensusService::builder().n(1).values(64).participants(1).build();
+/// let handle = service.submit(0, 42).unwrap();
+/// assert_eq!(handle.wait(), Ok(42));
+/// ```
+///
+/// # Ordering and agreement
+///
+/// All submissions for one `instance_id` land in the same ring and are
+/// decided serially by its worker, so they agree — the lab conformance
+/// suite proves the service path decides exactly what direct
+/// [`submit`](ConsensusEngine::submit) decides for the same proposals.
+/// Submissions for *different* instances may complete in any order.
+///
+/// # Shutdown
+///
+/// [`shutdown`](ConsensusService::shutdown) (also run on drop) closes the
+/// rings, drains every already-accepted proposal, and joins the workers.
+/// Proposals a dead worker never reached resolve to
+/// [`EngineError::Poisoned`] rather than hanging their handles.
+pub struct ConsensusService<M: SharedMemory = AtomicMemory> {
+    engine: Arc<ConsensusEngine<M>>,
+    rings: Arc<Vec<Ring>>,
+    workers: Vec<JoinHandle<()>>,
+    options: ServiceOptions,
+    capacity: u64,
+}
+
+impl ConsensusService {
+    /// Starts building a service (engine knobs plus service knobs in one
+    /// fluent path).
+    pub fn builder() -> ServiceBuilder {
+        ServiceBuilder::new()
+    }
+}
+
+impl<M: SharedMemory> ConsensusService<M> {
+    /// Runs a service over an engine you already hold — the engine remains
+    /// usable directly (the conformance tests exploit this to compare both
+    /// paths).
+    ///
+    /// Taking over an engine switches its telemetry to amortized recorder
+    /// traffic: per-decide events are suppressed in favor of one
+    /// `batch_drained` summary per batch (counters and histograms keep
+    /// their per-operation fidelity) — see
+    /// [`RuntimeTelemetry::decide_events_on`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options.ring_capacity == 0`, `options.batch_max == 0`,
+    /// or `options.policy` is `Shed { max_queue_depth: 0 }`.
+    pub fn over(engine: Arc<ConsensusEngine<M>>, options: ServiceOptions) -> ConsensusService<M> {
+        assert!(options.ring_capacity > 0, "ring capacity must be nonzero");
+        assert!(options.batch_max > 0, "batch size must be nonzero");
+        if let BackpressurePolicy::Shed { max_queue_depth } = options.policy {
+            assert!(max_queue_depth > 0, "shedding bound must be nonzero");
+        }
+        engine.telemetry().amortize_decide_events();
+        let worker_count = if options.workers == 0 {
+            engine.shard_count()
+        } else {
+            options.workers
+        };
+        let rings = Arc::new((0..worker_count).map(|_| Ring::new()).collect::<Vec<_>>());
+        let capacity = engine.options_handle().scheme.capacity();
+        let workers = (0..worker_count)
+            .map(|ix| {
+                let engine = Arc::clone(&engine);
+                let rings = Arc::clone(&rings);
+                let seed = options.seed.wrapping_add(ix as u64);
+                let batch_max = options.batch_max;
+                std::thread::Builder::new()
+                    .name(format!("mc-service-{ix}"))
+                    .spawn(move || worker_loop(&engine, &rings[ix], ix, batch_max, seed))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        ConsensusService {
+            engine,
+            rings,
+            workers,
+            options,
+            capacity,
+        }
+    }
+
+    /// The engine this service decides on.
+    pub fn engine(&self) -> &Arc<ConsensusEngine<M>> {
+        &self.engine
+    }
+
+    /// Aggregate metrics (shared with the engine): decide histograms, pool
+    /// counters, plus the service's `proposals_enqueued` / `batches_drained`
+    /// counters, queue-depth gauge, and submit→decision wait histogram.
+    pub fn telemetry(&self) -> &RuntimeTelemetry {
+        self.engine.telemetry()
+    }
+
+    /// Worker threads (= intake rings) this service runs.
+    pub fn worker_count(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// Proposals currently enqueued across all rings.
+    pub fn queue_depth(&self) -> usize {
+        self.rings.iter().map(|r| r.lock().queue.len()).sum()
+    }
+
+    fn ring_of(&self, instance_id: u64) -> &Ring {
+        // Same Fibonacci hash as the engine's shards: one instance, one
+        // ring, one worker — serial decides per instance.
+        let h = (instance_id.wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 32;
+        &self.rings[(h as usize) % self.rings.len()]
+    }
+
+    /// Applies admission control and pushes one proposal under the ring
+    /// lock; threads the guard back so a batch can admit a whole run of
+    /// proposals without re-locking. The caller notifies the worker.
+    fn admit<'g>(
+        &self,
+        ring: &'g Ring,
+        mut state: MutexGuard<'g, RingState>,
+        instance_id: u64,
+        proposal: u64,
+        enqueued_at: Instant,
+    ) -> (
+        MutexGuard<'g, RingState>,
+        Result<DecisionHandle, EngineError>,
+    ) {
+        let telemetry = self.engine.telemetry();
+        match self.options.policy {
+            BackpressurePolicy::Block => {
+                while state.queue.len() >= self.options.ring_capacity && !state.closed {
+                    state = ring
+                        .to_producers
+                        .wait(state)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+            BackpressurePolicy::Reject => {
+                if state.queue.len() >= self.options.ring_capacity {
+                    telemetry.on_proposal_rejected();
+                    return (state, Err(EngineError::Rejected));
+                }
+            }
+            BackpressurePolicy::Shed { max_queue_depth } => {
+                if state.queue.len() >= max_queue_depth {
+                    telemetry.on_proposal_shed();
+                    return (state, Err(EngineError::Shed { max_queue_depth }));
+                }
+            }
+        }
+        if state.closed {
+            telemetry.on_proposal_rejected();
+            return (state, Err(EngineError::Rejected));
+        }
+        let cell = Cell::new();
+        let handle = DecisionHandle {
+            cell: Arc::clone(&cell),
+        };
+        state.queue.push_back(Pending {
+            instance_id,
+            proposal,
+            enqueued_at,
+            cell,
+        });
+        telemetry.on_proposal_enqueued(state.queue.len() as u64);
+        (state, Ok(handle))
+    }
+
+    /// Enqueues one proposal for `instance_id` and returns its handle
+    /// immediately; the decision arrives through the handle.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Rejected`] / [`EngineError::Shed`] per the
+    /// configured [`BackpressurePolicy`], and [`EngineError::Rejected`]
+    /// after [`shutdown`](ConsensusService::shutdown).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proposal` exceeds the engine's value capacity (checked
+    /// here, at admission, so an invalid proposal can never kill a
+    /// worker).
+    pub fn submit(&self, instance_id: u64, proposal: u64) -> Result<DecisionHandle, EngineError> {
+        assert!(
+            proposal < self.capacity,
+            "value {proposal} exceeds consensus capacity {}",
+            self.capacity
+        );
+        let ring = self.ring_of(instance_id);
+        let (state, result) = self.admit(ring, ring.lock(), instance_id, proposal, Instant::now());
+        drop(state);
+        if result.is_ok() {
+            ring.to_worker.notify_one();
+        }
+        result
+    }
+
+    /// Enqueues a batch of `(instance_id, proposal)` pairs, taking each
+    /// ring's lock once per batch rather than once per proposal — the
+    /// producer-side half of the pipeline's amortization. Results come
+    /// back in input order.
+    ///
+    /// Admission control applies per proposal, so one full ring rejects or
+    /// sheds only its own items.
+    ///
+    /// # Panics
+    ///
+    /// As [`submit`](ConsensusService::submit).
+    pub fn submit_batch(&self, items: &[(u64, u64)]) -> Vec<Result<DecisionHandle, EngineError>> {
+        for &(_, proposal) in items {
+            assert!(
+                proposal < self.capacity,
+                "value {proposal} exceeds consensus capacity {}",
+                self.capacity
+            );
+        }
+        let mut results: Vec<Option<Result<DecisionHandle, EngineError>>> =
+            (0..items.len()).map(|_| None).collect();
+        // Admit each contiguous run landing in the same ring under ONE
+        // lock acquisition — with a single worker (or ids pre-grouped by
+        // producer) that is one lock per batch.
+        let mut ix = 0;
+        while ix < items.len() {
+            let ring = self.ring_of(items[ix].0);
+            let mut end = ix + 1;
+            while end < items.len() && std::ptr::eq(self.ring_of(items[end].0), ring) {
+                end += 1;
+            }
+            let mut state = ring.lock();
+            let mut admitted = false;
+            // One timestamp per run: wait-latency accounting is batch-grained
+            // on the enqueue side, like the drain side's telemetry flush.
+            let enqueued_at = Instant::now();
+            for (slot, &(instance_id, proposal)) in results[ix..end].iter_mut().zip(&items[ix..end])
+            {
+                let (next, result) = self.admit(ring, state, instance_id, proposal, enqueued_at);
+                state = next;
+                admitted |= result.is_ok();
+                *slot = Some(result);
+            }
+            drop(state);
+            if admitted {
+                ring.to_worker.notify_one();
+            }
+            ix = end;
+        }
+        results.into_iter().map(|r| r.expect("filled")).collect()
+    }
+
+    /// Stops workers from draining, leaving submissions to pile up in the
+    /// rings — the deterministic-saturation hook the backpressure tests
+    /// use. Batches already taken finish first.
+    pub fn pause(&self) {
+        for ring in self.rings.iter() {
+            ring.lock().paused = true;
+        }
+    }
+
+    /// Resumes draining after [`pause`](ConsensusService::pause).
+    pub fn resume(&self) {
+        for ring in self.rings.iter() {
+            ring.lock().paused = false;
+            ring.to_worker.notify_all();
+        }
+    }
+
+    /// Closes the rings, waits for every accepted proposal to decide, and
+    /// joins the workers. Idempotent; also runs on drop. Proposals left
+    /// behind by a worker that died resolve to [`EngineError::Poisoned`].
+    pub fn shutdown(&mut self) {
+        for ring in self.rings.iter() {
+            let mut state = ring.lock();
+            state.closed = true;
+            // A paused, closed service must still drain: shutdown's
+            // contract (Block never loses a proposal) outranks the test
+            // hook.
+            state.paused = false;
+            drop(state);
+            ring.to_worker.notify_all();
+            ring.to_producers.notify_all();
+        }
+        for worker in self.workers.drain(..) {
+            // A worker that panicked already poisoned its local batch by
+            // unwinding; swallow the panic so shutdown (and drop) can
+            // poison whatever is left in its ring below.
+            let _ = worker.join();
+        }
+        for ring in self.rings.iter() {
+            // Dropping a still-Waiting Pending poisons its cell.
+            ring.lock().queue.clear();
+        }
+    }
+}
+
+impl<M: SharedMemory> Drop for ConsensusService<M> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl<M: SharedMemory> std::fmt::Debug for ConsensusService<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConsensusService")
+            .field("workers", &self.worker_count())
+            .field("queue_depth", &self.queue_depth())
+            .field("policy", &self.options.policy)
+            .finish_non_exhaustive()
+    }
+}
+
+/// One worker: block for work, drain up to `batch_max`, decide, complete,
+/// emit one `batch_drained` event — repeat until closed and empty.
+fn worker_loop<M: SharedMemory>(
+    engine: &ConsensusEngine<M>,
+    ring: &Ring,
+    ring_ix: usize,
+    batch_max: usize,
+    seed: u64,
+) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let telemetry = Arc::clone(engine.telemetry_handle());
+    // Single-participant engines get the zero-lock fast path: one pooled
+    // object serves the whole stream (see `ConsensusEngine::detached_slot`).
+    let mut slot = (engine.participants() == 1).then(|| engine.detached_slot(ring_ix));
+    loop {
+        let mut batch: VecDeque<Pending>;
+        let depth_after;
+        {
+            let mut state = ring.lock();
+            while (state.queue.is_empty() || state.paused) && !state.closed {
+                state = ring
+                    .to_worker
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            if state.queue.is_empty() && state.closed {
+                return;
+            }
+            let take = state.queue.len().min(batch_max);
+            batch = state.queue.drain(..take).collect();
+            depth_after = state.queue.len();
+            drop(state);
+            // Room freed: wake producers blocked under `Block`.
+            ring.to_producers.notify_all();
+        }
+        let batch_len = batch.len() as u64;
+        while let Some(item) = batch.pop_front() {
+            // If a decide panics, the unwind drops `item` and the rest of
+            // `batch`, poisoning their cells (see `Pending::drop`).
+            let decided = match &mut slot {
+                Some(slot) => slot.decide(item.proposal, &mut rng),
+                None => engine.submit_unbounded(item.instance_id, item.proposal, &mut rng),
+            };
+            item.complete(decided);
+            let wait_ns = u64::try_from(item.enqueued_at.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            telemetry.on_service_wait(wait_ns);
+        }
+        telemetry.on_batch_drained(ring_ix as u64, batch_len, depth_after as u64);
+    }
+}
+
+/// Fluent constructor for [`ConsensusService`]: every [`EngineBuilder`]
+/// knob plus the service's own. Obtain one from
+/// [`ConsensusService::builder`].
+///
+/// [`EngineBuilder`]: crate::EngineBuilder
+#[derive(Clone, Debug)]
+pub struct ServiceBuilder<M: SharedMemory = AtomicMemory> {
+    engine: crate::EngineBuilder<M>,
+    service: ServiceOptions,
+}
+
+impl Default for ServiceBuilder {
+    fn default() -> ServiceBuilder {
+        ServiceBuilder {
+            engine: crate::EngineBuilder::default(),
+            service: ServiceOptions::default(),
+        }
+    }
+}
+
+impl ServiceBuilder {
+    /// A builder with every knob at its default; `n` must still be set.
+    pub fn new() -> ServiceBuilder {
+        ServiceBuilder::default()
+    }
+}
+
+impl<M: SharedMemory> ServiceBuilder<M> {
+    /// Maximum participating threads per instance. Required.
+    #[must_use]
+    pub fn n(mut self, n: usize) -> Self {
+        self.engine = self.engine.n(n);
+        self
+    }
+
+    /// Number of distinct proposal values; see
+    /// [`ConsensusBuilder::values`](crate::ConsensusBuilder::values).
+    #[must_use]
+    pub fn values(mut self, m: u64) -> Self {
+        self.engine = self.engine.values(m);
+        self
+    }
+
+    /// Telemetry event sink; see
+    /// [`ConsensusBuilder::recorder`](crate::ConsensusBuilder::recorder).
+    #[must_use]
+    pub fn recorder(mut self, recorder: Arc<dyn mc_telemetry::Recorder>) -> Self {
+        self.engine = self.engine.recorder(recorder);
+        self
+    }
+
+    /// Register substrate; see
+    /// [`ConsensusBuilder::memory`](crate::ConsensusBuilder::memory).
+    #[must_use]
+    pub fn memory<M2: SharedMemory>(self, memory: M2) -> ServiceBuilder<M2> {
+        ServiceBuilder {
+            engine: self.engine.memory(memory),
+            service: self.service,
+        }
+    }
+
+    /// Engine shards; see [`EngineBuilder::shards`](crate::EngineBuilder::shards).
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.engine = self.engine.shards(shards);
+        self
+    }
+
+    /// Submits per instance; see
+    /// [`EngineBuilder::participants`](crate::EngineBuilder::participants).
+    #[must_use]
+    pub fn participants(mut self, participants: usize) -> Self {
+        self.engine = self.engine.participants(participants);
+        self
+    }
+
+    /// Admission control (default [`BackpressurePolicy::Block`]).
+    #[must_use]
+    pub fn backpressure(mut self, policy: BackpressurePolicy) -> Self {
+        self.service.policy = policy;
+        self
+    }
+
+    /// Ring capacity (default 1024); see [`ServiceOptions::ring_capacity`].
+    #[must_use]
+    pub fn ring_capacity(mut self, capacity: usize) -> Self {
+        self.service.ring_capacity = capacity;
+        self
+    }
+
+    /// Largest batch a worker drains at once (default 256).
+    #[must_use]
+    pub fn batch_max(mut self, batch: usize) -> Self {
+        self.service.batch_max = batch;
+        self
+    }
+
+    /// Worker threads / rings (default: one per engine shard).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.service.workers = workers;
+        self
+    }
+
+    /// Base seed for the workers' RNGs (default `0x5EED`).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.service.seed = seed;
+        self
+    }
+
+    /// Builds the engine and starts the service's workers over it.
+    ///
+    /// # Panics
+    ///
+    /// As [`EngineBuilder::build`](crate::EngineBuilder::build) and
+    /// [`ConsensusService::over`].
+    pub fn build(self) -> ConsensusService<M> {
+        ConsensusService::over(Arc::new(self.engine.build()), self.service)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn single_worker_service(policy: BackpressurePolicy) -> ConsensusService {
+        ConsensusService::builder()
+            .n(1)
+            .values(1024)
+            .participants(1)
+            .shards(1)
+            .workers(1)
+            .backpressure(policy)
+            .build()
+    }
+
+    #[test]
+    fn decisions_flow_back_through_handles() {
+        let service = single_worker_service(BackpressurePolicy::Block);
+        let handles: Vec<DecisionHandle> = (0..100u64)
+            .map(|id| service.submit(id, id % 1024).unwrap())
+            .collect();
+        for (id, handle) in handles.iter().enumerate() {
+            assert_eq!(handle.wait(), Ok(id as u64 % 1024));
+        }
+        // Join the workers before asserting batch counters: the final
+        // `batch_drained` lands after the batch's handles complete.
+        let t = Arc::clone(service.engine().telemetry_handle());
+        drop(service);
+        assert_eq!(t.proposals_enqueued(), 100);
+        assert_eq!(t.decisions(), 100);
+        assert_eq!(t.instances_retired(), 100);
+        assert!(t.batches_drained() >= 1);
+        assert_eq!(t.service_wait_ns().count(), 100);
+    }
+
+    #[test]
+    fn submit_batch_matches_per_call_submit() {
+        let service = single_worker_service(BackpressurePolicy::Block);
+        let items: Vec<(u64, u64)> = (0..64u64).map(|id| (id, (id * 7) % 1024)).collect();
+        let handles = service.submit_batch(&items);
+        for (handle, (_, proposal)) in handles.into_iter().zip(&items) {
+            assert_eq!(handle.unwrap().wait(), Ok(*proposal));
+        }
+    }
+
+    #[test]
+    fn same_instance_submissions_agree_with_multiple_participants() {
+        let service = ConsensusService::builder()
+            .n(3)
+            .values(8)
+            .participants(3)
+            .shards(1)
+            .workers(1)
+            .build();
+        let handles: Vec<DecisionHandle> = (0..3u64)
+            .map(|p| service.submit(7, p + 1).unwrap())
+            .collect();
+        let decisions: Vec<u64> = handles.iter().map(|h| h.wait().unwrap()).collect();
+        assert!(
+            decisions.iter().all(|&d| d == decisions[0]),
+            "{decisions:?}"
+        );
+        assert!((1..=3).contains(&decisions[0]));
+        assert_eq!(service.engine().live_instances(), 0);
+    }
+
+    #[test]
+    fn poll_sees_waiting_then_done() {
+        let service = single_worker_service(BackpressurePolicy::Block);
+        service.pause();
+        let handle = service.submit(0, 5).unwrap();
+        assert_eq!(handle.poll(), None);
+        service.resume();
+        assert_eq!(handle.wait(), Ok(5));
+        assert_eq!(handle.poll(), Some(Ok(5)));
+    }
+
+    #[test]
+    fn wait_timeout_times_out_then_succeeds() {
+        let service = single_worker_service(BackpressurePolicy::Block);
+        service.pause();
+        let handle = service.submit(0, 9).unwrap();
+        assert_eq!(
+            handle.wait_timeout(Duration::from_millis(20)),
+            Err(EngineError::Timeout)
+        );
+        service.resume();
+        assert_eq!(handle.wait_timeout(Duration::from_secs(30)), Ok(9));
+    }
+
+    #[test]
+    fn shed_fires_at_exactly_the_bound() {
+        let service = single_worker_service(BackpressurePolicy::Shed { max_queue_depth: 4 });
+        service.pause();
+        let handles: Vec<DecisionHandle> = (0..4u64)
+            .map(|id| service.submit(id, id).unwrap())
+            .collect();
+        // The fifth proposal is the first past the bound: shed, never
+        // enqueued.
+        assert!(matches!(
+            service.submit(4, 4),
+            Err(EngineError::Shed { max_queue_depth: 4 })
+        ));
+        assert_eq!(service.telemetry().proposals_shed(), 1);
+        assert_eq!(service.queue_depth(), 4);
+        service.resume();
+        for (id, handle) in handles.iter().enumerate() {
+            assert_eq!(handle.wait(), Ok(id as u64));
+        }
+        // Depth drained: admission works again.
+        assert_eq!(service.submit(4, 4).unwrap().wait(), Ok(4));
+    }
+
+    #[test]
+    fn reject_refuses_when_the_ring_is_full() {
+        let service = ConsensusService::builder()
+            .n(1)
+            .values(64)
+            .participants(1)
+            .shards(1)
+            .workers(1)
+            .backpressure(BackpressurePolicy::Reject)
+            .ring_capacity(2)
+            .build();
+        service.pause();
+        service.submit(0, 0).unwrap();
+        service.submit(1, 1).unwrap();
+        assert!(matches!(service.submit(2, 2), Err(EngineError::Rejected)));
+        assert_eq!(service.telemetry().proposals_rejected(), 1);
+        service.resume();
+    }
+
+    #[test]
+    fn block_policy_never_loses_a_proposal() {
+        let service = Arc::new(
+            ConsensusService::builder()
+                .n(1)
+                .values(1024)
+                .participants(1)
+                .shards(1)
+                .workers(1)
+                .backpressure(BackpressurePolicy::Block)
+                .ring_capacity(8)
+                .batch_max(4)
+                .build(),
+        );
+        // 4 producers × 100 proposals through an 8-deep ring: producers
+        // must block rather than lose or drop anything.
+        let producers: Vec<_> = (0..4u64)
+            .map(|p| {
+                let service = Arc::clone(&service);
+                std::thread::spawn(move || {
+                    (0..100u64)
+                        .map(|i| {
+                            let id = p * 100 + i;
+                            service.submit(id, id % 1024).unwrap()
+                        })
+                        .collect::<Vec<DecisionHandle>>()
+                })
+            })
+            .collect();
+        let handles: Vec<Vec<DecisionHandle>> =
+            producers.into_iter().map(|h| h.join().unwrap()).collect();
+        for (p, batch) in handles.iter().enumerate() {
+            for (i, handle) in batch.iter().enumerate() {
+                let id = p as u64 * 100 + i as u64;
+                assert_eq!(handle.wait(), Ok(id % 1024));
+            }
+        }
+        let t = service.telemetry();
+        assert_eq!(t.proposals_enqueued(), 400);
+        assert_eq!(t.decisions(), 400);
+        assert_eq!(t.proposals_shed(), 0);
+        assert_eq!(t.proposals_rejected(), 0);
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_proposals() {
+        let mut service = single_worker_service(BackpressurePolicy::Block);
+        service.pause();
+        let handles: Vec<DecisionHandle> = (0..10u64)
+            .map(|id| service.submit(id, id).unwrap())
+            .collect();
+        // Shutdown unpauses, drains, and joins — nothing accepted is lost.
+        service.shutdown();
+        for (id, handle) in handles.iter().enumerate() {
+            assert_eq!(handle.wait(), Ok(id as u64));
+        }
+        assert!(matches!(service.submit(99, 0), Err(EngineError::Rejected)));
+    }
+
+    #[test]
+    fn batch_drained_events_reach_the_recorder() {
+        let agg = Arc::new(mc_telemetry::AggregatingRecorder::new());
+        let service = ConsensusService::builder()
+            .n(1)
+            .values(64)
+            .participants(1)
+            .shards(1)
+            .workers(1)
+            .recorder(Arc::clone(&agg) as Arc<dyn mc_telemetry::Recorder>)
+            .build();
+        service.pause();
+        let handles: Vec<DecisionHandle> = (0..20u64)
+            .map(|id| service.submit(id, id % 64).unwrap())
+            .collect();
+        service.resume();
+        for handle in &handles {
+            handle.wait().unwrap();
+        }
+        drop(service); // join workers so the batch events have landed
+                       // All 20 were in the ring when the worker woke: one batch (the
+                       // default batch_max is 256), one event, 20 proposals accounted.
+        assert!(agg.batches_drained() >= 1);
+        assert_eq!(agg.batched_proposals(), 20);
+        // The service amortizes recorder traffic: per-decide events are
+        // suppressed while it drives the engine, so the recorder sees the
+        // batch summaries but not twenty Decided events.
+        assert_eq!(agg.decisions(), 0);
+    }
+
+    #[test]
+    fn oversized_proposal_is_refused_at_admission() {
+        let service = single_worker_service(BackpressurePolicy::Block);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            service.submit(0, 9999).ok();
+        }));
+        assert!(result.is_err(), "oversized proposal must panic at submit");
+        // The panic happened on the producer side: workers are alive and
+        // the service still decides.
+        assert_eq!(service.submit(1, 3).unwrap().wait(), Ok(3));
+    }
+
+    #[test]
+    fn handles_survive_the_service_when_decided() {
+        let handle = {
+            let service = single_worker_service(BackpressurePolicy::Block);
+            let handle = service.submit(0, 7).unwrap();
+            handle.wait().unwrap();
+            handle
+        };
+        assert_eq!(handle.poll(), Some(Ok(7)));
+    }
+}

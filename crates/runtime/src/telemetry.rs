@@ -6,7 +6,14 @@
 //! emission is gated on the attached [`Recorder`]: with the default
 //! [`NoopRecorder`] the `events_on` flag is `false` and no event is ever
 //! constructed.
+//!
+//! The batching service additionally *amortizes* recorder traffic: while a
+//! `ConsensusService` drives an engine, per-decide events (`StageEntered`,
+//! `Decided`, …) are suppressed on that engine's telemetry and the recorder
+//! instead receives one `BatchDrained` summary per drained batch. Counters
+//! and histograms keep their per-operation fidelity either way.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use mc_telemetry::{
@@ -22,6 +29,7 @@ use mc_telemetry::{
 pub struct RuntimeTelemetry {
     recorder: Arc<dyn Recorder>,
     events_on: bool,
+    decide_events_off: AtomicBool,
     decide_calls: Counter,
     decisions: Counter,
     fast_path_hits: Counter,
@@ -43,6 +51,12 @@ pub struct RuntimeTelemetry {
     delayed_commits: Counter,
     register_resets: Counter,
     fallbacks_taken: Counter,
+    proposals_enqueued: Counter,
+    proposals_rejected: Counter,
+    proposals_shed: Counter,
+    batches_drained: Counter,
+    queue_depth: Gauge,
+    service_wait_ns: Histogram,
 }
 
 impl std::fmt::Debug for RuntimeTelemetry {
@@ -62,6 +76,7 @@ impl RuntimeTelemetry {
         RuntimeTelemetry {
             recorder,
             events_on,
+            decide_events_off: AtomicBool::new(false),
             decide_calls: Counter::new(),
             decisions: Counter::new(),
             fast_path_hits: Counter::new(),
@@ -83,6 +98,12 @@ impl RuntimeTelemetry {
             delayed_commits: Counter::new(),
             register_resets: Counter::new(),
             fallbacks_taken: Counter::new(),
+            proposals_enqueued: Counter::new(),
+            proposals_rejected: Counter::new(),
+            proposals_shed: Counter::new(),
+            batches_drained: Counter::new(),
+            queue_depth: Gauge::new(),
+            service_wait_ns: Histogram::new(),
         }
     }
 
@@ -94,6 +115,25 @@ impl RuntimeTelemetry {
     /// Whether structured events are being recorded.
     pub fn events_on(&self) -> bool {
         self.events_on
+    }
+
+    /// Whether per-decide events (`StageEntered`, `Decided`, …) reach the
+    /// recorder. `false` either when no recorder is attached or when a
+    /// batching service has switched this telemetry to amortized mode,
+    /// where the recorder sees one `BatchDrained` summary per batch
+    /// instead.
+    pub fn decide_events_on(&self) -> bool {
+        self.events_on && !self.decide_events_off.load(Ordering::Relaxed)
+    }
+
+    /// Switches to amortized recorder traffic: per-decide events are
+    /// suppressed; batch-level events and every counter/histogram stay
+    /// live. Called by `ConsensusService` when it takes over an engine —
+    /// paying a recorder serialization per operation on the worker's hot
+    /// path would forfeit exactly the per-call overhead the service
+    /// exists to amortize.
+    pub(crate) fn amortize_decide_events(&self) {
+        self.decide_events_off.store(true, Ordering::Relaxed);
     }
 
     /// The attached recorder.
@@ -125,7 +165,7 @@ impl RuntimeTelemetry {
     #[inline]
     pub(crate) fn on_stage_entered(&self, stage: u64, kind: StageKind) {
         self.stage_entries.add_local(1);
-        if self.events_on {
+        if self.decide_events_on() {
             self.recorder.record(&TelemetryEvent::StageEntered {
                 pid: Self::pid(),
                 stage,
@@ -136,7 +176,7 @@ impl RuntimeTelemetry {
 
     #[inline]
     pub(crate) fn on_ratifier_verdict(&self, stage: u64, decided: bool, value: u64) {
-        if self.events_on {
+        if self.decide_events_on() {
             self.recorder.record(&TelemetryEvent::RatifierVerdict {
                 pid: Self::pid(),
                 stage,
@@ -154,7 +194,7 @@ impl RuntimeTelemetry {
         if fast_path {
             self.fast_path_hits.incr();
         }
-        if self.events_on {
+        if self.decide_events_on() {
             let pid = Self::pid();
             if fast_path {
                 self.recorder
@@ -172,7 +212,7 @@ impl RuntimeTelemetry {
     #[inline]
     pub(crate) fn on_conciliator_round(&self, round: u64, probability: f64) {
         self.max_conciliator_round.record_max(round);
-        if self.events_on {
+        if self.decide_events_on() {
             self.recorder.record(&TelemetryEvent::ConciliatorRound {
                 pid: Self::pid(),
                 round,
@@ -187,7 +227,7 @@ impl RuntimeTelemetry {
         if performed {
             self.prob_writes_performed.add_local(1);
         }
-        if self.events_on {
+        if self.decide_events_on() {
             self.recorder.record(&TelemetryEvent::ProbWrite {
                 pid: Self::pid(),
                 performed,
@@ -210,7 +250,7 @@ impl RuntimeTelemetry {
             FaultClass::DelayedVisibility => self.delayed_commits.incr(),
             FaultClass::RegisterReset => self.register_resets.incr(),
         }
-        if self.events_on {
+        if self.decide_events_on() {
             self.recorder.record(&TelemetryEvent::FaultInjected {
                 class,
                 register,
@@ -222,12 +262,62 @@ impl RuntimeTelemetry {
     #[inline]
     pub(crate) fn on_fallback_taken(&self, conciliator_stages: u64) {
         self.fallbacks_taken.incr();
-        if self.events_on {
+        if self.decide_events_on() {
             self.recorder.record(&TelemetryEvent::FallbackTaken {
                 pid: Self::pid(),
                 conciliator_stages,
             });
         }
+    }
+
+    // --- service hooks ---
+    //
+    // The batching service calls these from producers (enqueue/reject/shed)
+    // and workers (batch drained, per-item wait). Everything here is a
+    // relaxed-atomic counter or histogram bump except `on_batch_drained`,
+    // which is the *one* structured event per batch — that is the telemetry
+    // amortization: per-proposal costs stay O(1) stores, recorder traffic
+    // is O(batches).
+
+    /// A proposal was accepted into an intake ring; `depth` is the ring's
+    /// depth after the push.
+    #[inline]
+    pub(crate) fn on_proposal_enqueued(&self, depth: u64) {
+        self.proposals_enqueued.incr();
+        self.queue_depth.set(depth);
+    }
+
+    /// A proposal was refused at admission under `BackpressurePolicy::Reject`.
+    #[inline]
+    pub(crate) fn on_proposal_rejected(&self) {
+        self.proposals_rejected.incr();
+    }
+
+    /// A proposal was dropped at admission under `BackpressurePolicy::Shed`.
+    #[inline]
+    pub(crate) fn on_proposal_shed(&self) {
+        self.proposals_shed.incr();
+    }
+
+    /// A shard worker drained one batch of `batch` proposals; `queue_depth`
+    /// is the depth it left behind in its ring.
+    #[inline]
+    pub(crate) fn on_batch_drained(&self, shard: u64, batch: u64, queue_depth: u64) {
+        self.batches_drained.incr();
+        self.queue_depth.set(queue_depth);
+        if self.events_on {
+            self.recorder.record(&TelemetryEvent::BatchDrained {
+                shard,
+                batch,
+                queue_depth,
+            });
+        }
+    }
+
+    /// One proposal's submit→decision wall-clock wait, nanoseconds.
+    #[inline]
+    pub(crate) fn on_service_wait(&self, wait_ns: u64) {
+        self.service_wait_ns.record(wait_ns);
     }
 
     /// A consensus instance was served from the recycle pool.
@@ -402,6 +492,52 @@ impl RuntimeTelemetry {
         self.fallbacks_taken.get()
     }
 
+    /// Proposals accepted into a service intake ring.
+    pub fn proposals_enqueued(&self) -> u64 {
+        self.proposals_enqueued.get()
+    }
+
+    /// Proposals refused at admission (`BackpressurePolicy::Reject`).
+    pub fn proposals_rejected(&self) -> u64 {
+        self.proposals_rejected.get()
+    }
+
+    /// Proposals dropped at admission (`BackpressurePolicy::Shed`).
+    pub fn proposals_shed(&self) -> u64 {
+        self.proposals_shed.get()
+    }
+
+    /// Batches drained by service shard workers.
+    pub fn batches_drained(&self) -> u64 {
+        self.batches_drained.get()
+    }
+
+    /// Intake-ring depth at the last enqueue or drain.
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.get()
+    }
+
+    /// Largest intake-ring depth ever observed.
+    pub fn max_queue_depth_seen(&self) -> u64 {
+        self.queue_depth.max()
+    }
+
+    /// Distribution of submit→decision wall-clock waits through the
+    /// service, nanoseconds.
+    pub fn service_wait_ns(&self) -> &Histogram {
+        &self.service_wait_ns
+    }
+
+    /// Upper bound on the median submit→decision wait, nanoseconds.
+    pub fn service_wait_p50_ns(&self) -> u64 {
+        self.service_wait_ns.quantile_upper(0.50)
+    }
+
+    /// Upper bound on the 99th-percentile submit→decision wait, nanoseconds.
+    pub fn service_wait_p99_ns(&self) -> u64 {
+        self.service_wait_ns.quantile_upper(0.99)
+    }
+
     /// A frozen copy of every metric, ready for text/JSON/Prometheus
     /// export.
     pub fn snapshot(&self) -> Snapshot {
@@ -423,6 +559,10 @@ impl RuntimeTelemetry {
             .counter("faults_delayed_commits", self.delayed_commits())
             .counter("faults_register_resets", self.register_resets())
             .counter("fallbacks_taken", self.fallbacks_taken())
+            .counter("proposals_enqueued", self.proposals_enqueued())
+            .counter("proposals_rejected", self.proposals_rejected())
+            .counter("proposals_shed", self.proposals_shed())
+            .counter("batches_drained", self.batches_drained())
             .gauge(
                 "max_conciliator_round",
                 self.max_conciliator_round.get(),
@@ -433,9 +573,15 @@ impl RuntimeTelemetry {
                 self.live_instances(),
                 self.live_instances(),
             )
+            .gauge(
+                "queue_depth",
+                self.queue_depth(),
+                self.max_queue_depth_seen(),
+            )
             .histogram("rounds_to_decide", self.rounds_to_decide.snapshot())
             .histogram("decide_latency_ns", self.decide_latency_ns.snapshot())
-            .histogram("conciliator_rounds", self.conciliator_rounds.snapshot());
+            .histogram("conciliator_rounds", self.conciliator_rounds.snapshot())
+            .histogram("service_wait_ns", self.service_wait_ns.snapshot());
         snap
     }
 }
@@ -478,6 +624,28 @@ mod tests {
         assert_eq!(agg.prob_writes_performed(), 0);
         assert_eq!(agg.fast_path_hits(), 1);
         assert_eq!(agg.decisions(), 1);
+    }
+
+    #[test]
+    fn amortized_mode_suppresses_decide_events_but_not_counters() {
+        let agg = Arc::new(AggregatingRecorder::new());
+        let t = RuntimeTelemetry::new(2, Arc::clone(&agg) as Arc<dyn Recorder>);
+        assert!(t.decide_events_on());
+        t.amortize_decide_events();
+        assert!(t.events_on(), "batch-level events stay live");
+        assert!(!t.decide_events_on());
+        t.on_decide_start();
+        t.on_stage_entered(0, StageKind::Ratifier);
+        t.on_decided(1, 2, false, 500);
+        // Recorder saw nothing per-decide; batch summaries still flow.
+        assert_eq!(agg.stage_entries(), 0);
+        assert_eq!(agg.decisions(), 0);
+        t.on_batch_drained(0, 7, 12);
+        assert_eq!(agg.batches_drained(), 1);
+        assert_eq!(agg.batched_proposals(), 7);
+        // Counters and histograms never switch off.
+        assert_eq!(t.decisions(), 1);
+        assert_eq!(t.stage_entries(), 1);
     }
 
     #[test]
@@ -527,6 +695,32 @@ mod tests {
         assert_eq!(snap.counter_value("pool_hits"), Some(2));
         assert_eq!(snap.counter_value("pool_misses"), Some(1));
         assert_eq!(snap.counter_value("instances_retired"), Some(1));
+    }
+
+    #[test]
+    fn service_hooks_count_and_emit_batch_events() {
+        let agg = Arc::new(AggregatingRecorder::new());
+        let t = RuntimeTelemetry::new(2, Arc::clone(&agg) as Arc<dyn Recorder>);
+        t.on_proposal_enqueued(1);
+        t.on_proposal_enqueued(2);
+        t.on_proposal_rejected();
+        t.on_proposal_shed();
+        t.on_batch_drained(0, 2, 0);
+        t.on_service_wait(5_000);
+        t.on_service_wait(9_000);
+        assert_eq!(t.proposals_enqueued(), 2);
+        assert_eq!(t.proposals_rejected(), 1);
+        assert_eq!(t.proposals_shed(), 1);
+        assert_eq!(t.batches_drained(), 1);
+        assert_eq!(t.queue_depth(), 0);
+        assert_eq!(t.max_queue_depth_seen(), 2);
+        assert_eq!(t.service_wait_ns().count(), 2);
+        assert_eq!(agg.batches_drained(), 1);
+        let snap = t.snapshot();
+        assert_eq!(snap.counter_value("proposals_enqueued"), Some(2));
+        assert_eq!(snap.counter_value("batches_drained"), Some(1));
+        assert_eq!(snap.histogram_value("service_wait_ns").unwrap().count, 2);
+        mc_telemetry::json::validate(&snap.to_json()).unwrap();
     }
 
     #[test]

@@ -129,15 +129,15 @@ impl<T: ValueCode, M: SharedMemory> TypedConsensus<T, M> {
     /// Panics if `n == 0`.
     pub fn new_in(memory: M, n: usize) -> TypedConsensus<T, M> {
         TypedConsensus {
-            inner: Consensus::with_options_in(
+            inner: Consensus::with_shared_options_in(
                 memory,
-                ConsensusOptions {
+                Arc::new(ConsensusOptions {
                     n,
                     scheme: Arc::new(BitVectorScheme::with_bits(T::BITS.clamp(1, 63))),
                     schedule: WriteSchedule::impatient(),
                     fast_path: true,
                     max_conciliator_rounds: None,
-                },
+                }),
             ),
             _marker: PhantomData,
         }

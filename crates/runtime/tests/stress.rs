@@ -10,7 +10,7 @@ use rand::SeedableRng;
 fn sixteen_thread_consensus_storm() {
     let threads = 16;
     for instance in 0..40u64 {
-        let consensus = Consensus::multivalued(threads, 32);
+        let consensus = Consensus::builder().n(threads).values(32).build();
         let decisions = thread::scope(|s| {
             let handles: Vec<_> = (0..threads as u64)
                 .map(|t| {

@@ -184,6 +184,17 @@ pub enum TelemetryEvent {
         /// Number of conciliator stages that failed before the fallback.
         conciliator_stages: u64,
     },
+    /// A batching-service shard worker drained one batch from its intake
+    /// ring. Emitted once per batch — the amortized replacement for
+    /// per-proposal service events.
+    BatchDrained {
+        /// Engine shard the worker serves.
+        shard: u64,
+        /// Number of proposals decided in this batch.
+        batch: u64,
+        /// Ring depth left behind after the drain.
+        queue_depth: u64,
+    },
     /// End-of-run totals (mirrors `mc-sim`'s `WorkMetrics`).
     WorkSummary {
         /// Seed the run was driven with.
@@ -218,6 +229,7 @@ impl TelemetryEvent {
             TelemetryEvent::Op { .. } => "op",
             TelemetryEvent::FaultInjected { .. } => "fault_injected",
             TelemetryEvent::FallbackTaken { .. } => "fallback_taken",
+            TelemetryEvent::BatchDrained { .. } => "batch_drained",
             TelemetryEvent::WorkSummary { .. } => "work_summary",
         }
     }
@@ -307,6 +319,15 @@ impl TelemetryEvent {
             } => {
                 obj.u64_field("pid", *pid)
                     .u64_field("conciliator_stages", *conciliator_stages);
+            }
+            TelemetryEvent::BatchDrained {
+                shard,
+                batch,
+                queue_depth,
+            } => {
+                obj.u64_field("shard", *shard)
+                    .u64_field("batch", *batch)
+                    .u64_field("queue_depth", *queue_depth);
             }
             TelemetryEvent::WorkSummary {
                 seed,
@@ -481,6 +502,8 @@ pub struct AggregatingRecorder {
     collects: Counter,
     faults_injected: Counter,
     fallbacks_taken: Counter,
+    batches_drained: Counter,
+    batched_proposals: Counter,
     per_pid_ops: Mutex<Vec<u64>>,
 }
 
@@ -573,6 +596,16 @@ impl AggregatingRecorder {
     pub fn fallbacks_taken(&self) -> u64 {
         self.fallbacks_taken.get()
     }
+
+    /// `batch_drained` events seen.
+    pub fn batches_drained(&self) -> u64 {
+        self.batches_drained.get()
+    }
+
+    /// Total proposals across all `batch_drained` events.
+    pub fn batched_proposals(&self) -> u64 {
+        self.batched_proposals.get()
+    }
 }
 
 impl Recorder for AggregatingRecorder {
@@ -627,6 +660,10 @@ impl Recorder for AggregatingRecorder {
             }
             TelemetryEvent::FaultInjected { .. } => self.faults_injected.incr(),
             TelemetryEvent::FallbackTaken { .. } => self.fallbacks_taken.incr(),
+            TelemetryEvent::BatchDrained { batch, .. } => {
+                self.batches_drained.incr();
+                self.batched_proposals.add(*batch);
+            }
             TelemetryEvent::WorkSummary { .. } => {}
         }
     }
@@ -735,6 +772,11 @@ mod tests {
                 pid: 2,
                 conciliator_stages: 6,
             },
+            TelemetryEvent::BatchDrained {
+                shard: 1,
+                batch: 8,
+                queue_depth: 2,
+            },
             TelemetryEvent::WorkSummary {
                 seed: 7,
                 total_work: 2,
@@ -781,9 +823,11 @@ mod tests {
         for event in sample_events() {
             agg.record(&event);
         }
-        assert_eq!(agg.events(), 12);
+        assert_eq!(agg.events(), 13);
         assert_eq!(agg.faults_injected(), 1);
         assert_eq!(agg.fallbacks_taken(), 1);
+        assert_eq!(agg.batches_drained(), 1);
+        assert_eq!(agg.batched_proposals(), 8);
         assert_eq!(agg.stage_entries(), 1);
         assert_eq!(agg.fast_path_hits(), 1);
         assert_eq!(agg.conciliator_rounds(), 1);

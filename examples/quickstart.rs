@@ -16,7 +16,7 @@ fn main() {
     let n = 8;
 
     // --- Binary consensus ---------------------------------------------
-    let consensus = Arc::new(Consensus::binary(n));
+    let consensus = Arc::new(Consensus::builder().n(n).build());
     let handles: Vec<_> = (0..n as u64)
         .map(|t| {
             let c = Arc::clone(&consensus);
@@ -42,7 +42,7 @@ fn main() {
     println!("  -> all threads decided {}\n", agreed.unwrap());
 
     // --- 100-valued consensus ------------------------------------------
-    let consensus = Arc::new(Consensus::multivalued(n, 100));
+    let consensus = Arc::new(Consensus::builder().n(n).values(100).build());
     println!(
         "multivalued consensus (m = 100, binomial quorums, capacity {}):",
         consensus.capacity()

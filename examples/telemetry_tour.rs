@@ -36,12 +36,17 @@ fn main() {
     println!("── runtime: {rounds} rounds of binary consensus, n = {n} ──");
     let agg = Arc::new(AggregatingRecorder::new());
     for round in 0..rounds {
-        let consensus = Arc::new(Consensus::with_recorder(
-            binary_options(n),
-            Arc::clone(&agg) as Arc<dyn Recorder>,
-        ));
-        // All processes released at once: without contention the R₋₁/R₀
-        // fast path decides everything and the conciliators never run.
+        // No R₋₁;R₀ prefix: all processes are released at once, but under
+        // the benign OS scheduler the fast path would still absorb nearly
+        // every decide, leaving nothing for the conciliator histograms
+        // this tour is about.
+        let consensus = Arc::new(
+            Consensus::builder()
+                .n(n)
+                .fast_path(false)
+                .recorder(Arc::clone(&agg) as Arc<dyn Recorder>)
+                .build(),
+        );
         let barrier = Arc::new(Barrier::new(n));
         let handles: Vec<_> = (0..n as u64)
             .map(|t| {
@@ -130,7 +135,7 @@ fn main() {
 
     // ── Stop 3: snapshot export formats ────────────────────────────────
     println!("\n── snapshot of one more instrumented runtime object ──");
-    let consensus = Arc::new(Consensus::binary(n));
+    let consensus = Arc::new(Consensus::builder().n(n).build());
     let handles: Vec<_> = (0..n as u64)
         .map(|t| {
             let c = Arc::clone(&consensus);
@@ -150,17 +155,4 @@ fn main() {
         "prometheus         : {} metric lines",
         prom.lines().filter(|l| !l.starts_with('#')).count()
     );
-}
-
-fn binary_options(n: usize) -> modular_consensus::runtime::ConsensusOptions {
-    modular_consensus::runtime::ConsensusOptions {
-        n,
-        scheme: Arc::new(modular_consensus::quorums::BinaryScheme::new()),
-        schedule: modular_consensus::core::WriteSchedule::impatient(),
-        // No R₋₁;R₀ prefix: under the benign OS scheduler the fast path
-        // absorbs nearly every decide, leaving nothing for the
-        // conciliator histograms this tour is about.
-        fast_path: false,
-        max_conciliator_rounds: None,
-    }
 }

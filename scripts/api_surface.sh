@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Public API surface snapshot. Extracts every `pub fn/struct/enum/trait/
+# type/const` declaration line from the facade and workspace crates,
+# normalizes it, and compares against the committed snapshot in
+# docs/api-surface.txt. CI runs the default check mode and fails on drift
+# so API changes are always a visible, reviewed diff; after an intentional
+# change, run `scripts/api_surface.sh --update` and commit the result.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SNAPSHOT=docs/api-surface.txt
+
+generate() {
+    # One line per declaration, `path: signature`. Line numbers are
+    # dropped and bodies trimmed so the snapshot only churns when a
+    # signature actually changes. Multi-line signatures contribute their
+    # first line, which is enough to detect drift.
+    grep -r --include='*.rs' -E '^[[:space:]]*pub (async )?(fn|struct|enum|trait|type|const) ' \
+        src crates/*/src \
+        | sed -E 's|^([^:]+):[[:space:]]*|\1: |; s/[[:space:]]+/ /g; s/ ?\{.*$//; s/;$//; s/ $//' \
+        | LC_ALL=C sort
+}
+
+case "${1:-check}" in
+--update)
+    generate > "$SNAPSHOT"
+    echo "api surface: snapshot updated ($(wc -l < "$SNAPSHOT") declarations)"
+    ;;
+check)
+    if [[ ! -f "$SNAPSHOT" ]]; then
+        echo "api surface: $SNAPSHOT missing — run scripts/api_surface.sh --update" >&2
+        exit 1
+    fi
+    if ! diff -u "$SNAPSHOT" <(generate); then
+        echo >&2
+        echo "api surface: drift detected against $SNAPSHOT." >&2
+        echo "If the API change is intentional, run scripts/api_surface.sh --update" >&2
+        echo "and commit the refreshed snapshot." >&2
+        exit 1
+    fi
+    echo "api surface: clean ($(wc -l < "$SNAPSHOT") declarations)"
+    ;;
+*)
+    echo "usage: scripts/api_surface.sh [--update]" >&2
+    exit 2
+    ;;
+esac

@@ -6,6 +6,11 @@ cd "$(dirname "$0")/.."
 echo "== fmt =="
 cargo fmt --all --check
 
+echo "== api surface =="
+# Declaration-level snapshot of the public API; drift fails until the
+# snapshot is refreshed with scripts/api_surface.sh --update.
+scripts/api_surface.sh
+
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -33,6 +38,13 @@ echo "== engine throughput (pooling smoke) =="
 # instance shares the log's validated options allocation.
 cargo run -p mc-bench --release --bin engine_throughput -- --warmup 5000
 test -s BENCH_engine_throughput.json
+
+echo "== service throughput (batching gate) =="
+# Pipelined service vs per-call submit at 8 producer threads, both legs
+# with a streaming recorder attached: exits nonzero unless the service
+# sustains >= 2x ops/sec and the proposal count reconciles exactly.
+cargo run -p mc-bench --release --bin service_throughput -- --ops 20000
+test -s BENCH_service_throughput.json
 
 echo "== fault campaign (degradation smoke) =="
 # Fault class x rate x protocol sweep over fault-injected lab runs: safety

@@ -55,7 +55,7 @@
 //! use rand::{rngs::SmallRng, SeedableRng};
 //! use std::sync::Arc;
 //!
-//! let c = Arc::new(Consensus::multivalued(3, 100));
+//! let c = Arc::new(Consensus::builder().n(3).values(100).build());
 //! let handles: Vec<_> = (0..3u64)
 //!     .map(|t| {
 //!         let c = Arc::clone(&c);
@@ -90,14 +90,15 @@ pub mod prelude {
         FirstMoverConciliator, LazyChain, Ratifier, VotingSharedCoin, WriteSchedule,
     };
     pub use mc_lab::{
-        check_conformance, check_conformance_with_plan, check_recycled_conformance, Conformance,
-        Lab, Protocol as LabProtocol,
+        check_conformance, check_conformance_with_plan, check_recycled_conformance,
+        check_service_conformance, Conformance, Lab, Protocol as LabProtocol,
     };
     pub use mc_model::{properties, Decision, ObjectSpec, ProcessId, Value};
     pub use mc_runtime::{
-        BoundedConsensus, Consensus, ConsensusEngine, Election, EngineOptions, FaultPlan,
-        FaultyMemory, LeaderFallback, ReplicatedLog, ResetScope, RuntimeTelemetry, SubmitError,
-        TestAndSet, TypedConsensus, ValueCode,
+        BackpressurePolicy, BoundedConsensus, Consensus, ConsensusEngine, ConsensusService,
+        DecisionHandle, Election, EngineBuilder, EngineError, EngineOptions, FaultPlan,
+        FaultyMemory, LeaderFallback, ReplicatedLog, ResetScope, RuntimeTelemetry, ServiceBuilder,
+        ServiceOptions, TestAndSet, TypedConsensus, ValueCode,
     };
     pub use mc_sim::{adversary, harness, observe, sched, EngineConfig};
     pub use mc_telemetry::{

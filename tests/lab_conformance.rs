@@ -115,7 +115,7 @@ fn crash_injection_matches_sim_crash_harness_decisions() {
         .unwrap();
 
         let lab = Lab::new(3, Box::new(RandomScheduler::new(seed)), &crashes, 100_000);
-        let consensus = Consensus::binary_in(lab.memory(), 3);
+        let consensus = Consensus::builder().n(3).memory(lab.memory()).build();
         let inputs = [0u64, 1, 1];
         let report = lab
             .run(seed, |pid, rng| consensus.decide(inputs[pid], rng))
@@ -141,7 +141,7 @@ fn stalls_preserve_agreement_and_determinism() {
     let run = |seed: u64| {
         let adversary = StallingAdversary::new(RandomScheduler::new(seed), [(ProcessId(0), 40)]);
         let lab = Lab::new(3, Box::new(adversary), &[], 100_000);
-        let consensus = Consensus::binary_in(lab.memory(), 3);
+        let consensus = Consensus::builder().n(3).memory(lab.memory()).build();
         lab.run(seed, |pid, rng| consensus.decide(pid as u64 % 2, rng))
             .unwrap()
     };

@@ -9,7 +9,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 fn run_threads(n: usize, m: u64, trial: u64) -> Vec<u64> {
-    let c = Arc::new(Consensus::multivalued(n, m));
+    let c = Arc::new(Consensus::builder().n(n).values(m).build());
     let handles: Vec<_> = (0..n as u64)
         .map(|t| {
             let c = Arc::clone(&c);
@@ -96,7 +96,7 @@ fn stage_depth_is_small_on_both_substrates() {
     // Expected conciliator rounds ≤ 1/δ; in practice a couple of stages.
     let mut worst_threads = 0;
     for trial in 0..20 {
-        let c = Arc::new(Consensus::binary(6));
+        let c = Arc::new(Consensus::builder().n(6).build());
         let handles: Vec<_> = (0..6u64)
             .map(|t| {
                 let c = Arc::clone(&c);

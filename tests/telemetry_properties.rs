@@ -101,7 +101,7 @@ proptest! {
         use modular_consensus::runtime::Consensus;
 
         let lab = Lab::new(n, Box::new(adversary::RandomScheduler::new(seed)), &[], 100_000);
-        let consensus = Consensus::binary_in(lab.memory(), n);
+        let consensus = Consensus::builder().n(n).memory(lab.memory()).build();
         let report = lab
             .run(seed, |pid, rng| consensus.decide(pid as u64 % 2, rng))
             .expect("lab run terminates");
@@ -127,7 +127,7 @@ proptest! {
         use modular_consensus::runtime::Consensus;
 
         let lab = Lab::new(n, Box::new(adversary::RandomScheduler::new(seed)), &[], 100_000);
-        let consensus = Consensus::binary_in(lab.memory(), n);
+        let consensus = Consensus::builder().n(n).memory(lab.memory()).build();
         let report = lab
             .run(seed, |pid, rng| consensus.decide(pid as u64 % 2, rng))
             .expect("lab run terminates");
