@@ -5,7 +5,7 @@
 //! submit→decision latency quantiles.
 //!
 //! ```text
-//! service_throughput [--ops <K>] [--min-speedup <X>] [--out <path>]
+//! service_throughput [--ops <K>] [--trials <T>] [--min-speedup <X>] [--out <path>]
 //! ```
 //!
 //! Both legs run with a streaming [`mc_telemetry::JsonlRecorder`] attached
@@ -14,14 +14,22 @@
 //! event stream — `StageEntered`, `RatifierVerdict`, `Decided`, and
 //! friends — for every proposal, while the service amortizes recorder
 //! traffic into one `batch_drained` event per worker drain (counters and
-//! latency histograms stay per-op). The acceptance gate is enforced as
-//! process failure so a CI smoke run catches regressions: the service leg
-//! must sustain at least `--min-speedup` (default 2.0) times the per-call
-//! leg's ops/sec. The report also carries `percall_bare_ops_per_sec` /
-//! `bare_speedup` — the same comparison with no recorder attached — as an
-//! ungated honesty figure: on a single core the structural savings alone
-//! (one ring lock per producer chunk instead of two shard-mutex crossings
-//! per proposal) are real but far smaller than the telemetry amortization.
+//! latency histograms stay per-op). Each leg runs `--trials` times
+//! (default 3) and the best trial represents it — both legs are
+//! multi-threaded wall-clock measurements, so single runs on a shared CI
+//! runner are noisy and best-of-N is the noise-robust summary. The
+//! acceptance gate is enforced as process failure so a CI smoke run
+//! catches regressions: the service leg must sustain at least
+//! `--min-speedup` (default 1.5) times the per-call leg's ops/sec. The
+//! gate is deliberately looser than the ~4× margin measured on an idle
+//! machine — the measured `speedup` in the report is the strict figure;
+//! the gate only has to catch batching-stopped-amortizing regressions
+//! without flaking on runner noise. The report also carries
+//! `percall_bare_ops_per_sec` / `bare_speedup` — the same comparison with
+//! no recorder attached — as an ungated honesty figure: on a single core
+//! the structural savings alone (one ring lock per producer chunk instead
+//! of two shard-mutex crossings per proposal) are real but far smaller
+//! than the telemetry amortization.
 //!
 //! Writes a JSON report (default `BENCH_service_throughput.json`) in the
 //! `BENCH_*_overhead.json` family format.
@@ -147,20 +155,49 @@ fn run_service(ops: u64) -> (f64, ConsensusService) {
     (ops_per_sec, service)
 }
 
-fn run(ops: u64, min_speedup: f64, out_path: &str) -> Result<(), String> {
+fn run(ops: u64, trials: u64, min_speedup: f64, out_path: &str) -> Result<(), String> {
     eprintln!(
         "service throughput: {PRODUCERS} producers x {ops} proposals, \
-         submit batch {SUBMIT_BATCH}"
+         submit batch {SUBMIT_BATCH}, best of {trials} trials"
     );
 
-    let percall_per_sec = run_percall(ops, Some(sink_recorder()));
-    let percall_bare_per_sec = run_percall(ops, None);
-    let (service_per_sec, mut service) = run_service(ops);
+    // Best-of-N per leg: wall-clock throughput of a multi-threaded run is
+    // the quantity most distorted by a busy runner, and interference only
+    // ever slows a trial down, so the fastest trial is the most faithful
+    // one.
+    let percall_per_sec = (0..trials)
+        .map(|_| run_percall(ops, Some(sink_recorder())))
+        .fold(f64::MIN, f64::max);
+    let percall_bare_per_sec = (0..trials)
+        .map(|_| run_percall(ops, None))
+        .fold(f64::MIN, f64::max);
+    let mut best: Option<(f64, ConsensusService)> = None;
+    for _ in 0..trials {
+        let (per_sec, mut service) = run_service(ops);
+        // Counting cross-check on every trial: a "fast" service that lost
+        // proposals would be a bug, not a win. Warm-up adds 256.
+        let enqueued = service.telemetry().proposals_enqueued();
+        let expected = PRODUCERS as u64 * ops + 256;
+        if enqueued != expected {
+            return Err(format!(
+                "service enqueued {enqueued} proposals, expected {expected} — \
+                 the ring admitted or dropped the wrong count"
+            ));
+        }
+        match &best {
+            Some((best_per_sec, _)) if *best_per_sec >= per_sec => service.shutdown(),
+            _ => {
+                if let Some((_, mut loser)) = best.replace((per_sec, service)) {
+                    loser.shutdown();
+                }
+            }
+        }
+    }
+    let (service_per_sec, mut service) = best.expect("at least one trial");
     let speedup = service_per_sec / percall_per_sec;
     let bare_speedup = service_per_sec / percall_bare_per_sec;
 
     let telemetry = service.telemetry();
-    let total = PRODUCERS as u64 * ops;
     let enqueued = telemetry.proposals_enqueued();
     let batches = telemetry.batches_drained();
     let mean_batch = if batches > 0 {
@@ -178,6 +215,7 @@ fn run(ops: u64, min_speedup: f64, out_path: &str) -> Result<(), String> {
         .u64_field("producers", PRODUCERS as u64)
         .u64_field("ops_per_producer", ops)
         .u64_field("submit_batch", SUBMIT_BATCH as u64)
+        .u64_field("trials", trials)
         .f64_field("percall_ops_per_sec", percall_per_sec)
         .f64_field("percall_bare_ops_per_sec", percall_bare_per_sec)
         .f64_field("service_ops_per_sec", service_per_sec)
@@ -195,15 +233,6 @@ fn run(ops: u64, min_speedup: f64, out_path: &str) -> Result<(), String> {
         .map_err(|e| format!("writing {out_path}: {e}"))?;
     eprintln!("report written to {out_path}");
 
-    // Counting cross-check before the throughput gate: a "fast" service
-    // that lost proposals would be a bug, not a win. Warm-up adds 256.
-    if enqueued != total + 256 {
-        return Err(format!(
-            "service enqueued {enqueued} proposals, expected {} — the ring \
-             admitted or dropped the wrong count",
-            total + 256
-        ));
-    }
     service.shutdown();
     if speedup < min_speedup {
         return Err(format!(
@@ -216,7 +245,8 @@ fn run(ops: u64, min_speedup: f64, out_path: &str) -> Result<(), String> {
 
 fn main() -> ExitCode {
     let mut ops = 20_000u64;
-    let mut min_speedup = 2.0f64;
+    let mut trials = 3u64;
+    let mut min_speedup = 1.5f64;
     let mut out_path = "BENCH_service_throughput.json".to_string();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -226,6 +256,13 @@ fn main() -> ExitCode {
                 Some(Ok(v)) if v > 0 => ops = v,
                 _ => {
                     eprintln!("--ops needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--trials" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(v)) if v > 0 => trials = v,
+                _ => {
+                    eprintln!("--trials needs a positive integer");
                     return ExitCode::FAILURE;
                 }
             },
@@ -249,7 +286,7 @@ fn main() -> ExitCode {
             }
         }
     }
-    match run(ops, min_speedup, &out_path) {
+    match run(ops, trials, min_speedup, &out_path) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");

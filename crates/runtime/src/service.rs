@@ -375,6 +375,9 @@ pub struct ConsensusService<M: SharedMemory = AtomicMemory> {
     workers: Vec<JoinHandle<()>>,
     options: ServiceOptions,
     capacity: u64,
+    /// Whether shutdown already handed per-decide recorder events back to
+    /// the engine (shutdown is idempotent; the hand-back must not be).
+    events_restored: bool,
 }
 
 impl ConsensusService {
@@ -394,7 +397,11 @@ impl<M: SharedMemory> ConsensusService<M> {
     /// traffic: per-decide events are suppressed in favor of one
     /// `batch_drained` summary per batch (counters and histograms keep
     /// their per-operation fidelity) — see
-    /// [`RuntimeTelemetry::decide_events_on`].
+    /// [`RuntimeTelemetry::decide_events_on`]. The suppression lasts while
+    /// any service is attached; [`shutdown`](ConsensusService::shutdown)
+    /// (and drop) hands per-decide events back, so direct
+    /// [`submit`](ConsensusEngine::submit) calls after the service is gone
+    /// emit the full event stream again.
     ///
     /// # Panics
     ///
@@ -432,6 +439,7 @@ impl<M: SharedMemory> ConsensusService<M> {
             workers,
             options,
             capacity,
+            events_restored: false,
         }
     }
 
@@ -482,6 +490,12 @@ impl<M: SharedMemory> ConsensusService<M> {
         match self.options.policy {
             BackpressurePolicy::Block => {
                 while state.queue.len() >= self.options.ring_capacity && !state.closed {
+                    // A full ring is a non-empty ring, but its worker may
+                    // still be parked: `submit_batch` notifies only after a
+                    // whole run is admitted, so when one run overfills the
+                    // ring the wake-up this producer is waiting on would
+                    // never be sent. Wake the worker before parking.
+                    ring.to_worker.notify_one();
                     state = ring
                         .to_producers
                         .wait(state)
@@ -515,7 +529,7 @@ impl<M: SharedMemory> ConsensusService<M> {
             enqueued_at,
             cell,
         });
-        telemetry.on_proposal_enqueued(state.queue.len() as u64);
+        telemetry.on_proposal_enqueued();
         (state, Ok(handle))
     }
 
@@ -640,7 +654,19 @@ impl<M: SharedMemory> ConsensusService<M> {
         }
         for ring in self.rings.iter() {
             // Dropping a still-Waiting Pending poisons its cell.
-            ring.lock().queue.clear();
+            let mut state = ring.lock();
+            let orphaned = state.queue.len();
+            state.queue.clear();
+            drop(state);
+            self.engine
+                .telemetry()
+                .on_proposals_dequeued(orphaned as u64);
+        }
+        if !self.events_restored {
+            self.events_restored = true;
+            // Hand per-decide recorder events back: the engine outlives the
+            // service and its direct `submit` path must emit again.
+            self.engine.telemetry().restore_decide_events();
         }
     }
 }
@@ -661,6 +687,33 @@ impl<M: SharedMemory> std::fmt::Debug for ConsensusService<M> {
     }
 }
 
+/// Closes a ring whose worker is dying mid-panic: admission flips to
+/// [`EngineError::Rejected`], producers parked under
+/// [`BackpressurePolicy::Block`] are released, and every proposal still
+/// queued is poisoned — without this, a dead ring would keep accepting
+/// proposals that nothing will ever drain.
+struct WorkerDeathGuard<'a> {
+    ring: &'a Ring,
+    telemetry: &'a RuntimeTelemetry,
+}
+
+impl Drop for WorkerDeathGuard<'_> {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            // Normal exit: the ring is already closed and drained.
+            return;
+        }
+        let mut state = self.ring.lock();
+        state.closed = true;
+        let orphaned = state.queue.len();
+        // Dropping a still-Waiting Pending poisons its cell.
+        state.queue.clear();
+        drop(state);
+        self.telemetry.on_proposals_dequeued(orphaned as u64);
+        self.ring.to_producers.notify_all();
+    }
+}
+
 /// One worker: block for work, drain up to `batch_max`, decide, complete,
 /// emit one `batch_drained` event — repeat until closed and empty.
 fn worker_loop<M: SharedMemory>(
@@ -672,6 +725,10 @@ fn worker_loop<M: SharedMemory>(
 ) {
     let mut rng = SmallRng::seed_from_u64(seed);
     let telemetry = Arc::clone(engine.telemetry_handle());
+    let _death_guard = WorkerDeathGuard {
+        ring,
+        telemetry: engine.telemetry(),
+    };
     // Single-participant engines get the zero-lock fast path: one pooled
     // object serves the whole stream (see `ConsensusEngine::detached_slot`).
     let mut slot = (engine.participants() == 1).then(|| engine.detached_slot(ring_ix));
@@ -693,6 +750,10 @@ fn worker_loop<M: SharedMemory>(
             batch = state.queue.drain(..take).collect();
             depth_after = state.queue.len();
             drop(state);
+            // The drained proposals left the ring the moment `drain` took
+            // them — account for them now, not at batch completion, so the
+            // aggregate gauge stays honest even if a decide panics.
+            telemetry.on_proposals_dequeued(take as u64);
             // Room freed: wake producers blocked under `Block`.
             ring.to_producers.notify_all();
         }
@@ -1008,6 +1069,91 @@ mod tests {
         assert_eq!(t.decisions(), 400);
         assert_eq!(t.proposals_shed(), 0);
         assert_eq!(t.proposals_rejected(), 0);
+    }
+
+    #[test]
+    fn submit_batch_larger_than_ring_capacity_does_not_deadlock() {
+        let service = ConsensusService::builder()
+            .n(1)
+            .values(1024)
+            .participants(1)
+            .shards(1)
+            .workers(1)
+            .ring_capacity(2)
+            .batch_max(2)
+            .build();
+        // One run of 32 proposals through a 2-slot ring: admission must
+        // wake the (initially parked) worker before blocking, or the
+        // producer waits for a drain the worker was never told about.
+        let items: Vec<(u64, u64)> = (0..32u64).map(|id| (id, id)).collect();
+        let handles = service.submit_batch(&items);
+        for (id, handle) in handles.into_iter().enumerate() {
+            assert_eq!(handle.unwrap().wait(), Ok(id as u64));
+        }
+    }
+
+    #[test]
+    fn shutdown_restores_per_decide_recorder_events() {
+        let agg = Arc::new(mc_telemetry::AggregatingRecorder::new());
+        let engine = Arc::new(
+            ConsensusEngine::builder()
+                .n(1)
+                .values(8)
+                .participants(1)
+                .recorder(Arc::clone(&agg) as Arc<dyn mc_telemetry::Recorder>)
+                .build(),
+        );
+        {
+            let _service = ConsensusService::over(Arc::clone(&engine), ServiceOptions::default());
+            assert!(!engine.telemetry().decide_events_on());
+        }
+        // Drop ran shutdown: the engine is usable directly again, with
+        // the full per-decide event stream.
+        assert!(engine.telemetry().decide_events_on());
+        let mut rng = SmallRng::seed_from_u64(7);
+        engine.submit(0, 3, &mut rng);
+        assert_eq!(agg.decisions(), 1);
+    }
+
+    struct PanicOnBatchDrained;
+
+    impl mc_telemetry::Recorder for PanicOnBatchDrained {
+        fn record(&self, event: &mc_telemetry::TelemetryEvent) {
+            if matches!(event, mc_telemetry::TelemetryEvent::BatchDrained { .. }) {
+                panic!("injected recorder failure");
+            }
+        }
+    }
+
+    #[test]
+    fn dead_worker_closes_its_ring_instead_of_hanging_producers() {
+        let service = ConsensusService::builder()
+            .n(1)
+            .values(64)
+            .participants(1)
+            .shards(1)
+            .workers(1)
+            .batch_max(1)
+            .recorder(Arc::new(PanicOnBatchDrained) as Arc<dyn mc_telemetry::Recorder>)
+            .build();
+        service.pause();
+        let handles: Vec<DecisionHandle> = (0..4u64)
+            .map(|id| service.submit(id, id).unwrap())
+            .collect();
+        service.resume();
+        // batch_max 1: the worker decides the first proposal, then dies
+        // emitting its batch event; the death guard closes the ring and
+        // poisons the three proposals it never reached.
+        assert_eq!(handles[0].wait(), Ok(0));
+        for handle in &handles[1..] {
+            assert_eq!(handle.wait(), Err(EngineError::Poisoned));
+        }
+        // The closed ring refuses new work instead of queueing proposals
+        // nothing will ever drain (a Block producer would otherwise park
+        // forever against the dead ring).
+        assert!(matches!(service.submit(9, 9), Err(EngineError::Rejected)));
+        assert_eq!(service.queue_depth(), 0);
+        assert_eq!(service.telemetry().queue_depth(), 0);
     }
 
     #[test]

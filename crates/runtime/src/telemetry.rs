@@ -13,7 +13,7 @@
 //! instead receives one `BatchDrained` summary per drained batch. Counters
 //! and histograms keep their per-operation fidelity either way.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use mc_telemetry::{
@@ -29,7 +29,9 @@ use mc_telemetry::{
 pub struct RuntimeTelemetry {
     recorder: Arc<dyn Recorder>,
     events_on: bool,
-    decide_events_off: AtomicBool,
+    /// Services currently amortizing this telemetry's recorder traffic;
+    /// per-decide events flow only while this is zero.
+    decide_event_amortizers: AtomicU64,
     decide_calls: Counter,
     decisions: Counter,
     fast_path_hits: Counter,
@@ -76,7 +78,7 @@ impl RuntimeTelemetry {
         RuntimeTelemetry {
             recorder,
             events_on,
-            decide_events_off: AtomicBool::new(false),
+            decide_event_amortizers: AtomicU64::new(0),
             decide_calls: Counter::new(),
             decisions: Counter::new(),
             fast_path_hits: Counter::new(),
@@ -118,12 +120,11 @@ impl RuntimeTelemetry {
     }
 
     /// Whether per-decide events (`StageEntered`, `Decided`, …) reach the
-    /// recorder. `false` either when no recorder is attached or when a
-    /// batching service has switched this telemetry to amortized mode,
-    /// where the recorder sees one `BatchDrained` summary per batch
-    /// instead.
+    /// recorder. `false` either when no recorder is attached or while a
+    /// batching service has this telemetry in amortized mode, where the
+    /// recorder sees one `BatchDrained` summary per batch instead.
     pub fn decide_events_on(&self) -> bool {
-        self.events_on && !self.decide_events_off.load(Ordering::Relaxed)
+        self.events_on && self.decide_event_amortizers.load(Ordering::Relaxed) == 0
     }
 
     /// Switches to amortized recorder traffic: per-decide events are
@@ -131,9 +132,20 @@ impl RuntimeTelemetry {
     /// live. Called by `ConsensusService` when it takes over an engine —
     /// paying a recorder serialization per operation on the worker's hot
     /// path would forfeit exactly the per-call overhead the service
-    /// exists to amortize.
+    /// exists to amortize. Reference-counted: each call must be paired
+    /// with one [`restore_decide_events`](Self::restore_decide_events),
+    /// and per-decide events resume once every amortizer is gone.
     pub(crate) fn amortize_decide_events(&self) {
-        self.decide_events_off.store(true, Ordering::Relaxed);
+        self.decide_event_amortizers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Undoes one [`amortize_decide_events`](Self::amortize_decide_events)
+    /// (the service calls this on shutdown); per-decide events flow again
+    /// when no amortizer remains. Saturates at zero.
+    pub(crate) fn restore_decide_events(&self) {
+        let _ =
+            self.decide_event_amortizers
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1));
     }
 
     /// The attached recorder.
@@ -279,12 +291,21 @@ impl RuntimeTelemetry {
     // amortization: per-proposal costs stay O(1) stores, recorder traffic
     // is O(batches).
 
-    /// A proposal was accepted into an intake ring; `depth` is the ring's
-    /// depth after the push.
+    /// A proposal was accepted into an intake ring. The queue-depth gauge
+    /// is an aggregate over all rings, maintained by add/sub so producers
+    /// and workers on different rings compose instead of overwriting each
+    /// other.
     #[inline]
-    pub(crate) fn on_proposal_enqueued(&self, depth: u64) {
+    pub(crate) fn on_proposal_enqueued(&self) {
         self.proposals_enqueued.incr();
-        self.queue_depth.set(depth);
+        self.queue_depth.add(1);
+    }
+
+    /// `count` proposals left the intake rings — drained into a worker's
+    /// batch, or cleared (and poisoned) by shutdown or a dying worker.
+    #[inline]
+    pub(crate) fn on_proposals_dequeued(&self, count: u64) {
+        self.queue_depth.sub(count);
     }
 
     /// A proposal was refused at admission under `BackpressurePolicy::Reject`.
@@ -300,11 +321,12 @@ impl RuntimeTelemetry {
     }
 
     /// A shard worker drained one batch of `batch` proposals; `queue_depth`
-    /// is the depth it left behind in its ring.
+    /// is the depth it left behind in its ring (carried on the event — the
+    /// gauge itself was already adjusted at drain time by
+    /// [`on_proposals_dequeued`](Self::on_proposals_dequeued)).
     #[inline]
     pub(crate) fn on_batch_drained(&self, shard: u64, batch: u64, queue_depth: u64) {
         self.batches_drained.incr();
-        self.queue_depth.set(queue_depth);
         if self.events_on {
             self.recorder.record(&TelemetryEvent::BatchDrained {
                 shard,
@@ -512,12 +534,13 @@ impl RuntimeTelemetry {
         self.batches_drained.get()
     }
 
-    /// Intake-ring depth at the last enqueue or drain.
+    /// Proposals currently enqueued across *all* intake rings (aggregate,
+    /// not any single ring's depth).
     pub fn queue_depth(&self) -> u64 {
         self.queue_depth.get()
     }
 
-    /// Largest intake-ring depth ever observed.
+    /// Largest aggregate intake-ring depth ever observed.
     pub fn max_queue_depth_seen(&self) -> u64 {
         self.queue_depth.max()
     }
@@ -646,6 +669,31 @@ mod tests {
         // Counters and histograms never switch off.
         assert_eq!(t.decisions(), 1);
         assert_eq!(t.stage_entries(), 1);
+        // Restoring hands per-decide events back to the recorder.
+        t.restore_decide_events();
+        assert!(t.decide_events_on());
+        t.on_decided(1, 2, false, 500);
+        assert_eq!(agg.decisions(), 1);
+    }
+
+    #[test]
+    fn amortization_is_refcounted_and_saturates() {
+        let agg = Arc::new(AggregatingRecorder::new());
+        let t = RuntimeTelemetry::new(2, Arc::clone(&agg) as Arc<dyn Recorder>);
+        t.amortize_decide_events();
+        t.amortize_decide_events();
+        t.restore_decide_events();
+        assert!(
+            !t.decide_events_on(),
+            "one amortizer left: still suppressed"
+        );
+        t.restore_decide_events();
+        assert!(t.decide_events_on());
+        // Over-restoring saturates at zero rather than wrapping.
+        t.restore_decide_events();
+        assert!(t.decide_events_on());
+        t.amortize_decide_events();
+        assert!(!t.decide_events_on());
     }
 
     #[test]
@@ -701,10 +749,11 @@ mod tests {
     fn service_hooks_count_and_emit_batch_events() {
         let agg = Arc::new(AggregatingRecorder::new());
         let t = RuntimeTelemetry::new(2, Arc::clone(&agg) as Arc<dyn Recorder>);
-        t.on_proposal_enqueued(1);
-        t.on_proposal_enqueued(2);
+        t.on_proposal_enqueued();
+        t.on_proposal_enqueued();
         t.on_proposal_rejected();
         t.on_proposal_shed();
+        t.on_proposals_dequeued(2);
         t.on_batch_drained(0, 2, 0);
         t.on_service_wait(5_000);
         t.on_service_wait(9_000);

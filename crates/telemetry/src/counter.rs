@@ -69,6 +69,27 @@ impl Gauge {
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
+    /// Adds `delta` to the current value (also advances the maximum).
+    ///
+    /// With `add`/[`sub`](Gauge::sub) the gauge composes across concurrent
+    /// writers as an aggregate — unlike [`set`](Gauge::set), where the last
+    /// writer wins.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        let now = self.value.fetch_add(delta, Ordering::Relaxed) + delta;
+        self.max.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Subtracts `delta` from the current value, saturating at zero.
+    #[inline]
+    pub fn sub(&self, delta: u64) {
+        let _ = self
+            .value
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(delta))
+            });
+    }
+
     /// The current value.
     #[inline]
     pub fn get(&self) -> u64 {
@@ -212,6 +233,20 @@ mod tests {
         g.record_max(10);
         assert_eq!(g.max(), 10);
         assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn gauge_add_sub_aggregates_and_saturates() {
+        let g = Gauge::new();
+        g.add(5);
+        g.add(3);
+        assert_eq!(g.get(), 8);
+        assert_eq!(g.max(), 8);
+        g.sub(6);
+        assert_eq!(g.get(), 2);
+        assert_eq!(g.max(), 8);
+        g.sub(100);
+        assert_eq!(g.get(), 0, "sub saturates at zero");
     }
 
     #[test]
