@@ -39,10 +39,26 @@ impl Default for CheckConfig {
 pub enum CheckError {
     /// A session drew local randomness under [`CoinPolicy::Forbid`].
     LocalCoinUsed,
-    /// More than `max_paths` leaves; raise the limit or shrink the system.
+    /// The exploration budget tripped: more than `limit` paths (path
+    /// engine) or distinct states (graph engine); raise the limit or
+    /// shrink the system.
     PathBudgetExhausted {
-        /// The configured limit.
+        /// The configured limit (paths for the path engine, states for the
+        /// graph engine).
         limit: usize,
+        /// Work done at abort: leaves visited (path engine) or distinct
+        /// states visited (graph engine).
+        visited: usize,
+        /// Depth of the frontier at abort: current path length (path
+        /// engine) or BFS depth (graph engine), in events.
+        frontier_depth: usize,
+    },
+    /// A session of this object does not implement
+    /// [`Session::snapshot`](mc_model::Session::snapshot), so the graph
+    /// engine cannot deduplicate its configurations; use the path engine.
+    SnapshotUnsupported {
+        /// The object's name.
+        object: String,
     },
 }
 
@@ -54,8 +70,23 @@ impl fmt::Display for CheckError {
                 "protocol uses session-local coins; exhaustive checking needs \
                  CoinPolicy::Fixed or a coin-free protocol"
             ),
-            CheckError::PathBudgetExhausted { limit } => {
-                write!(f, "exploration exceeded the path budget of {limit}")
+            CheckError::PathBudgetExhausted {
+                limit,
+                visited,
+                frontier_depth,
+            } => {
+                write!(
+                    f,
+                    "exploration exceeded its budget of {limit} \
+                     ({visited} visited, frontier depth {frontier_depth} at abort)"
+                )
+            }
+            CheckError::SnapshotUnsupported { object } => {
+                write!(
+                    f,
+                    "object '{object}' does not support state snapshots; \
+                     the graph engine needs Session::snapshot"
+                )
             }
         }
     }
@@ -86,6 +117,41 @@ impl SafetyReport {
     pub fn is_exhaustive_pass(&self) -> bool {
         self.violation.is_none() && self.truncated_paths == 0
     }
+
+    /// This report's engine-independent verdict, for cross-validating the
+    /// path and graph engines.
+    pub fn verdict(&self) -> Verdict {
+        Verdict {
+            exhaustive: self.is_exhaustive_pass(),
+            violation: self.violation.as_ref().map(|(_, v)| v.kind()),
+            max_individual_ops: if self.violation.is_none() {
+                Some(self.max_individual_ops)
+            } else {
+                None
+            },
+        }
+    }
+}
+
+/// The engine-independent outcome of a safety check, used to cross-validate
+/// the path-based [`Explorer`] against the graph-based
+/// [`GraphExplorer`](crate::GraphExplorer).
+///
+/// Both engines stop at the first violation they find, and may find
+/// different witnesses of the same broken property; the verdict therefore
+/// carries the violated property's *kind* rather than its witness, and the
+/// certified work bound only when exploration ran to completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Verdict {
+    /// Every execution within the step bound was covered (no truncation)
+    /// and no violation was found.
+    pub exhaustive: bool,
+    /// The kind of the violated property, if any
+    /// ([`PropertyViolation::kind`]).
+    pub violation: Option<&'static str>,
+    /// The certified per-process worst-case operation count, present only
+    /// when no violation cut exploration short.
+    pub max_individual_ops: Option<u64>,
 }
 
 /// The worst-case agreement value of a conciliator-like object.
@@ -161,6 +227,8 @@ impl<S: ObjectSpec> Explorer<S> {
         if report.complete_paths + report.truncated_paths >= self.config.max_paths {
             return Err(CheckError::PathBudgetExhausted {
                 limit: self.config.max_paths,
+                visited: report.complete_paths + report.truncated_paths,
+                frontier_depth: path.len(),
             });
         }
         match run_path(
@@ -241,6 +309,8 @@ impl<S: ObjectSpec> Explorer<S> {
         if stats.complete_paths + stats.truncated >= self.config.max_paths {
             return Err(CheckError::PathBudgetExhausted {
                 limit: self.config.max_paths,
+                visited: stats.complete_paths + stats.truncated,
+                frontier_depth: path.len(),
             });
         }
         match run_path(
@@ -445,7 +515,20 @@ mod tests {
             .with_config(config)
             .verify_safety()
             .unwrap_err();
-        assert!(matches!(err, CheckError::PathBudgetExhausted { limit: 2 }));
+        match err {
+            CheckError::PathBudgetExhausted {
+                limit,
+                visited,
+                frontier_depth,
+            } => {
+                assert_eq!(limit, 2);
+                assert_eq!(visited, 2);
+                // The third leaf was about to be explored, so the frontier
+                // sits somewhere strictly inside the execution tree.
+                assert!(frontier_depth > 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -47,11 +47,31 @@
 //! assert!(agreement.probability > 0.0553);
 //! ```
 
+//! # Two engines
+//!
+//! The crate ships two exploration engines over the same replay machinery:
+//!
+//! * the path-based [`Explorer`], which enumerates execution scripts —
+//!   simple, assumption-free, and the cross-validation oracle;
+//! * the graph-based [`GraphExplorer`], which deduplicates canonicalized
+//!   *configurations* (state hashing plus symmetry reduction over
+//!   process-id permutations and the binary value swap — see [`canon`]),
+//!   scales to `n = 3`, and reconstructs **minimal** counterexample
+//!   scripts from shortest-path predecessor links.
+//!
+//! Both engines expose an engine-independent [`Verdict`]; the test suite
+//! requires them to agree wherever both can run.
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod canon;
 mod explore;
+mod graph;
 mod replay;
+mod state;
 
-pub use explore::{AgreementValue, CheckConfig, CheckError, Explorer, SafetyReport};
+pub use explore::{AgreementValue, CheckConfig, CheckError, Explorer, SafetyReport, Verdict};
+pub use graph::{GraphConfig, GraphExplorer, GraphReport};
 pub use replay::{replay_to_completion, CoinPolicy, PathEvent, ReplayError};
+pub use state::{ProcSnapshot, StateSnapshot};

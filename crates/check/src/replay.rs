@@ -11,10 +11,12 @@ use std::fmt;
 
 use mc_model::{
     Action, BlockAlloc, Ctx, Decision, InstantiateCtx, ObjectSpec, Op, ProcessId, RegContents,
-    Response, Session, Value,
+    Response, Session, StateSink, SymmetrySpec, Value,
 };
 use rand::rngs::SmallRng;
 use rand::{SeedableRng, TryRng};
+
+use crate::state::{ProcSnapshot, StateSnapshot};
 
 /// One branch decision along an execution path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -184,6 +186,15 @@ struct Proc {
     rng: CheckRng,
     pending: Option<Op>,
     decision: Option<Decision>,
+    ops: u64,
+}
+
+/// A configuration snapshot captured at the point a replay stopped, plus
+/// the object's symmetry certificate at that point (lazy compositions may
+/// grow their certificate as stages instantiate).
+pub(crate) struct Captured {
+    pub snapshot: StateSnapshot,
+    pub symmetry: SymmetrySpec,
 }
 
 /// Replays `path` against a fresh instance of `spec` and reports where the
@@ -204,6 +215,58 @@ pub(crate) fn run_path(
     max_steps: usize,
     path: &[PathEvent],
 ) -> Need {
+    run_inner(spec, inputs, policy, max_steps, path, false).0
+}
+
+/// Like [`run_path`], but additionally captures a [`StateSnapshot`] of the
+/// configuration at the stopping point (for every outcome except
+/// [`Need::LocalCoinUsed`]). Returns `None` for the capture when any
+/// session does not support snapshots.
+pub(crate) fn run_path_capture(
+    spec: &dyn ObjectSpec,
+    inputs: &[Value],
+    policy: CoinPolicy,
+    max_steps: usize,
+    path: &[PathEvent],
+) -> (Need, Option<Captured>) {
+    run_inner(spec, inputs, policy, max_steps, path, true)
+}
+
+fn capture_state(
+    object: &dyn mc_model::DecidingObject,
+    memory: &[(u64, Value)],
+    procs: &[Proc],
+    pending_coin: Option<usize>,
+) -> Option<Captured> {
+    let mut snapped = Vec::with_capacity(procs.len());
+    for (ix, proc) in procs.iter().enumerate() {
+        let mut sink = StateSink::new();
+        proc.session.snapshot(&mut sink);
+        let control = sink.finish()?;
+        snapped.push(ProcSnapshot {
+            control,
+            ops: proc.ops,
+            decision: proc.decision,
+            coin_pending: pending_coin == Some(ix),
+        });
+    }
+    Some(Captured {
+        snapshot: StateSnapshot {
+            memory: memory.to_vec(),
+            procs: snapped,
+        },
+        symmetry: object.symmetry(),
+    })
+}
+
+fn run_inner(
+    spec: &dyn ObjectSpec,
+    inputs: &[Value],
+    policy: CoinPolicy,
+    max_steps: usize,
+    path: &[PathEvent],
+    capture: bool,
+) -> (Need, Option<Captured>) {
     let n = inputs.len();
     let mut alloc = BlockAlloc::new();
     let object = spec.instantiate(&mut InstantiateCtx::new(n, &mut alloc));
@@ -230,7 +293,7 @@ pub(crate) fn run_path(
             session.begin(input, &mut ctx)
         };
         if rng.local_coin_used() {
-            return Need::LocalCoinUsed;
+            return (Need::LocalCoinUsed, None);
         }
         let (pending, decision) = match action {
             Action::Invoke(op) => (Some(op), None),
@@ -241,6 +304,7 @@ pub(crate) fn run_path(
             rng,
             pending,
             decision,
+            ops: 0,
         });
     }
 
@@ -257,7 +321,11 @@ pub(crate) fn run_path(
                 let Some(Op::ProbWrite { prob, .. }) = &proc.pending else {
                     unreachable!("pending coin implies a pending probwrite");
                 };
-                return Need::Coin { prob: prob.get() };
+                let need = Need::Coin { prob: prob.get() };
+                let cap = capture
+                    .then(|| capture_state(&*object, &memory, &procs, Some(pid)))
+                    .flatten();
+                return (need, cap);
             };
             let PathEvent::Coin(performed) = event else {
                 panic!("path scripted {event:?} where a coin outcome was needed");
@@ -272,7 +340,7 @@ pub(crate) fn run_path(
                 &mut alloc,
             );
             if procs[pid].rng.local_coin_used() {
-                return Need::LocalCoinUsed;
+                return (Need::LocalCoinUsed, None);
             }
             continue;
         }
@@ -284,18 +352,26 @@ pub(crate) fn run_path(
             .map(|(ix, _)| ProcessId(ix))
             .collect();
         if live.is_empty() {
-            return Need::Done(
-                procs
-                    .into_iter()
-                    .map(|p| p.decision.expect("halted process has a decision"))
-                    .collect(),
-            );
+            let outputs = procs
+                .iter()
+                .map(|p| p.decision.expect("halted process has a decision"))
+                .collect();
+            let cap = capture
+                .then(|| capture_state(&*object, &memory, &procs, None))
+                .flatten();
+            return (Need::Done(outputs), cap);
         }
         if steps >= max_steps {
-            return Need::OutOfSteps;
+            let cap = capture
+                .then(|| capture_state(&*object, &memory, &procs, None))
+                .flatten();
+            return (Need::OutOfSteps, cap);
         }
         let Some(event) = events.next() else {
-            return Need::Sched(live);
+            let cap = capture
+                .then(|| capture_state(&*object, &memory, &procs, None))
+                .flatten();
+            return (Need::Sched(live), cap);
         };
         let PathEvent::Sched(pid) = event else {
             panic!("path scripted {event:?} where a scheduling choice was needed");
@@ -303,6 +379,7 @@ pub(crate) fn run_path(
         assert!(live.contains(&pid), "path scheduled non-live process {pid}");
         steps += 1;
         let ix = pid.index();
+        procs[ix].ops += 1;
         let op = procs[ix].pending.take().expect("scheduled process is live");
         let response = match op {
             Op::Read(reg) => Response::Read(read(&memory, reg.raw())),
@@ -330,7 +407,7 @@ pub(crate) fn run_path(
         };
         advance(&mut procs[ix], response, &mut alloc);
         if procs[ix].rng.local_coin_used() {
-            return Need::LocalCoinUsed;
+            return (Need::LocalCoinUsed, None);
         }
     }
 }

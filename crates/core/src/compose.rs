@@ -34,7 +34,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use mc_model::{
-    Action, Ctx, DecidingObject, InstantiateCtx, ObjectSpec, ProcessId, Response, Session, Value,
+    Action, Ctx, DecidingObject, InstantiateCtx, ObjectSpec, ProcessId, Response, Session,
+    StateSink, SymmetrySpec, Value,
 };
 
 /// A finite composition `(X₁; X₂; …; X_k)` with every stage instantiated up
@@ -94,6 +95,16 @@ impl DecidingObject for ChainObject {
             inner: None,
             probe: None,
         })
+    }
+
+    fn symmetry(&self) -> SymmetrySpec {
+        // A composite has exactly the symmetries every stage has; register
+        // declarations accumulate since each stage owns disjoint registers.
+        let mut spec = SymmetrySpec::fully_symmetric();
+        for stage in &self.stages {
+            spec.merge(&stage.symmetry());
+        }
+        spec
     }
 }
 
@@ -236,6 +247,20 @@ impl DecidingObject for LazyChainHandle {
             inner: None,
             probe: self.object.probe.clone(),
         })
+    }
+
+    fn symmetry(&self) -> SymmetrySpec {
+        // Only instantiated stages can have contributed to the current
+        // configuration. Gap-filling instantiation makes the watermark a
+        // function of the configuration itself (it equals the deepest
+        // stage any process has entered), so equal configurations always
+        // carry equal certificates.
+        let cache = self.object.cache.lock().expect("chain cache lock");
+        let mut spec = SymmetrySpec::fully_symmetric();
+        for stage in cache.iter() {
+            spec.merge(&stage.symmetry());
+        }
+        spec
     }
 }
 
@@ -441,6 +466,19 @@ impl Session for StagedSession {
         let session = self.inner.as_mut().expect("active stage session");
         let action = session.poll(response, ctx);
         self.advance(action, ctx)
+    }
+
+    fn snapshot(&self, sink: &mut StateSink) {
+        // `cur` pins which stage's session the inner atoms belong to, so
+        // atom sequences from different stages can never collide.
+        sink.push_raw(self.cur as u64);
+        match &self.inner {
+            Some(inner) => {
+                sink.push_raw(1);
+                inner.snapshot(sink);
+            }
+            None => sink.push_raw(0),
+        }
     }
 }
 

@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use mc_model::{
     Action, Ctx, DecidingObject, Decision, InstantiateCtx, ObjectSpec, Op, ProcessId, RegisterId,
-    Response, Session, Value,
+    Response, Session, StateSink, SymmetrySpec, Value,
 };
 
 use super::schedule::WriteSchedule;
@@ -136,6 +136,17 @@ impl DecidingObject for FirstMoverObject {
             state: State::AwaitingRead,
         })
     }
+
+    fn symmetry(&self) -> SymmetrySpec {
+        // Sessions ignore the pid entirely and treat values opaquely: the
+        // single shared register holds whatever value wins the race.
+        SymmetrySpec {
+            pid_oblivious: true,
+            value_symmetric: true,
+            value_registers: vec![(self.reg, 1)],
+            ..SymmetrySpec::default()
+        }
+    }
 }
 
 enum State {
@@ -194,6 +205,15 @@ impl Session for FirstMoverSession {
                 Action::Invoke(Op::Read(self.reg))
             }
         }
+    }
+
+    fn snapshot(&self, sink: &mut StateSink) {
+        sink.push_raw(match self.state {
+            State::AwaitingRead => 0,
+            State::AwaitingWrite => 1,
+        });
+        sink.push_raw(u64::from(self.k));
+        sink.push_value(self.input);
     }
 }
 

@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use mc_model::{
     Action, Ctx, DecidingObject, Decision, InstantiateCtx, ObjectSpec, Op, ProcessId, RegisterId,
-    Response, Session, Value,
+    Response, Session, StateSink, SymmetrySpec, Value,
 };
 
 /// The ratifier for the cheap-snapshot/cheap-collect model (§6.2 item 4):
@@ -53,6 +53,20 @@ impl DecidingObject for CollectObject {
             preference: 0,
             state: State::Announcing,
         })
+    }
+
+    fn symmetry(&self) -> SymmetrySpec {
+        // Each process only touches its own announce slot, so permuting
+        // pids is absorbed by permuting the announce block. Announcements
+        // and the proposal hold actual input values, so the binary swap
+        // rewrites their contents.
+        SymmetrySpec {
+            pid_oblivious: true,
+            value_symmetric: true,
+            value_registers: vec![(self.announce, self.n), (self.proposal, 1)],
+            pid_blocks: vec![self.announce],
+            ..SymmetrySpec::default()
+        }
     }
 }
 
@@ -126,6 +140,21 @@ impl Session for CollectSession {
                 }
             }
         }
+    }
+
+    fn snapshot(&self, sink: &mut StateSink) {
+        // `pid` is implicit in the process index and its register use is
+        // covered by the announce pid-block, so it is deliberately
+        // omitted; `n` and the register ids are static layout.
+        let (state, pref_set) = match self.state {
+            State::Announcing => (0, false),
+            State::ReadingProposal => (1, false),
+            State::WritingProposal => (2, true),
+            State::Collecting => (3, true),
+        };
+        sink.push_raw(state);
+        sink.push_value(self.input);
+        sink.push_maybe_value(pref_set.then_some(self.preference));
     }
 }
 

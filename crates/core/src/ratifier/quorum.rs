@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use mc_model::{
     Action, Ctx, DecidingObject, Decision, InstantiateCtx, ObjectSpec, Op, ProcessId, RegisterId,
-    Response, Session, Value,
+    Response, Session, StateSink, SymmetrySpec, Value,
 };
 use mc_quorums::{BinaryScheme, BinomialScheme, BitVectorScheme, QuorumScheme};
 
@@ -140,6 +140,27 @@ impl DecidingObject for RatifierObject {
             state: State::Announcing,
         })
     }
+
+    fn symmetry(&self) -> SymmetrySpec {
+        // Sessions never look at the pid. The binary value swap holds iff
+        // the scheme's quorum structure admits a positional slot
+        // involution mapping W_0 → W_1 and R_0 → R_1 (the paper's three
+        // schemes all do); pool slots hold opaque announcement flags, so
+        // only their *identities* swap, while the proposal register holds
+        // an actual value.
+        let swap = self.scheme.binary_swap();
+        SymmetrySpec {
+            pid_oblivious: true,
+            value_symmetric: swap.is_some(),
+            value_registers: vec![(self.proposal, 1)],
+            swap_pairs: swap
+                .unwrap_or_default()
+                .into_iter()
+                .map(|(a, b)| (self.pool.offset(a), self.pool.offset(b)))
+                .collect(),
+            ..SymmetrySpec::default()
+        }
+    }
 }
 
 enum State {
@@ -241,6 +262,24 @@ impl Session for RatifierSession {
                 }
             }
         }
+    }
+
+    fn snapshot(&self, sink: &mut StateSink) {
+        // The quorum vectors are recomputed from (input, preference) at
+        // each state transition, so they are derivable and omitted.
+        let (state, pref_set) = match self.state {
+            State::Announcing => (0, false),
+            State::ReadingProposal => (1, false),
+            State::WritingProposal => (2, true),
+            State::Scanning => (3, true),
+        };
+        sink.push_raw(state);
+        sink.push_raw(self.ix as u64);
+        sink.push_value(self.input);
+        // Before adoption the preference field is an uninitialized
+        // placeholder; snapshotting it as a value would break symmetry
+        // matching (the swap would rewrite a meaningless 0 to 1).
+        sink.push_maybe_value(pref_set.then_some(self.preference));
     }
 }
 

@@ -11,6 +11,7 @@
 //! `mc-sim`'s engine loop.
 
 use std::cell::Cell;
+use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
@@ -89,6 +90,10 @@ struct LabState {
     metrics: WorkMetrics,
     trace: Trace,
     path: Vec<PathEvent>,
+    /// Scripted coin outcomes for counterexample replay: while non-empty,
+    /// each genuinely probabilistic write (`0 < p < 1`) pops its outcome
+    /// from here instead of drawing from the worker's rng.
+    forced_coins: VecDeque<bool>,
     terminated: bool,
     error: Option<LabError>,
 }
@@ -137,6 +142,7 @@ impl LabController {
                 metrics: WorkMetrics::new(n),
                 trace: Trace::new(),
                 path: Vec::new(),
+                forced_coins: VecDeque::new(),
                 terminated: false,
                 error: None,
             }),
@@ -211,8 +217,20 @@ impl LabController {
         state.metrics.registers_allocated = state.next_reg;
         state.trace = Trace::new();
         state.path = Vec::new();
+        state.forced_coins = VecDeque::new();
         state.terminated = false;
         state.error = None;
+    }
+
+    /// Queues coin outcomes for replay; consumed in schedule order by the
+    /// probabilistic writes of the next run. Exhausting the queue falls
+    /// back to the worker's rng (mirroring [`ScriptedAdversary`]'s
+    /// round-robin fallback past the end of its schedule).
+    ///
+    /// [`ScriptedAdversary`]: mc_sim::adversary::ScriptedAdversary
+    pub(crate) fn force_coins(&self, coins: impl IntoIterator<Item = bool>) {
+        let mut state = self.lock();
+        state.forced_coins.extend(coins);
     }
 
     /// Posts `op` for the calling worker, waits until the adversary grants
@@ -251,9 +269,21 @@ impl LabController {
                 // The adversary committed to this operation before the coin
                 // resolves — the probabilistic-write guarantee. One
                 // `random_bool` per attempt, exactly like the engine, so
-                // coin streams stay aligned across substrates.
-                let rng = rng.expect("probabilistic write carries the caller's rng");
-                let performed = rng.random_bool(prob.get());
+                // coin streams stay aligned across substrates. A replay
+                // script pre-empts the rng for genuinely random outcomes
+                // only; degenerate probabilities keep drawing so streams
+                // stay aligned with the engine's.
+                let p = prob.get();
+                let scripted = (p > 0.0 && p < 1.0)
+                    .then(|| state.forced_coins.pop_front())
+                    .flatten();
+                let performed = match scripted {
+                    Some(forced) => forced,
+                    None => {
+                        let rng = rng.expect("probabilistic write carries the caller's rng");
+                        rng.random_bool(p)
+                    }
+                };
                 if performed {
                     state.memory.write(*reg, *value);
                 }
@@ -263,7 +293,6 @@ impl LabController {
                 }
                 // mc-check's replay vocabulary: a coin event follows the
                 // schedule event only when the outcome is genuinely random.
-                let p = prob.get();
                 if p > 0.0 && p < 1.0 {
                     state.path.push(PathEvent::Coin(performed));
                 }

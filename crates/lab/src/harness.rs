@@ -86,6 +86,37 @@ impl Lab {
         }
     }
 
+    /// Configures a lab that replays an `mc-check` counterexample script
+    /// through real runtime objects: [`PathEvent::Sched`] events drive a
+    /// [`ScriptedAdversary`] and [`PathEvent::Coin`] events pre-resolve the
+    /// probabilistic writes, in schedule order.
+    ///
+    /// Past the end of the script both fall back to their defaults
+    /// (round-robin scheduling, the worker's own rng), so a run whose
+    /// script stops at the violating step still drains cleanly; the
+    /// violation the checker found is visible in the returned
+    /// [`LabReport::decisions`].
+    ///
+    /// [`ScriptedAdversary`]: mc_sim::adversary::ScriptedAdversary
+    pub fn replay(n: usize, script: &[PathEvent], max_steps: u64) -> Lab {
+        let mut pids = Vec::new();
+        let mut coins = Vec::new();
+        for event in script {
+            match event {
+                PathEvent::Sched(pid) => pids.push(*pid),
+                PathEvent::Coin(outcome) => coins.push(*outcome),
+            }
+        }
+        let lab = Lab::new(
+            n,
+            Box::new(mc_sim::adversary::ScriptedAdversary::new(pids)),
+            &[],
+            max_steps,
+        );
+        lab.ctrl.force_coins(coins);
+        lab
+    }
+
     /// The instrumented memory: pass it to an `mc-runtime` object's `*_in`
     /// constructor *before* calling [`run`](Lab::run). Register allocation
     /// does not yield, so construction is safe outside worker threads.

@@ -49,7 +49,7 @@ pub use conform::{
 pub use control::{LabError, LabMemory, LabRegister};
 pub use harness::{Lab, LabReport};
 pub use inject::StallingAdversary;
-pub use toy::RacyConsensus;
+pub use toy::{RacyConsensus, RacySpec};
 
 #[cfg(test)]
 mod tests {

@@ -6,6 +6,12 @@
 //! the initial reads makes two processes decide different values. The test
 //! suite asserts the lab finds such a schedule.
 
+use std::sync::Arc;
+
+use mc_model::{
+    Action, Ctx, DecidingObject, Decision, InstantiateCtx, ObjectSpec, Op, ProcessId, RegisterId,
+    Response, Session, StateSink, SymmetrySpec, Value,
+};
 use mc_runtime::{AtomicMemory, SharedMemory, SharedRegister};
 
 /// "Consensus" by unsynchronized check-then-act on one register: read, and
@@ -52,6 +58,96 @@ impl<M: SharedMemory> RacyConsensus<M> {
     }
 }
 
+/// The model twin of [`RacyConsensus`]: the same broken check-then-act
+/// protocol as an [`ObjectSpec`], op for op — read the register, adopt a
+/// winner if present, otherwise write your own value and decide it.
+///
+/// Because the two are operation-identical, a violating schedule found by
+/// `mc-check`'s exhaustive engines on `RacySpec` replays through the real
+/// [`RacyConsensus`] (via [`Lab::replay`](crate::Lab::replay)) to the very
+/// same disagreement — the lab's end-to-end negative control.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RacySpec;
+
+impl RacySpec {
+    /// Creates the broken spec.
+    pub fn new() -> RacySpec {
+        RacySpec
+    }
+}
+
+struct RacyObject {
+    reg: RegisterId,
+}
+
+impl DecidingObject for RacyObject {
+    fn session(&self, _pid: ProcessId) -> Box<dyn Session + Send> {
+        Box::new(RacySession {
+            reg: self.reg,
+            input: 0,
+            wrote: false,
+        })
+    }
+
+    fn symmetry(&self) -> SymmetrySpec {
+        SymmetrySpec {
+            pid_oblivious: true,
+            value_symmetric: true,
+            value_registers: vec![(self.reg, 1)],
+            ..SymmetrySpec::default()
+        }
+    }
+}
+
+struct RacySession {
+    reg: RegisterId,
+    input: Value,
+    wrote: bool,
+}
+
+impl Session for RacySession {
+    fn begin(&mut self, input: Value, _ctx: &mut Ctx<'_>) -> Action {
+        self.input = input;
+        Action::Invoke(Op::Read(self.reg))
+    }
+
+    fn poll(&mut self, response: Response, _ctx: &mut Ctx<'_>) -> Action {
+        if self.wrote {
+            debug_assert!(matches!(response, Response::Write));
+            return Action::Halt(Decision::decide(self.input));
+        }
+        match response.expect_read() {
+            Some(winner) => Action::Halt(Decision::decide(winner)),
+            None => {
+                // The race, exactly as in the runtime object: the emptiness
+                // check and the write are separate operations.
+                self.wrote = true;
+                Action::Invoke(Op::Write {
+                    reg: self.reg,
+                    value: self.input,
+                })
+            }
+        }
+    }
+
+    fn snapshot(&self, sink: &mut StateSink) {
+        sink.push_raw(u64::from(self.wrote));
+        sink.push_value(self.input);
+    }
+}
+
+impl ObjectSpec for RacySpec {
+    fn instantiate(&self, ctx: &mut InstantiateCtx<'_>) -> Arc<dyn DecidingObject> {
+        Arc::new(RacyObject {
+            reg: ctx.alloc.alloc_block(1),
+        })
+    }
+
+    fn name(&self) -> String {
+        "racy(check-then-act)".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -61,5 +157,23 @@ mod tests {
         let racy = RacyConsensus::new();
         assert_eq!(racy.decide(7), 7);
         assert_eq!(racy.decide(9), 7);
+    }
+
+    #[test]
+    fn spec_sequential_schedule_agrees() {
+        use mc_sim::adversary::RoundRobin;
+        use mc_sim::harness::{self, inputs};
+        use mc_sim::EngineConfig;
+
+        // Unanimous inputs cannot disagree even through the race.
+        let out = harness::run_object(
+            &RacySpec::new(),
+            &inputs::unanimous(3, 4),
+            &mut RoundRobin::new(),
+            0,
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        assert!(out.outputs.iter().all(|d| d.is_decided() && d.value() == 4));
     }
 }

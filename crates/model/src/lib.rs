@@ -54,6 +54,7 @@ mod object;
 mod op;
 pub mod properties;
 mod session;
+pub mod state;
 mod value;
 
 pub use decision::Decision;
@@ -62,4 +63,5 @@ pub use object::{BlockAlloc, DecidingObject, InstantiateCtx, ObjectSpec, Registe
 pub use op::{Op, OpKind, Response};
 pub use properties::PropertyViolation;
 pub use session::{Action, Ctx, Session};
+pub use state::{StateAtom, StateSink, SymmetrySpec};
 pub use value::{Probability, ProbabilityError, RegContents, Value};

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use crate::{ProcessId, RegisterId, Session};
+use crate::{ProcessId, RegisterId, Session, SymmetrySpec};
 
 /// Allocates blocks of fresh registers from the engine's address space.
 ///
@@ -70,6 +70,18 @@ impl<'a> InstantiateCtx<'a> {
 pub trait DecidingObject: Send + Sync {
     /// Creates the per-process state machine for process `pid`.
     fn session(&self, pid: ProcessId) -> Box<dyn Session + Send>;
+
+    /// Certifies which structural symmetries this object's code respects
+    /// (see [`SymmetrySpec`]). The default claims none, which disables
+    /// symmetry reduction but never soundness.
+    ///
+    /// Lazily growing objects may return a certificate covering only the
+    /// registers instantiated *so far*; the graph checker re-queries after
+    /// every step, and registers of uninstantiated stages are untouched by
+    /// definition.
+    fn symmetry(&self) -> SymmetrySpec {
+        SymmetrySpec::asymmetric()
+    }
 }
 
 /// A factory for deciding objects: allocates registers and builds the shared
@@ -84,6 +96,16 @@ pub trait ObjectSpec: Send + Sync {
     /// A short human-readable name for diagnostics and experiment tables.
     fn name(&self) -> String {
         "object".to_string()
+    }
+}
+
+impl<S: ObjectSpec + ?Sized> ObjectSpec for Arc<S> {
+    fn instantiate(&self, ctx: &mut InstantiateCtx<'_>) -> Arc<dyn DecidingObject> {
+        (**self).instantiate(ctx)
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
     }
 }
 

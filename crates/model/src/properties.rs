@@ -71,6 +71,21 @@ pub enum PropertyViolation {
     },
 }
 
+impl PropertyViolation {
+    /// The violated property's name, without witness details — useful for
+    /// comparing verdicts across checkers that may surface different
+    /// witnesses of the same failure.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PropertyViolation::Validity { .. } => "validity",
+            PropertyViolation::Agreement { .. } => "agreement",
+            PropertyViolation::Coherence { .. } => "coherence",
+            PropertyViolation::Acceptance { .. } => "acceptance",
+            PropertyViolation::Undecided { .. } => "undecided",
+        }
+    }
+}
+
 impl fmt::Display for PropertyViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

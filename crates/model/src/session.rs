@@ -2,7 +2,7 @@
 
 use rand::Rng;
 
-use crate::{Decision, Op, RegisterAlloc, Response, Value};
+use crate::{Decision, Op, RegisterAlloc, Response, StateSink, Value};
 
 /// What a session wants to do next.
 #[derive(Debug)]
@@ -50,6 +50,17 @@ pub trait Session {
 
     /// Continues the session with the result of its last operation.
     fn poll(&mut self, response: Response, ctx: &mut Ctx<'_>) -> Action;
+
+    /// Appends this session's control state to `sink` as tagged atoms, for
+    /// graph-based model checking (see [`crate::state`]).
+    ///
+    /// Two sessions of the same object with equal atom sequences must be
+    /// behaviorally identical on every future response. The default marks
+    /// the snapshot unsupported, which makes the graph checker reject the
+    /// object rather than risk unsound deduplication.
+    fn snapshot(&self, sink: &mut StateSink) {
+        sink.mark_unsupported();
+    }
 }
 
 impl Action {

@@ -81,6 +81,53 @@ pub trait QuorumScheme: Send + Sync {
 
     /// Short name for diagnostics and experiment tables.
     fn name(&self) -> String;
+
+    /// An involution on pool slots realizing the binary value swap
+    /// `0 ↔ 1`, if one exists: renaming slot `a` to `b` (and `b` to `a`)
+    /// for each returned pair must map `W_0 → W_1` and `R_0 → R_1`
+    /// *positionally* (the `i`-th slot of `W_0` to the `i`-th slot of
+    /// `W_1`), so that a ratifier execution with all values swapped visits
+    /// the renamed slots in the same order. Slots not mentioned are fixed.
+    ///
+    /// The default computes the pairing from the quorums themselves and
+    /// returns `None` when no positional involution exists (or when the
+    /// scheme cannot hold two values). Used by the graph checker's
+    /// symmetry reduction; correctness of a `Some` answer is
+    /// self-certifying because it is derived from the quorum structure.
+    fn binary_swap(&self) -> Option<Vec<(u64, u64)>> {
+        if self.capacity() < 2 {
+            return None;
+        }
+        let mut map: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+        let bind = |a: u64, b: u64, map: &mut std::collections::BTreeMap<u64, u64>| -> bool {
+            match map.get(&a) {
+                Some(&prev) => prev == b,
+                None => {
+                    map.insert(a, b);
+                    true
+                }
+            }
+        };
+        for (zero, one) in [
+            (self.write_quorum(0), self.write_quorum(1)),
+            (self.read_quorum(0), self.read_quorum(1)),
+        ] {
+            if zero.len() != one.len() {
+                return None;
+            }
+            for (&a, &b) in zero.iter().zip(one.iter()) {
+                if !bind(a, b, &mut map) || !bind(b, a, &mut map) {
+                    return None;
+                }
+            }
+        }
+        Some(
+            map.iter()
+                .filter(|&(&a, &b)| a < b)
+                .map(|(&a, &b)| (a, b))
+                .collect(),
+        )
+    }
 }
 
 fn assert_in_range(v: u64, capacity: u64) {
@@ -348,6 +395,38 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_value_rejected() {
         BinaryScheme::new().write_quorum(2);
+    }
+
+    #[test]
+    fn binary_swap_exists_for_all_paper_schemes() {
+        let schemes: Vec<Box<dyn QuorumScheme>> = vec![
+            Box::new(BinaryScheme::new()),
+            Box::new(BinomialScheme::with_pool(2)),
+            Box::new(BinomialScheme::for_capacity(6).unwrap()),
+            Box::new(BitVectorScheme::with_bits(1)),
+            Box::new(BitVectorScheme::with_bits(3)),
+        ];
+        for s in &schemes {
+            let pairs = s.binary_swap().unwrap_or_else(|| {
+                panic!("{} should admit a binary swap", s.name());
+            });
+            let rename = |slot: u64| {
+                for &(a, b) in &pairs {
+                    if slot == a {
+                        return b;
+                    }
+                    if slot == b {
+                        return a;
+                    }
+                }
+                slot
+            };
+            let w0: Vec<u64> = s.write_quorum(0).iter().map(|&x| rename(x)).collect();
+            assert_eq!(w0, s.write_quorum(1), "{}: W_0 → W_1", s.name());
+            let r0: Vec<u64> = s.read_quorum(0).iter().map(|&x| rename(x)).collect();
+            assert_eq!(r0, s.read_quorum(1), "{}: R_0 → R_1", s.name());
+        }
+        assert_eq!(BinaryScheme::new().binary_swap(), Some(vec![(0, 1)]));
     }
 
     #[test]

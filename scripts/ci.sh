@@ -49,6 +49,15 @@ echo "== service throughput (batching gate) =="
 cargo run -p mc-bench --release --bin service_throughput -- --ops 20000
 test -s BENCH_service_throughput.json
 
+echo "== graph checker (n=3 sweep) =="
+# Graph-based model checker over every composed protocol at n=3 (full
+# adversary-choice tree, symmetry-reduced), the path engine as n=2
+# cross-validation oracle, and the lab replaying the negative control's
+# minimal counterexample. The state budget guards against state-space
+# regressions: exhaustion fails the campaign.
+cargo run -p mc-bench --release --bin check_campaign -- --state-budget 2000000 > /dev/null
+test -s BENCH_check_campaign.json
+
 echo "== fault campaign (degradation smoke) =="
 # Fault class x rate x protocol sweep over fault-injected lab runs: safety
 # must hold with zero violations in every cell, bounded consensus must
