@@ -22,7 +22,8 @@ use mc_check::{replay_to_completion, CoinPolicy};
 use mc_core::ConsensusBuilder;
 use mc_model::ObjectSpec;
 use mc_runtime::{
-    Consensus, ConsensusEngine, ConsensusService, FaultPlan, FaultyMemory, SharedMemory,
+    AtomicMemory, ChaosPlan, Consensus, ConsensusEngine, ConsensusService, FaultPlan, FaultyMemory,
+    SharedMemory, SupervisorOptions,
 };
 use mc_sim::harness::run_object;
 use mc_sim::{Adversary, EngineConfig, RunError, Trace, WorkMetrics};
@@ -142,6 +143,13 @@ pub enum Divergence {
         /// What the service handle reported (a decision or an error).
         service: String,
     },
+    /// The chaos service leg failed exactly-once reconciliation: a
+    /// proposal was lost, poisoned, or double-counted even though the
+    /// chaos plan stayed within the supervisor's restart budget.
+    Chaos {
+        /// What failed to reconcile.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Divergence {
@@ -174,6 +182,7 @@ impl fmt::Display for Divergence {
                 f,
                 "service divergence at proposal {at}: submit={submit}, service={service}",
             ),
+            Divergence::Chaos { detail } => write!(f, "chaos divergence: {detail}"),
         }
     }
 }
@@ -443,6 +452,136 @@ pub fn check_service_conformance(
     Ok(decisions)
 }
 
+/// [`check_service_conformance`] under fire: runs the same
+/// `(instance_id, proposal)` stream through a direct fault-free engine and
+/// through a [`ConsensusService`] driven by a seeded
+/// [`ChaosPlan`] — injected worker panics and stalls at drain boundaries,
+/// plus the plan's register-level [`FaultPlan`] layered under the engine
+/// via [`FaultyMemory`] — and checks the service's recovery machinery end
+/// to end:
+///
+/// * **Exactly one decision per admitted proposal.** Every handle must
+///   resolve to a decision (no `Poisoned`, no hang), and the service's
+///   telemetry ledger must reconcile: `proposals_enqueued == decisions`,
+///   queue depth back to zero, restarts within the supervisor budget.
+/// * **Service ≡ sequential.** Both legs run single-participant
+///   instances, where the decided value is deterministic, so each decision
+///   must equal what the direct engine decided — across however many
+///   worker restarts the plan forced. (Register faults can cost retries,
+///   never change a single-participant decision, so the comparison stays
+///   exact under the fault plan too.)
+///
+/// Returns the shared decision vector, in submission order.
+///
+/// # Errors
+///
+/// [`Divergence::Service`] at the first proposal whose decision differs
+/// (or errored); [`Divergence::Chaos`] when the telemetry ledger fails
+/// exactly-once reconciliation.
+///
+/// # Panics
+///
+/// Panics if `proposals` is empty, any proposal value is outside the
+/// protocol's capacity, or `plan.max_panics` exceeds
+/// `supervisor.restart_budget` (a plan designed to exhaust the budget
+/// legitimately poisons proposals — that is the supervisor's terminal
+/// contract, not a conformance question).
+pub fn check_chaos_conformance(
+    protocol: Protocol,
+    proposals: &[(u64, u64)],
+    plan: ChaosPlan,
+    supervisor: SupervisorOptions,
+    seed: u64,
+) -> Result<Vec<u64>, Divergence> {
+    assert!(!proposals.is_empty(), "need at least one proposal");
+    for &(_, proposal) in proposals {
+        assert!(proposal < protocol.capacity(), "proposal out of range");
+    }
+    assert!(
+        plan.max_panics <= supervisor.restart_budget,
+        "chaos plan ({} panics) exceeds the restart budget ({})",
+        plan.max_panics,
+        supervisor.restart_budget
+    );
+
+    // Direct leg: fault-free, inline — the reference decisions.
+    let engine = ConsensusEngine::builder()
+        .n(2)
+        .values(protocol.capacity())
+        .participants(1)
+        .build();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let direct: Vec<u64> = proposals
+        .iter()
+        .map(|&(id, proposal)| engine.submit(id, proposal, &mut rng))
+        .collect();
+
+    // Chaos leg: one worker (so the plan's drain schedule is
+    // deterministic), the plan's register faults under the engine, its
+    // panics/stalls inside the service.
+    let service = ConsensusService::builder()
+        .n(2)
+        .values(protocol.capacity())
+        .participants(1)
+        .shards(1)
+        .workers(1)
+        .seed(seed)
+        .memory(FaultyMemory::new(AtomicMemory, plan.faults))
+        .chaos(plan)
+        .supervisor(supervisor)
+        .build();
+    let handles = service.submit_batch(proposals);
+    let mut decisions = Vec::with_capacity(proposals.len());
+    for (at, handle) in handles.into_iter().enumerate() {
+        match handle.and_then(|h| h.wait()) {
+            Ok(value) if value == direct[at] => decisions.push(value),
+            Ok(value) => {
+                return Err(Divergence::Service {
+                    at,
+                    submit: direct[at],
+                    service: value.to_string(),
+                })
+            }
+            Err(err) => {
+                return Err(Divergence::Service {
+                    at,
+                    submit: direct[at],
+                    service: err.to_string(),
+                })
+            }
+        }
+    }
+
+    // Exactly-once reconciliation over the service's own ledger.
+    let telemetry = std::sync::Arc::clone(service.engine().telemetry_handle());
+    drop(service); // join workers so every counter has settled
+    let enqueued = telemetry.proposals_enqueued();
+    let decided = telemetry.decisions();
+    let restarts = telemetry.worker_restarts();
+    if enqueued != proposals.len() as u64 || decided != enqueued {
+        return Err(Divergence::Chaos {
+            detail: format!(
+                "expected {} enqueued == decided, got enqueued={enqueued} decided={decided}",
+                proposals.len()
+            ),
+        });
+    }
+    if telemetry.queue_depth() != 0 {
+        return Err(Divergence::Chaos {
+            detail: format!("queue depth {} after full drain", telemetry.queue_depth()),
+        });
+    }
+    if restarts > u64::from(supervisor.restart_budget) {
+        return Err(Divergence::Chaos {
+            detail: format!(
+                "{restarts} restarts exceed the budget {}",
+                supervisor.restart_budget
+            ),
+        });
+    }
+    Ok(decisions)
+}
+
 fn check_conformance_wrapped<M: SharedMemory>(
     protocol: Protocol,
     inputs: &[u64],
@@ -701,6 +840,81 @@ mod tests {
                 assert_eq!(decisions[ix], proposal, "seed {seed} proposal {ix}");
             }
         }
+    }
+
+    #[test]
+    fn chaos_conformance_survives_panics_within_budget() {
+        // Panic at every drain, up to 3 times: the supervisor re-admits
+        // the stash each time and the fourth incarnation decides — still
+        // exactly the direct leg's decisions.
+        let supervisor = SupervisorOptions {
+            restart_budget: 4,
+            base_backoff: std::time::Duration::from_micros(50),
+            max_backoff: std::time::Duration::from_millis(1),
+        };
+        for seed in 0..5 {
+            let proposals: Vec<(u64, u64)> =
+                (0..48u64).map(|i| (i % 5, (i * 13 + seed) % 6)).collect();
+            let plan = ChaosPlan::seeded(seed).panic_every(1, 3);
+            let decisions = check_chaos_conformance(
+                Protocol::Multivalued(6),
+                &proposals,
+                plan,
+                supervisor,
+                seed,
+            )
+            .unwrap_or_else(|d| panic!("seed {seed}: {d}"));
+            for (ix, &(_, proposal)) in proposals.iter().enumerate() {
+                assert_eq!(decisions[ix], proposal, "seed {seed} proposal {ix}");
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_conformance_with_stalls_and_register_faults() {
+        // Stalls plus the PR 3 fault layer (lost probabilistic writes and
+        // stale reads): decisions cost retries but never change.
+        let supervisor = SupervisorOptions {
+            restart_budget: 3,
+            base_backoff: std::time::Duration::from_micros(50),
+            max_backoff: std::time::Duration::from_millis(1),
+        };
+        let plan = ChaosPlan::seeded(21)
+            .panic_every(3, 2)
+            .stall_every(2, std::time::Duration::from_micros(200))
+            .faults(FaultPlan::seeded(21).lost_prob_writes(0.2).stale_reads(0.2));
+        let proposals: Vec<(u64, u64)> = (0..32u64).map(|i| (i % 3, i % 2)).collect();
+        let decisions = check_chaos_conformance(Protocol::Binary, &proposals, plan, supervisor, 21)
+            .unwrap_or_else(|d| panic!("{d}"));
+        assert_eq!(decisions.len(), proposals.len());
+    }
+
+    #[test]
+    fn chaos_conformance_with_empty_plan_is_plain_service_conformance() {
+        let proposals: Vec<(u64, u64)> = (0..16u64).map(|i| (i % 3, i % 2)).collect();
+        let chaos = check_chaos_conformance(
+            Protocol::Binary,
+            &proposals,
+            ChaosPlan::none(),
+            SupervisorOptions::default(),
+            9,
+        )
+        .unwrap_or_else(|d| panic!("{d}"));
+        let plain = check_service_conformance(Protocol::Binary, &proposals, 9)
+            .unwrap_or_else(|d| panic!("{d}"));
+        assert_eq!(chaos, plain);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the restart budget")]
+    fn chaos_plan_beyond_the_budget_is_refused_up_front() {
+        let _ = check_chaos_conformance(
+            Protocol::Binary,
+            &[(0, 1)],
+            ChaosPlan::seeded(1).panic_every(1, 9),
+            SupervisorOptions::default(),
+            1,
+        );
     }
 
     #[test]

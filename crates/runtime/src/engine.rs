@@ -513,6 +513,14 @@ impl<M: SharedMemory> DetachedSlot<'_, M> {
 impl<M: SharedMemory> Drop for DetachedSlot<'_, M> {
     fn drop(&mut self) {
         if let Some(instance) = self.instance.take() {
+            // Dropping mid-unwind means a decide may have died between
+            // touching registers and `reset`: the instance's state is
+            // unknown, and pooling it would leak stale register contents
+            // into whatever submission recycles it after the supervisor
+            // restarts the worker. Discard it; the pool re-fills on miss.
+            if std::thread::panicking() {
+                return;
+            }
             let shard = &self.engine.shards[self.shard_ix];
             shard.lock().free.push(instance);
         }

@@ -16,6 +16,7 @@ use std::fmt;
 /// [`ConsensusEngine`]: crate::ConsensusEngine
 /// [`ConsensusService`]: crate::ConsensusService
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum EngineError {
     /// The instance's engine shard is at its `max_live_per_shard` bound;
     /// retry after some instance retires, or use the blocking
@@ -40,6 +41,23 @@ pub enum EngineError {
     /// completing it (worker panic or service teardown with the proposal
     /// unprocessed). The decision will never arrive.
     Poisoned,
+    /// The deadline carried by a
+    /// [`SubmitOptions`](crate::SubmitOptions) budget expired — at
+    /// admission (no retry attempt left time to try again) or while
+    /// waiting on a [`DecisionHandle`](crate::DecisionHandle) whose
+    /// deadline was set. Unlike [`Timeout`](EngineError::Timeout), the
+    /// budget is spent: retrying requires a new deadline.
+    DeadlineExceeded,
+    /// The service's circuit breaker is open after sustained overload;
+    /// admission fast-fails without touching the rings. Retry after the
+    /// breaker's cooldown, when a probe can half-open it.
+    CircuitOpen,
+    /// Every retry the [`RetryPolicy`](crate::RetryPolicy) allowed was
+    /// refused at admission (`Rejected`/`Shed` each time).
+    RetriesExhausted {
+        /// Admission attempts made (initial try plus retries).
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -55,6 +73,11 @@ impl fmt::Display for EngineError {
             }
             EngineError::Timeout => write!(f, "timed out waiting for the decision"),
             EngineError::Poisoned => write!(f, "the shard worker died before deciding"),
+            EngineError::DeadlineExceeded => write!(f, "the submission deadline expired"),
+            EngineError::CircuitOpen => write!(f, "the circuit breaker is open"),
+            EngineError::RetriesExhausted { attempts } => {
+                write!(f, "admission refused all {attempts} attempts")
+            }
         }
     }
 }
@@ -69,26 +92,54 @@ pub type SubmitError = EngineError;
 mod tests {
     use super::*;
 
+    /// Every variant, kept in sync with the enum: the round-trip test
+    /// below uses the Debug rendering to prove each variant formats, each
+    /// `Display` string is distinct, and `Error::description` (via
+    /// `to_string`) survives boxing. A new variant that is not added here
+    /// fails the distinct-count assertion.
+    fn every_variant() -> Vec<EngineError> {
+        vec![
+            EngineError::Saturated,
+            EngineError::Rejected,
+            EngineError::Shed {
+                max_queue_depth: 64,
+            },
+            EngineError::Timeout,
+            EngineError::Poisoned,
+            EngineError::DeadlineExceeded,
+            EngineError::CircuitOpen,
+            EngineError::RetriesExhausted { attempts: 3 },
+        ]
+    }
+
     #[test]
     fn every_variant_displays_and_is_an_error() {
-        let variants: Vec<Box<dyn Error>> = vec![
-            Box::new(EngineError::Saturated),
-            Box::new(EngineError::Rejected),
-            Box::new(EngineError::Shed {
-                max_queue_depth: 64,
-            }),
-            Box::new(EngineError::Timeout),
-            Box::new(EngineError::Poisoned),
-        ];
-        for e in variants {
-            assert!(!e.to_string().is_empty());
+        let variants = every_variant();
+        let mut renderings = std::collections::BTreeSet::new();
+        for e in &variants {
+            let boxed: Box<dyn Error> = Box::new(*e);
+            let display = boxed.to_string();
+            assert!(!display.is_empty(), "{e:?}");
+            // Display must round-trip through the Error object unchanged.
+            assert_eq!(display, e.to_string(), "{e:?}");
+            assert!(boxed.source().is_none(), "{e:?} is a leaf error");
+            renderings.insert(display);
         }
+        assert_eq!(
+            renderings.len(),
+            variants.len(),
+            "every variant renders a distinct message"
+        );
         assert_eq!(
             EngineError::Shed {
                 max_queue_depth: 64
             }
             .to_string(),
             "queue depth reached the shedding bound 64"
+        );
+        assert_eq!(
+            EngineError::RetriesExhausted { attempts: 3 }.to_string(),
+            "admission refused all 3 attempts"
         );
     }
 

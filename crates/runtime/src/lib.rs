@@ -67,7 +67,8 @@ pub use log::ReplicatedLog;
 pub use ratifier::AtomicRatifier;
 pub use register::{AtomicMemory, AtomicRegister, SharedMemory, SharedRegister, GENERATION_0};
 pub use service::{
-    BackpressurePolicy, ConsensusService, DecisionHandle, ServiceBuilder, ServiceOptions,
+    BackpressurePolicy, ChaosPlan, CircuitOptions, ConsensusService, DecisionHandle, RetryPolicy,
+    RingHealth, ServiceBuilder, ServiceOptions, SubmitOptions, SupervisorOptions,
 };
 pub use telemetry::RuntimeTelemetry;
 pub use typed::{TypedConsensus, ValueCode};

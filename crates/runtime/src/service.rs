@@ -23,20 +23,49 @@
 //! submission for one `instance_id` lands in the same ring and is decided
 //! serially by one worker — concurrent proposals for the same instance
 //! still agree, exactly as with direct `submit`.
+//!
+//! # Failure handling
+//!
+//! Workers are *supervised*: a panicking worker is caught, its
+//! queued-but-unsubmitted proposals are re-admitted exactly once per
+//! death, and the drain loop restarts under a bounded
+//! [`SupervisorOptions::restart_budget`] with exponential backoff; only an
+//! exhausted budget degrades the ring to the terminal
+//! [`RingHealth::Poisoned`] state. Producers get deadline/retry machinery
+//! through [`SubmitOptions`] ([`submit_with`](ConsensusService::submit_with))
+//! and an optional [`CircuitOptions`] breaker that fast-fails admission
+//! under sustained overload. A seeded [`ChaosPlan`] injects worker panics
+//! and stalls at drain boundaries so all of this is testable
+//! deterministically — the mc-lab chaos conformance leg and the
+//! `chaos_campaign` bench run on it.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use mc_telemetry::CircuitState;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::engine::ConsensusEngine;
 use crate::error::EngineError;
+use crate::faults::FaultPlan;
 use crate::register::{AtomicMemory, SharedMemory};
 use crate::telemetry::RuntimeTelemetry;
+
+/// SplitMix64 finalizer: decorrelates `(seed, stream)` pairs so chaos
+/// phases, retry jitter, and per-restart coin streams are deterministic
+/// per seed yet independent across streams (same construction as
+/// `mc_sim::mix_seed`, local to keep the dependency graph flat).
+fn mix(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// What [`ConsensusService::submit`] does when an intake ring is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,8 +85,312 @@ pub enum BackpressurePolicy {
     },
 }
 
-/// Tuning for a [`ConsensusService`].
+/// Seeded-jitter exponential backoff for admission retries.
+///
+/// [`ConsensusService::submit_with`] retries `Rejected`/`Shed` admissions
+/// on this schedule: the delay before retry `k` (zero-based) is
+/// `min(base_delay · 2^k, max_delay)` plus a deterministic jitter of up to
+/// `jitter` times that raw delay, re-capped at `max_delay`. Because the
+/// jitter for retry `k` is a pure function of `(seed, k)`, a policy's
+/// schedule is reproducible — and because the jitter fraction is at most
+/// 1, the schedule is monotone non-decreasing (each raw delay at least
+/// doubles until the cap, outgrowing any jitter the previous step added),
+/// properties the `service_properties` proptest suite pins.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Admission retries after the initial attempt (0 = fail fast).
+    pub max_retries: u32,
+    /// Delay before the first retry.
+    pub base_delay: Duration,
+    /// Hard cap on any single delay, jitter included.
+    pub max_delay: Duration,
+    /// Fraction of the raw delay added as seeded jitter, in `[0, 1]`.
+    pub jitter: f64,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: admission failures surface immediately.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            jitter: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// A sensible default schedule: 4 retries from 100µs doubling to a
+    /// 10ms cap with half-delay jitter, derandomized by `seed`.
+    pub fn seeded(seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 4,
+            base_delay: Duration::from_micros(100),
+            max_delay: Duration::from_millis(10),
+            jitter: 0.5,
+            seed,
+        }
+    }
+
+    /// The delay before zero-based retry `retry`: capped exponential plus
+    /// seeded jitter (see the type docs for the monotonicity argument).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jitter` is outside `[0, 1]`.
+    pub fn delay_for(&self, retry: u32) -> Duration {
+        assert!(
+            (0.0..=1.0).contains(&self.jitter),
+            "jitter fraction {} out of [0, 1]",
+            self.jitter
+        );
+        let base_ns = self.base_delay.as_nanos();
+        let max_ns = self.max_delay.as_nanos();
+        let raw_ns = if retry >= 64 {
+            max_ns
+        } else {
+            (base_ns << retry).min(max_ns)
+        };
+        // Jitter fraction in [0, 1): a pure function of (seed, retry), so
+        // the schedule never depends on when or how often it is sampled.
+        let unit = (mix(self.seed, u64::from(retry) + 1) >> 11) as f64 / (1u64 << 53) as f64;
+        let jitter_ns = (raw_ns as f64 * self.jitter * unit) as u128;
+        let capped = (raw_ns + jitter_ns).min(max_ns);
+        Duration::from_nanos(u64::try_from(capped).unwrap_or(u64::MAX))
+    }
+
+    /// The full backoff schedule, one delay per allowed retry.
+    pub fn schedule(&self) -> Vec<Duration> {
+        (0..self.max_retries).map(|k| self.delay_for(k)).collect()
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy::none()
+    }
+}
+
+/// Per-submission budget for [`ConsensusService::submit_with`]: an
+/// optional absolute deadline plus a [`RetryPolicy`] applied to
+/// `Rejected`/`Shed` admissions.
+///
+/// The deadline spans the *whole* submission: admission retries stop at
+/// it ([`EngineError::DeadlineExceeded`]), and the returned
+/// [`DecisionHandle`] carries it, so
+/// [`wait`](DecisionHandle::wait) also gives up when the budget expires.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SubmitOptions {
+    /// Absolute point past which the submission (admission *and* wait) is
+    /// abandoned. `None` means no budget.
+    pub deadline: Option<Instant>,
+    /// Backoff schedule for admission retries.
+    pub retry: RetryPolicy,
+}
+
+impl SubmitOptions {
+    /// No deadline, no retries — the behavior of plain
+    /// [`submit`](ConsensusService::submit).
+    pub fn new() -> SubmitOptions {
+        SubmitOptions::default()
+    }
+
+    /// Sets an absolute deadline.
+    #[must_use]
+    pub fn deadline(mut self, deadline: Instant) -> SubmitOptions {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the deadline `budget` from now.
+    #[must_use]
+    pub fn within(self, budget: Duration) -> SubmitOptions {
+        self.deadline(Instant::now() + budget)
+    }
+
+    /// Sets the admission retry policy.
+    #[must_use]
+    pub fn retry(mut self, retry: RetryPolicy) -> SubmitOptions {
+        self.retry = retry;
+        self
+    }
+}
+
+/// Worker supervision knobs: how many panics a ring's worker survives and
+/// how its restarts are paced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorOptions {
+    /// Panics a worker recovers from before its ring degrades to the
+    /// terminal [`RingHealth::Poisoned`] state. `0` disables recovery:
+    /// the first panic poisons the ring, the pre-supervision behavior.
+    pub restart_budget: u32,
+    /// Backoff before the first restart; doubles per consecutive restart.
+    pub base_backoff: Duration,
+    /// Cap on the restart backoff.
+    pub max_backoff: Duration,
+}
+
+impl Default for SupervisorOptions {
+    fn default() -> SupervisorOptions {
+        SupervisorOptions {
+            restart_budget: 4,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(250),
+        }
+    }
+}
+
+/// A seeded service-level chaos plan: deterministic worker panics and
+/// stalls at drain boundaries, plus a register-level [`FaultPlan`] for the
+/// harness layers to wire under the engine.
+///
+/// Panics and stalls fire when a worker *takes a batch* (after the batch
+/// has moved to the ring's in-flight stash, before any decide), so an
+/// injected panic exercises the supervisor's re-admission path without
+/// abandoning a mid-decide instance: within the restart budget, every
+/// admitted proposal still gets exactly one decision. The `seed` phases
+/// each worker's injection points independently (worker `i` panics at
+/// drain counts ≡ `mix(seed, i) mod panic_every`), so multi-worker
+/// services do not lose every worker at once.
+///
+/// The embedded `faults` plan is *not* applied by the service itself —
+/// the service is generic over an already-built memory. The chaos
+/// harnesses (`mc_lab::check_chaos_conformance`, the `chaos_campaign`
+/// bench) layer it via `FaultyMemory` when building the engine, keeping
+/// register faults and service faults on one seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosPlan {
+    /// Seed phasing the per-worker injection points.
+    pub seed: u64,
+    /// Inject a worker panic every `panic_every` drains (0 = never).
+    pub panic_every: u64,
+    /// Cap on injected panics per worker (keeps a plan within a restart
+    /// budget).
+    pub max_panics: u32,
+    /// Inject a stall every `stall_every` drains (0 = never).
+    pub stall_every: u64,
+    /// Duration of each injected stall.
+    pub stall_for: Duration,
+    /// Register-level fault plan for the harness to layer via
+    /// `FaultyMemory` (see the type docs).
+    pub faults: FaultPlan,
+}
+
+impl ChaosPlan {
+    /// The empty plan: no panics, no stalls, no register faults.
+    pub fn none() -> ChaosPlan {
+        ChaosPlan {
+            seed: 0,
+            panic_every: 0,
+            max_panics: 0,
+            stall_every: 0,
+            stall_for: Duration::ZERO,
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// An empty plan carrying `seed`; add injections with the builder
+    /// methods.
+    pub fn seeded(seed: u64) -> ChaosPlan {
+        ChaosPlan {
+            seed,
+            ..ChaosPlan::none()
+        }
+    }
+
+    /// Panic every `every` drains, at most `max_panics` times per worker.
+    #[must_use]
+    pub fn panic_every(mut self, every: u64, max_panics: u32) -> ChaosPlan {
+        self.panic_every = every;
+        self.max_panics = max_panics;
+        self
+    }
+
+    /// Stall for `dur` every `every` drains.
+    #[must_use]
+    pub fn stall_every(mut self, every: u64, dur: Duration) -> ChaosPlan {
+        self.stall_every = every;
+        self.stall_for = dur;
+        self
+    }
+
+    /// Attach a register-level fault plan for the harness layers.
+    #[must_use]
+    pub fn faults(mut self, plan: FaultPlan) -> ChaosPlan {
+        self.faults = plan;
+        self
+    }
+
+    /// Whether the plan injects nothing at the service layer and carries
+    /// no register faults.
+    pub fn is_empty(&self) -> bool {
+        self.panic_every == 0 && self.stall_every == 0 && self.faults.is_empty()
+    }
+}
+
+impl Default for ChaosPlan {
+    fn default() -> ChaosPlan {
+        ChaosPlan::none()
+    }
+}
+
+/// Circuit-breaker thresholds for service admission.
+///
+/// The breaker watches admission outcomes: every `Rejected`/`Shed` — and
+/// every admission that lands while the aggregate queue depth is at or
+/// above `trip_queue_depth` — counts as one overload signal; a successful
+/// admission below the depth threshold resets the count. After
+/// `overload_threshold` *consecutive* signals the breaker opens and
+/// admission fast-fails with [`EngineError::CircuitOpen`] without touching
+/// the rings. Once `cooldown` elapses, the next submission is let through
+/// as a half-open probe: if it admits cleanly the breaker closes, if it is
+/// refused the breaker re-opens for another cooldown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CircuitOptions {
+    /// Consecutive overload signals that open the breaker (0 = disabled).
+    pub overload_threshold: u64,
+    /// Aggregate queue depth at which even a successful admission counts
+    /// as an overload signal (0 = depth is ignored).
+    pub trip_queue_depth: usize,
+    /// How long the breaker stays open before half-opening on a probe.
+    pub cooldown: Duration,
+}
+
+impl CircuitOptions {
+    /// No breaker: admission is never fast-failed.
+    pub fn disabled() -> CircuitOptions {
+        CircuitOptions {
+            overload_threshold: 0,
+            trip_queue_depth: 0,
+            cooldown: Duration::ZERO,
+        }
+    }
+}
+
+impl Default for CircuitOptions {
+    fn default() -> CircuitOptions {
+        CircuitOptions::disabled()
+    }
+}
+
+/// Lifecycle state of one intake ring under supervision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RingHealth {
+    /// The worker is draining normally.
+    Healthy,
+    /// The worker panicked and is between re-admission and its backoff
+    /// expiry; queued proposals are preserved.
+    Restarting,
+    /// The restart budget is exhausted (or a panic escaped recovery): the
+    /// ring is closed, its queue poisoned, and admission answers
+    /// [`EngineError::Rejected`]. Terminal.
+    Poisoned,
+}
+
+/// Tuning for a [`ConsensusService`].
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServiceOptions {
     /// Admission control when a ring is full (default
     /// [`BackpressurePolicy::Block`]).
@@ -77,6 +410,14 @@ pub struct ServiceOptions {
     /// `seed + i`. Identical seeds and submission order reproduce
     /// identical coin flips.
     pub seed: u64,
+    /// Worker supervision: restart budget and backoff pacing (default
+    /// [`SupervisorOptions::default`], 4 restarts).
+    pub supervisor: SupervisorOptions,
+    /// Seeded fault injection at drain boundaries (default
+    /// [`ChaosPlan::none`]).
+    pub chaos: ChaosPlan,
+    /// Admission circuit breaker (default [`CircuitOptions::disabled`]).
+    pub circuit: CircuitOptions,
 }
 
 impl Default for ServiceOptions {
@@ -87,6 +428,9 @@ impl Default for ServiceOptions {
             batch_max: 256,
             workers: 0,
             seed: 0x5EED,
+            supervisor: SupervisorOptions::default(),
+            chaos: ChaosPlan::none(),
+            circuit: CircuitOptions::disabled(),
         }
     }
 }
@@ -177,6 +521,10 @@ impl Cell {
 #[derive(Clone)]
 pub struct DecisionHandle {
     cell: Arc<Cell>,
+    /// Absolute budget carried over from [`SubmitOptions::deadline`]:
+    /// [`wait`](DecisionHandle::wait) gives up at this point with
+    /// [`EngineError::DeadlineExceeded`].
+    deadline: Option<Instant>,
 }
 
 impl DecisionHandle {
@@ -191,38 +539,104 @@ impl DecisionHandle {
         }
     }
 
-    /// Blocks until the decision arrives. A decision that already landed
-    /// returns without taking any lock.
+    /// Attaches (or tightens) an absolute deadline:
+    /// [`wait`](DecisionHandle::wait) on the returned handle gives up at
+    /// that point with [`EngineError::DeadlineExceeded`].
+    /// [`submit_with`](ConsensusService::submit_with) attaches its
+    /// [`SubmitOptions::deadline`] automatically.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> DecisionHandle {
+        self.deadline = Some(match self.deadline {
+            Some(existing) => existing.min(deadline),
+            None => deadline,
+        });
+        self
+    }
+
+    /// The deadline this handle carries, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// The one wait loop behind [`wait`](DecisionHandle::wait) and
+    /// [`wait_timeout`](DecisionHandle::wait_timeout): park until the cell
+    /// fills or `deadline` (if any) passes, answering `expired` then.
     ///
-    /// # Errors
-    ///
-    /// [`EngineError::Poisoned`] if the proposal's worker died before
-    /// deciding it.
-    pub fn wait(&self) -> Result<u64, EngineError> {
+    /// The deadline check re-reads the cell before reporting expiry: a
+    /// decision (or poison) that raced the clock — filled between the
+    /// loop-top read and the expiry check, or while the condvar wait timed
+    /// out — is reported as itself, never as `expired`. A `Poisoned` cell
+    /// in particular must not surface as `Timeout`, which would invite a
+    /// retry loop against a proposal that can never complete.
+    fn wait_core(
+        &self,
+        deadline: Option<Instant>,
+        expired: EngineError,
+    ) -> Result<u64, EngineError> {
         loop {
             match self.cell.read() {
                 CellState::Waiting => {}
                 CellState::Done(v) => return Ok(v),
                 CellState::Poisoned => return Err(EngineError::Poisoned),
             }
-            let mut parked = self
-                .cell
-                .waiters
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner);
-            // Recheck under the lock: a fill between the lock-free read and
-            // the registration is ordered by the filler's own lock take.
-            if self.cell.read() != CellState::Waiting {
-                continue;
+            if let Some(deadline) = deadline {
+                let now = Instant::now();
+                if now >= deadline {
+                    return match self.cell.read() {
+                        CellState::Done(v) => Ok(v),
+                        CellState::Poisoned => Err(EngineError::Poisoned),
+                        CellState::Waiting => Err(expired),
+                    };
+                }
+                let mut parked = self
+                    .cell
+                    .waiters
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                // Recheck under the lock: a fill between the lock-free read
+                // and the registration is ordered by the filler's own lock
+                // take.
+                if self.cell.read() != CellState::Waiting {
+                    continue;
+                }
+                *parked += 1;
+                let (mut parked, _) = self
+                    .cell
+                    .cv
+                    .wait_timeout(parked, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                *parked -= 1;
+            } else {
+                let mut parked = self
+                    .cell
+                    .waiters
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                if self.cell.read() != CellState::Waiting {
+                    continue;
+                }
+                *parked += 1;
+                let mut parked = self
+                    .cell
+                    .cv
+                    .wait(parked)
+                    .unwrap_or_else(PoisonError::into_inner);
+                *parked -= 1;
             }
-            *parked += 1;
-            let mut parked = self
-                .cell
-                .cv
-                .wait(parked)
-                .unwrap_or_else(PoisonError::into_inner);
-            *parked -= 1;
         }
+    }
+
+    /// Blocks until the decision arrives. A decision that already landed
+    /// returns without taking any lock.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Poisoned`] if the proposal's worker died before
+    /// deciding it; [`EngineError::DeadlineExceeded`] if the handle
+    /// carries a [deadline](DecisionHandle::with_deadline) and it passes
+    /// first.
+    pub fn wait(&self) -> Result<u64, EngineError> {
+        self.wait_core(self.deadline, EngineError::DeadlineExceeded)
     }
 
     /// Blocks until the decision arrives or `timeout` elapses.
@@ -231,34 +645,18 @@ impl DecisionHandle {
     ///
     /// [`EngineError::Timeout`] when the wait elapsed — the proposal is
     /// still in flight and waiting again can succeed;
-    /// [`EngineError::Poisoned`] as [`wait`](DecisionHandle::wait).
+    /// [`EngineError::DeadlineExceeded`] instead when the handle's own
+    /// [deadline](DecisionHandle::with_deadline) is the earlier bound (the
+    /// budget is spent; retrying needs a new deadline);
+    /// [`EngineError::Poisoned`] as [`wait`](DecisionHandle::wait) — a
+    /// poison that races the timeout reports `Poisoned`, not `Timeout`.
     pub fn wait_timeout(&self, timeout: Duration) -> Result<u64, EngineError> {
-        let deadline = Instant::now() + timeout;
-        loop {
-            match self.cell.read() {
-                CellState::Waiting => {}
-                CellState::Done(v) => return Ok(v),
-                CellState::Poisoned => return Err(EngineError::Poisoned),
+        let candidate = Instant::now() + timeout;
+        match self.deadline {
+            Some(own) if own <= candidate => {
+                self.wait_core(Some(own), EngineError::DeadlineExceeded)
             }
-            let now = Instant::now();
-            if now >= deadline {
-                return Err(EngineError::Timeout);
-            }
-            let mut parked = self
-                .cell
-                .waiters
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner);
-            if self.cell.read() != CellState::Waiting {
-                continue;
-            }
-            *parked += 1;
-            let (mut parked, _) = self
-                .cell
-                .cv
-                .wait_timeout(parked, deadline - now)
-                .unwrap_or_else(PoisonError::into_inner);
-            *parked -= 1;
+            _ => self.wait_core(Some(candidate), EngineError::Timeout),
         }
     }
 }
@@ -282,6 +680,10 @@ impl std::fmt::Debug for DecisionHandle {
 /// either way every orphaned handle resolves to
 /// [`EngineError::Poisoned`] instead of hanging forever.
 struct Pending {
+    /// Service-wide admission serial, assigned under the ring lock (so it
+    /// is strictly increasing within a ring). Supervision's re-admission
+    /// pass uses it to assert exactly-once, in-order requeueing.
+    submission_id: u64,
     instance_id: u64,
     proposal: u64,
     enqueued_at: Instant,
@@ -308,12 +710,19 @@ struct RingState {
     /// Workers hold off draining (tests use this to fill rings
     /// deterministically).
     paused: bool,
+    /// Supervision lifecycle of this ring's worker.
+    health: RingHealth,
 }
 
 /// One MPSC intake ring: producers push under the mutex, its dedicated
 /// worker drains in batches.
 struct Ring {
     state: Mutex<RingState>,
+    /// The batch the worker is currently deciding, stashed here (not
+    /// worker-locally) so the supervisor can re-admit the undecided
+    /// remainder after a panic. Lock order is `state` before `inflight`;
+    /// only the ring's own worker and post-join teardown touch it.
+    inflight: Mutex<VecDeque<Pending>>,
     /// Signals the worker: items available, unpaused, or closed.
     to_worker: Condvar,
     /// Signals blocked producers ([`BackpressurePolicy::Block`]): room
@@ -328,7 +737,9 @@ impl Ring {
                 queue: VecDeque::new(),
                 closed: false,
                 paused: false,
+                health: RingHealth::Healthy,
             }),
+            inflight: Mutex::new(VecDeque::new()),
             to_worker: Condvar::new(),
             to_producers: Condvar::new(),
         }
@@ -336,6 +747,129 @@ impl Ring {
 
     fn lock(&self) -> MutexGuard<'_, RingState> {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_inflight(&self) -> MutexGuard<'_, VecDeque<Pending>> {
+        self.inflight.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Runtime state of the admission circuit breaker (semantics on
+/// [`CircuitOptions`]). Encodes [`CircuitState`] in an `AtomicU8` using
+/// `CircuitState::as_u64` values so the gate is a single acquire load on
+/// the happy path.
+struct Circuit {
+    opts: CircuitOptions,
+    /// Reference point for `opened_at`.
+    epoch: Instant,
+    /// `CircuitState` encoding: 0 closed, 1 open, 2 half-open.
+    state: AtomicU8,
+    /// Consecutive overload signals observed while closed.
+    overloads: AtomicU64,
+    /// When the breaker last opened, in nanos since `epoch`.
+    opened_at: AtomicU64,
+}
+
+const CIRCUIT_CLOSED: u8 = 0;
+const CIRCUIT_OPEN: u8 = 1;
+const CIRCUIT_HALF_OPEN: u8 = 2;
+
+impl Circuit {
+    fn new(opts: CircuitOptions) -> Circuit {
+        Circuit {
+            opts,
+            epoch: Instant::now(),
+            state: AtomicU8::new(CIRCUIT_CLOSED),
+            overloads: AtomicU64::new(0),
+            opened_at: AtomicU64::new(0),
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    fn open(&self, from: u8, telemetry: &RuntimeTelemetry) {
+        // Stamp the open time BEFORE publishing the state: a gate that
+        // acquires `state == open` must see a fresh `opened_at`, or it
+        // could half-open before any cooldown elapsed. A losing racer's
+        // stray stamp is harmless (both racers stamp "now").
+        self.opened_at.store(self.now_ns(), Ordering::Release);
+        if self
+            .state
+            .compare_exchange(from, CIRCUIT_OPEN, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            self.overloads.store(0, Ordering::Release);
+            telemetry.on_circuit_transition(CircuitState::Open);
+        }
+    }
+
+    /// The admission gate. From open, the first caller past the cooldown
+    /// wins a CAS to half-open and becomes the probe; everyone else
+    /// fast-fails without touching the rings.
+    fn check(&self, telemetry: &RuntimeTelemetry) -> Result<(), EngineError> {
+        match self.state.load(Ordering::Acquire) {
+            CIRCUIT_CLOSED => Ok(()),
+            CIRCUIT_OPEN => {
+                let cooldown = u64::try_from(self.opts.cooldown.as_nanos()).unwrap_or(u64::MAX);
+                let elapsed = self
+                    .now_ns()
+                    .saturating_sub(self.opened_at.load(Ordering::Acquire));
+                if elapsed >= cooldown
+                    && self
+                        .state
+                        .compare_exchange(
+                            CIRCUIT_OPEN,
+                            CIRCUIT_HALF_OPEN,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                {
+                    telemetry.on_circuit_transition(CircuitState::HalfOpen);
+                    Ok(())
+                } else {
+                    Err(EngineError::CircuitOpen)
+                }
+            }
+            _ => Err(EngineError::CircuitOpen),
+        }
+    }
+
+    /// A clean admission below the trip depth: reset the consecutive
+    /// count, and close the breaker if this was the half-open probe.
+    fn on_success(&self, telemetry: &RuntimeTelemetry) {
+        self.overloads.store(0, Ordering::Release);
+        if self
+            .state
+            .compare_exchange(
+                CIRCUIT_HALF_OPEN,
+                CIRCUIT_CLOSED,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+        {
+            telemetry.on_circuit_transition(CircuitState::Closed);
+        }
+    }
+
+    /// One overload signal: a `Rejected`/`Shed` admission, or one that
+    /// succeeded with the aggregate queue at/above the trip depth. A
+    /// failed half-open probe re-opens immediately; a closed breaker opens
+    /// at the consecutive threshold.
+    fn on_overload(&self, telemetry: &RuntimeTelemetry) {
+        match self.state.load(Ordering::Acquire) {
+            CIRCUIT_HALF_OPEN => self.open(CIRCUIT_HALF_OPEN, telemetry),
+            CIRCUIT_CLOSED => {
+                let seen = self.overloads.fetch_add(1, Ordering::AcqRel) + 1;
+                if seen >= self.opts.overload_threshold {
+                    self.open(CIRCUIT_CLOSED, telemetry);
+                }
+            }
+            _ => {}
+        }
     }
 }
 
@@ -375,6 +909,11 @@ pub struct ConsensusService<M: SharedMemory = AtomicMemory> {
     workers: Vec<JoinHandle<()>>,
     options: ServiceOptions,
     capacity: u64,
+    /// The admission breaker, present when
+    /// [`CircuitOptions::overload_threshold`] is nonzero.
+    circuit: Option<Circuit>,
+    /// Service-wide admission serial for [`Pending::submission_id`].
+    next_submission: AtomicU64,
     /// Whether shutdown already handed per-decide recorder events back to
     /// the engine (shutdown is idempotent; the hand-back must not be).
     events_restored: bool,
@@ -425,11 +964,9 @@ impl<M: SharedMemory> ConsensusService<M> {
             .map(|ix| {
                 let engine = Arc::clone(&engine);
                 let rings = Arc::clone(&rings);
-                let seed = options.seed.wrapping_add(ix as u64);
-                let batch_max = options.batch_max;
                 std::thread::Builder::new()
                     .name(format!("mc-service-{ix}"))
-                    .spawn(move || worker_loop(&engine, &rings[ix], ix, batch_max, seed))
+                    .spawn(move || supervised_worker_loop(&engine, &rings[ix], ix, options))
                     .expect("spawn service worker")
             })
             .collect();
@@ -439,6 +976,9 @@ impl<M: SharedMemory> ConsensusService<M> {
             workers,
             options,
             capacity,
+            circuit: (options.circuit.overload_threshold > 0)
+                .then(|| Circuit::new(options.circuit)),
+            next_submission: AtomicU64::new(0),
             events_restored: false,
         }
     }
@@ -463,6 +1003,27 @@ impl<M: SharedMemory> ConsensusService<M> {
     /// Proposals currently enqueued across all rings.
     pub fn queue_depth(&self) -> usize {
         self.rings.iter().map(|r| r.lock().queue.len()).sum()
+    }
+
+    /// Supervision state of ring `ring` (see [`RingHealth`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ring >= self.worker_count()`.
+    pub fn ring_health(&self, ring: usize) -> RingHealth {
+        self.rings[ring].lock().health
+    }
+
+    /// The breaker's current state, when one is configured
+    /// ([`CircuitOptions::overload_threshold`] nonzero).
+    pub fn circuit_state(&self) -> Option<CircuitState> {
+        self.circuit
+            .as_ref()
+            .map(|c| match c.state.load(Ordering::Acquire) {
+                CIRCUIT_CLOSED => CircuitState::Closed,
+                CIRCUIT_OPEN => CircuitState::Open,
+                _ => CircuitState::HalfOpen,
+            })
     }
 
     fn ring_of(&self, instance_id: u64) -> &Ring {
@@ -505,12 +1066,14 @@ impl<M: SharedMemory> ConsensusService<M> {
             BackpressurePolicy::Reject => {
                 if state.queue.len() >= self.options.ring_capacity {
                     telemetry.on_proposal_rejected();
+                    self.overload_signal();
                     return (state, Err(EngineError::Rejected));
                 }
             }
             BackpressurePolicy::Shed { max_queue_depth } => {
                 if state.queue.len() >= max_queue_depth {
                     telemetry.on_proposal_shed();
+                    self.overload_signal();
                     return (state, Err(EngineError::Shed { max_queue_depth }));
                 }
             }
@@ -522,15 +1085,37 @@ impl<M: SharedMemory> ConsensusService<M> {
         let cell = Cell::new();
         let handle = DecisionHandle {
             cell: Arc::clone(&cell),
+            deadline: None,
         };
         state.queue.push_back(Pending {
+            // Under the ring lock, so ids are strictly increasing per ring.
+            submission_id: self.next_submission.fetch_add(1, Ordering::Relaxed),
             instance_id,
             proposal,
             enqueued_at,
             cell,
         });
         telemetry.on_proposal_enqueued();
+        if let Some(circuit) = &self.circuit {
+            // A clean admission while the aggregate queue sits at/above the
+            // trip depth still signals overload — depth pressure trips the
+            // breaker before rejections start under `Block`.
+            let deep = self.options.circuit.trip_queue_depth > 0
+                && telemetry.queue_depth() >= self.options.circuit.trip_queue_depth as u64;
+            if deep {
+                circuit.on_overload(telemetry);
+            } else {
+                circuit.on_success(telemetry);
+            }
+        }
         (state, Ok(handle))
+    }
+
+    /// Feeds one refused admission into the breaker, if one is configured.
+    fn overload_signal(&self) {
+        if let Some(circuit) = &self.circuit {
+            circuit.on_overload(self.engine.telemetry());
+        }
     }
 
     /// Enqueues one proposal for `instance_id` and returns its handle
@@ -548,18 +1133,86 @@ impl<M: SharedMemory> ConsensusService<M> {
     /// here, at admission, so an invalid proposal can never kill a
     /// worker).
     pub fn submit(&self, instance_id: u64, proposal: u64) -> Result<DecisionHandle, EngineError> {
+        self.submit_with(instance_id, proposal, &SubmitOptions::new())
+    }
+
+    /// [`submit`](ConsensusService::submit) with a per-submission budget:
+    /// an optional absolute deadline and a seeded-jitter [`RetryPolicy`]
+    /// applied to `Rejected`/`Shed` admissions. The returned handle
+    /// carries the deadline, so [`wait`](DecisionHandle::wait) honors the
+    /// same budget.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Rejected`] / [`EngineError::Shed`] when admission
+    /// refuses and the policy allows no retries;
+    /// [`EngineError::RetriesExhausted`] when every allowed retry was
+    /// refused; [`EngineError::DeadlineExceeded`] when the deadline passes
+    /// before an admission succeeds; [`EngineError::CircuitOpen`] when the
+    /// configured breaker is open (or a half-open probe is already in
+    /// flight).
+    ///
+    /// # Panics
+    ///
+    /// As [`submit`](ConsensusService::submit).
+    pub fn submit_with(
+        &self,
+        instance_id: u64,
+        proposal: u64,
+        opts: &SubmitOptions,
+    ) -> Result<DecisionHandle, EngineError> {
         assert!(
             proposal < self.capacity,
             "value {proposal} exceeds consensus capacity {}",
             self.capacity
         );
-        let ring = self.ring_of(instance_id);
-        let (state, result) = self.admit(ring, ring.lock(), instance_id, proposal, Instant::now());
-        drop(state);
-        if result.is_ok() {
-            ring.to_worker.notify_one();
+        let mut attempts: u32 = 0;
+        loop {
+            if let Some(circuit) = &self.circuit {
+                circuit.check(self.engine.telemetry())?;
+            }
+            let ring = self.ring_of(instance_id);
+            let (state, result) =
+                self.admit(ring, ring.lock(), instance_id, proposal, Instant::now());
+            drop(state);
+            attempts += 1;
+            match result {
+                Ok(handle) => {
+                    ring.to_worker.notify_one();
+                    return Ok(match opts.deadline {
+                        Some(deadline) => handle.with_deadline(deadline),
+                        None => handle,
+                    });
+                }
+                Err(err @ (EngineError::Rejected | EngineError::Shed { .. })) => {
+                    if attempts > opts.retry.max_retries {
+                        // With no retry budget at all, surface the raw
+                        // admission error (plain `submit` semantics);
+                        // otherwise report the spent budget.
+                        return Err(if opts.retry.max_retries == 0 {
+                            err
+                        } else {
+                            EngineError::RetriesExhausted { attempts }
+                        });
+                    }
+                    let delay = opts.retry.delay_for(attempts - 1);
+                    match opts.deadline {
+                        None => std::thread::sleep(delay),
+                        Some(deadline) => {
+                            let now = Instant::now();
+                            if now >= deadline {
+                                return Err(EngineError::DeadlineExceeded);
+                            }
+                            std::thread::sleep(delay.min(deadline - now));
+                            if Instant::now() >= deadline {
+                                return Err(EngineError::DeadlineExceeded);
+                            }
+                        }
+                    }
+                }
+                Err(other) => return Err(other),
+            }
         }
-        result
     }
 
     /// Enqueues a batch of `(instance_id, proposal)` pairs, taking each
@@ -580,6 +1233,14 @@ impl<M: SharedMemory> ConsensusService<M> {
                 "value {proposal} exceeds consensus capacity {}",
                 self.capacity
             );
+        }
+        if let Some(circuit) = &self.circuit {
+            // One gate per batch: an open breaker fast-fails the whole
+            // batch; a half-open breaker lets the batch through as its
+            // probe (its admissions feed success/overload per proposal).
+            if let Err(e) = circuit.check(self.engine.telemetry()) {
+                return items.iter().map(|_| Err(e)).collect();
+            }
         }
         let mut results: Vec<Option<Result<DecisionHandle, EngineError>>> =
             (0..items.len()).map(|_| None).collect();
@@ -657,6 +1318,11 @@ impl<M: SharedMemory> ConsensusService<M> {
             let mut state = ring.lock();
             let orphaned = state.queue.len();
             state.queue.clear();
+            // A terminally-poisoned worker may have left its in-flight
+            // stash behind; those proposals were already subtracted from
+            // the depth gauge when their batch drained, so clear without
+            // re-accounting.
+            ring.lock_inflight().clear();
             drop(state);
             self.engine
                 .telemetry()
@@ -687,11 +1353,34 @@ impl<M: SharedMemory> std::fmt::Debug for ConsensusService<M> {
     }
 }
 
-/// Closes a ring whose worker is dying mid-panic: admission flips to
-/// [`EngineError::Rejected`], producers parked under
+/// Degrades a ring to the terminal [`RingHealth::Poisoned`] state:
+/// admission flips to [`EngineError::Rejected`], producers parked under
 /// [`BackpressurePolicy::Block`] are released, and every proposal still
-/// queued is poisoned — without this, a dead ring would keep accepting
-/// proposals that nothing will ever drain.
+/// queued or in flight is poisoned — without this, a dead ring would keep
+/// accepting proposals that nothing will ever drain.
+fn terminal_poison(ring: &Ring, telemetry: &RuntimeTelemetry) {
+    let mut state = ring.lock();
+    state.closed = true;
+    state.health = RingHealth::Poisoned;
+    let orphaned = std::mem::take(&mut state.queue);
+    // The in-flight stash was subtracted from the depth gauge when its
+    // batch drained — take it for poisoning without re-accounting.
+    let stash = std::mem::take(&mut *ring.lock_inflight());
+    drop(state);
+    // Settle the depth gauge BEFORE dropping the orphans: dropping a
+    // still-Waiting Pending poisons its cell and wakes its waiters, and a
+    // woken waiter must observe a consistent ledger.
+    telemetry.on_proposals_dequeued(orphaned.len() as u64);
+    drop(orphaned);
+    drop(stash);
+    ring.to_producers.notify_all();
+}
+
+/// Last-resort guard inside [`supervised_worker_loop`]: fires only when a
+/// panic escapes the supervision machinery itself (the catch/recover path
+/// is itself under `catch_unwind`, so this means the loop around it
+/// failed). The restart budget no longer applies — poison terminally
+/// rather than strand producers.
 struct WorkerDeathGuard<'a> {
     ring: &'a Ring,
     telemetry: &'a RuntimeTelemetry,
@@ -703,37 +1392,200 @@ impl Drop for WorkerDeathGuard<'_> {
             // Normal exit: the ring is already closed and drained.
             return;
         }
-        let mut state = self.ring.lock();
-        state.closed = true;
-        let orphaned = state.queue.len();
-        // Dropping a still-Waiting Pending poisons its cell.
-        state.queue.clear();
-        drop(state);
-        self.telemetry.on_proposals_dequeued(orphaned as u64);
-        self.ring.to_producers.notify_all();
+        terminal_poison(self.ring, self.telemetry);
     }
 }
 
-/// One worker: block for work, drain up to `batch_max`, decide, complete,
-/// emit one `batch_drained` event — repeat until closed and empty.
-fn worker_loop<M: SharedMemory>(
+/// Per-worker chaos bookkeeping. Drain and injected-panic counts live
+/// OUTSIDE the restart loop, so a plan's `max_panics` cap is a per-worker
+/// total across incarnations, not per incarnation — a plan with
+/// `max_panics <= restart_budget` is guaranteed to stay within budget.
+struct ChaosState {
+    plan: ChaosPlan,
+    /// This worker's index, used to phase its injection points.
+    stream: u64,
+    drains: u64,
+    panics: u32,
+}
+
+impl ChaosState {
+    fn new(plan: ChaosPlan, ring_ix: usize) -> ChaosState {
+        ChaosState {
+            plan,
+            stream: ring_ix as u64,
+            drains: 0,
+            panics: 0,
+        }
+    }
+
+    /// Runs once per drained batch — after the batch moved to the ring's
+    /// in-flight stash, before any decide — so an injected panic unwinds
+    /// with every proposal still recoverable.
+    fn at_drain_boundary(&mut self) {
+        self.drains += 1;
+        if self.plan.stall_every > 0
+            && self.drains % self.plan.stall_every
+                == mix(self.plan.seed, self.stream ^ 0x0005_7A11) % self.plan.stall_every
+        {
+            std::thread::sleep(self.plan.stall_for);
+        }
+        if self.plan.panic_every > 0
+            && self.panics < self.plan.max_panics
+            && self.drains % self.plan.panic_every
+                == mix(self.plan.seed, self.stream) % self.plan.panic_every
+        {
+            self.panics += 1;
+            panic!(
+                "chaos: injected worker panic {} at drain {}",
+                self.panics, self.drains
+            );
+        }
+    }
+}
+
+/// The supervisor wrapped around each worker: run [`drain_loop`] under
+/// `catch_unwind`; on a panic, either restart (re-admitting the dead
+/// incarnation's undecided in-flight remainder exactly once, then backing
+/// off exponentially) or — past the restart budget — degrade the ring to
+/// [`RingHealth::Poisoned`].
+///
+/// Recovery runs INSIDE the next incarnation's `catch_unwind`, so a panic
+/// during recovery (say, a recorder panicking on the restart event) counts
+/// against the same budget instead of killing the thread.
+fn supervised_worker_loop<M: SharedMemory>(
     engine: &ConsensusEngine<M>,
     ring: &Ring,
     ring_ix: usize,
-    batch_max: usize,
-    seed: u64,
+    options: ServiceOptions,
 ) {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let telemetry = Arc::clone(engine.telemetry_handle());
     let _death_guard = WorkerDeathGuard {
         ring,
         telemetry: engine.telemetry(),
     };
+    let mut chaos = ChaosState::new(options.chaos, ring_ix);
+    let mut restarts: u32 = 0;
+    // When a panic is pending recovery: the instant it was caught, so the
+    // recovery latency histogram covers re-admission AND backoff.
+    let mut pending_recovery: Option<Instant> = None;
+    loop {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(caught_at) = pending_recovery.take() {
+                recover(engine, ring, ring_ix, &options, restarts, caught_at);
+            }
+            drain_loop(engine, ring, ring_ix, &options, restarts, &mut chaos);
+        }));
+        match outcome {
+            // Closed and drained: clean exit.
+            Ok(()) => return,
+            Err(_) => {
+                restarts += 1;
+                if restarts > options.supervisor.restart_budget {
+                    terminal_poison(ring, engine.telemetry());
+                    return;
+                }
+                pending_recovery = Some(Instant::now());
+            }
+        }
+    }
+}
+
+/// Restores a ring after its worker's panic, before the next incarnation
+/// drains: re-admit the in-flight remainder, back off, report.
+///
+/// Exactly-once argument: the stash holds precisely the drained proposals
+/// not yet popped for a decide. A decided proposal was popped and
+/// completed, so it is not here; the proposal mid-decide at the panic was
+/// popped too (its unwinding drop poisoned its cell); everything else has
+/// a still-`Waiting` cell and exactly one [`Pending`] — moved back to the
+/// ring FRONT in original order, under the ring lock, so no proposal is
+/// lost, reordered, or decided twice. The `submission_id` asserts pin the
+/// in-order part.
+fn recover<M: SharedMemory>(
+    engine: &ConsensusEngine<M>,
+    ring: &Ring,
+    ring_ix: usize,
+    options: &ServiceOptions,
+    attempt: u32,
+    caught_at: Instant,
+) {
+    let telemetry = engine.telemetry();
+    let resubmitted;
+    {
+        let mut state = ring.lock();
+        state.health = RingHealth::Restarting;
+        let mut inflight = ring.lock_inflight();
+        resubmitted = inflight.len() as u64;
+        while let Some(item) = inflight.pop_back() {
+            debug_assert!(
+                item.cell.read() == CellState::Waiting,
+                "a completed proposal must never be re-admitted"
+            );
+            debug_assert!(
+                state
+                    .queue
+                    .front()
+                    .is_none_or(|next| item.submission_id < next.submission_id),
+                "re-admission must preserve per-ring submission order"
+            );
+            state.queue.push_front(item);
+        }
+    }
+    telemetry.on_proposals_requeued(resubmitted);
+    // Exponential backoff, interruptible by shutdown closing the ring.
+    let sup = &options.supervisor;
+    let raw_ns = sup.base_backoff.as_nanos() << u32::min(attempt.saturating_sub(1), 63);
+    let backoff = Duration::from_nanos(
+        u64::try_from(raw_ns.min(sup.max_backoff.as_nanos())).unwrap_or(u64::MAX),
+    );
+    let wake_at = Instant::now() + backoff;
+    {
+        let mut state = ring.lock();
+        loop {
+            if state.closed {
+                break;
+            }
+            let now = Instant::now();
+            if now >= wake_at {
+                break;
+            }
+            let (next, _) = ring
+                .to_worker
+                .wait_timeout(state, wake_at - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            state = next;
+        }
+        state.health = RingHealth::Healthy;
+    }
+    let recovery_ns = u64::try_from(caught_at.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    telemetry.on_worker_restart(ring_ix as u64, u64::from(attempt), resubmitted, recovery_ns);
+}
+
+/// One worker incarnation: block for work, move up to `batch_max`
+/// proposals to the ring's in-flight stash, run chaos injections, decide
+/// item by item, emit one `batch_drained` event — repeat until closed and
+/// empty. Panics unwind to [`supervised_worker_loop`].
+fn drain_loop<M: SharedMemory>(
+    engine: &ConsensusEngine<M>,
+    ring: &Ring,
+    ring_ix: usize,
+    options: &ServiceOptions,
+    incarnation: u32,
+    chaos: &mut ChaosState,
+) {
+    // Incarnation 0 reproduces the pre-supervision coin stream exactly;
+    // each restart re-seeds deterministically rather than replaying the
+    // dead incarnation's flips.
+    let worker_seed = options.seed.wrapping_add(ring_ix as u64);
+    let mut rng = if incarnation == 0 {
+        SmallRng::seed_from_u64(worker_seed)
+    } else {
+        SmallRng::seed_from_u64(mix(worker_seed, u64::from(incarnation)))
+    };
+    let telemetry = Arc::clone(engine.telemetry_handle());
     // Single-participant engines get the zero-lock fast path: one pooled
     // object serves the whole stream (see `ConsensusEngine::detached_slot`).
     let mut slot = (engine.participants() == 1).then(|| engine.detached_slot(ring_ix));
     loop {
-        let mut batch: VecDeque<Pending>;
         let depth_after;
         {
             let mut state = ring.lock();
@@ -746,8 +1598,18 @@ fn worker_loop<M: SharedMemory>(
             if state.queue.is_empty() && state.closed {
                 return;
             }
-            let take = state.queue.len().min(batch_max);
-            batch = state.queue.drain(..take).collect();
+            let take = state.queue.len().min(options.batch_max);
+            {
+                // Stash the batch on the ring rather than locally: a panic
+                // anywhere past this point leaves the undecided remainder
+                // where the supervisor can re-admit it.
+                let mut inflight = ring.lock_inflight();
+                debug_assert!(
+                    inflight.is_empty(),
+                    "the in-flight stash drains fully between batches"
+                );
+                inflight.extend(state.queue.drain(..take));
+            }
             depth_after = state.queue.len();
             drop(state);
             // The drained proposals left the ring the moment `drain` took
@@ -757,10 +1619,20 @@ fn worker_loop<M: SharedMemory>(
             // Room freed: wake producers blocked under `Block`.
             ring.to_producers.notify_all();
         }
-        let batch_len = batch.len() as u64;
-        while let Some(item) = batch.pop_front() {
-            // If a decide panics, the unwind drops `item` and the rest of
-            // `batch`, poisoning their cells (see `Pending::drop`).
+        // Chaos fires at the drain boundary — batch stashed, nothing
+        // popped — so an injected panic loses no proposal.
+        chaos.at_drain_boundary();
+        let mut done: u64 = 0;
+        loop {
+            // Pop ONE item and release the stash lock before deciding (a
+            // `while let` scrutinee guard would pin it across the decide).
+            let item = match ring.lock_inflight().pop_front() {
+                Some(item) => item,
+                None => break,
+            };
+            // If this decide panics, the unwind drops `item` — poisoning
+            // just that cell (see `Pending::drop`); the rest of the batch
+            // stays in the stash for re-admission.
             let decided = match &mut slot {
                 Some(slot) => slot.decide(item.proposal, &mut rng),
                 None => engine.submit_unbounded(item.instance_id, item.proposal, &mut rng),
@@ -768,8 +1640,9 @@ fn worker_loop<M: SharedMemory>(
             item.complete(decided);
             let wait_ns = u64::try_from(item.enqueued_at.elapsed().as_nanos()).unwrap_or(u64::MAX);
             telemetry.on_service_wait(wait_ns);
+            done += 1;
         }
-        telemetry.on_batch_drained(ring_ix as u64, batch_len, depth_after as u64);
+        telemetry.on_batch_drained(ring_ix as u64, done, depth_after as u64);
     }
 }
 
@@ -881,6 +1754,35 @@ impl<M: SharedMemory> ServiceBuilder<M> {
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
         self.service.seed = seed;
+        self
+    }
+
+    /// Worker supervision knobs (default [`SupervisorOptions::default`]).
+    #[must_use]
+    pub fn supervisor(mut self, supervisor: SupervisorOptions) -> Self {
+        self.service.supervisor = supervisor;
+        self
+    }
+
+    /// Shorthand for setting just [`SupervisorOptions::restart_budget`]
+    /// (0 = first panic poisons the ring, the pre-supervision behavior).
+    #[must_use]
+    pub fn restart_budget(mut self, budget: u32) -> Self {
+        self.service.supervisor.restart_budget = budget;
+        self
+    }
+
+    /// Seeded service-level fault injection (default [`ChaosPlan::none`]).
+    #[must_use]
+    pub fn chaos(mut self, plan: ChaosPlan) -> Self {
+        self.service.chaos = plan;
+        self
+    }
+
+    /// Admission circuit breaker (default [`CircuitOptions::disabled`]).
+    #[must_use]
+    pub fn circuit(mut self, circuit: CircuitOptions) -> Self {
+        self.service.circuit = circuit;
         self
     }
 
@@ -1127,6 +2029,8 @@ mod tests {
 
     #[test]
     fn dead_worker_closes_its_ring_instead_of_hanging_producers() {
+        // restart_budget 0: the pre-supervision contract — the first panic
+        // is terminal.
         let service = ConsensusService::builder()
             .n(1)
             .values(64)
@@ -1134,6 +2038,7 @@ mod tests {
             .shards(1)
             .workers(1)
             .batch_max(1)
+            .restart_budget(0)
             .recorder(Arc::new(PanicOnBatchDrained) as Arc<dyn mc_telemetry::Recorder>)
             .build();
         service.pause();
@@ -1142,8 +2047,8 @@ mod tests {
             .collect();
         service.resume();
         // batch_max 1: the worker decides the first proposal, then dies
-        // emitting its batch event; the death guard closes the ring and
-        // poisons the three proposals it never reached.
+        // emitting its batch event; the supervisor (budget 0) poisons the
+        // ring and the three proposals it never reached.
         assert_eq!(handles[0].wait(), Ok(0));
         for handle in &handles[1..] {
             assert_eq!(handle.wait(), Err(EngineError::Poisoned));
@@ -1154,6 +2059,427 @@ mod tests {
         assert!(matches!(service.submit(9, 9), Err(EngineError::Rejected)));
         assert_eq!(service.queue_depth(), 0);
         assert_eq!(service.telemetry().queue_depth(), 0);
+        assert_eq!(service.ring_health(0), RingHealth::Poisoned);
+    }
+
+    #[test]
+    fn supervised_worker_survives_recorder_panics_within_budget() {
+        // Every batch event panics the worker; batch_max 1 makes that one
+        // panic per proposal. With a budget of 4, four proposals all
+        // decide — each after one restart.
+        let service = ConsensusService::builder()
+            .n(1)
+            .values(64)
+            .participants(1)
+            .shards(1)
+            .workers(1)
+            .batch_max(1)
+            .supervisor(SupervisorOptions {
+                restart_budget: 4,
+                base_backoff: Duration::from_micros(50),
+                max_backoff: Duration::from_millis(1),
+            })
+            .recorder(Arc::new(PanicOnBatchDrained) as Arc<dyn mc_telemetry::Recorder>)
+            .build();
+        let handles: Vec<DecisionHandle> = (0..4u64)
+            .map(|id| service.submit(id, id).unwrap())
+            .collect();
+        for (id, handle) in handles.iter().enumerate() {
+            assert_eq!(handle.wait(), Ok(id as u64), "proposal {id}");
+        }
+        let t = Arc::clone(service.engine().telemetry_handle());
+        drop(service);
+        assert_eq!(t.decisions(), 4);
+        assert_eq!(t.worker_restarts(), 4);
+        assert_eq!(t.worker_recovery_ns().count(), 4);
+        // The batch events all panicked mid-record, so the proposals were
+        // already decided when each panic hit: nothing to re-admit.
+        assert_eq!(t.resubmitted_cells(), 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_degrades_to_poisoned() {
+        let service = ConsensusService::builder()
+            .n(1)
+            .values(64)
+            .participants(1)
+            .shards(1)
+            .workers(1)
+            .batch_max(1)
+            .supervisor(SupervisorOptions {
+                restart_budget: 2,
+                base_backoff: Duration::from_micros(50),
+                max_backoff: Duration::from_millis(1),
+            })
+            .recorder(Arc::new(PanicOnBatchDrained) as Arc<dyn mc_telemetry::Recorder>)
+            .build();
+        service.pause();
+        let handles: Vec<DecisionHandle> = (0..5u64)
+            .map(|id| service.submit(id, id).unwrap())
+            .collect();
+        service.resume();
+        // Panics 1 and 2 are survived (budget 2); the third is terminal.
+        // Three proposals decide before their batch event panics; the
+        // remaining two are poisoned.
+        for (id, handle) in handles.iter().take(3).enumerate() {
+            assert_eq!(handle.wait(), Ok(id as u64), "proposal {id}");
+        }
+        for handle in &handles[3..] {
+            assert_eq!(handle.wait(), Err(EngineError::Poisoned));
+        }
+        assert_eq!(service.ring_health(0), RingHealth::Poisoned);
+        assert!(matches!(service.submit(9, 9), Err(EngineError::Rejected)));
+        assert_eq!(service.telemetry().worker_restarts(), 2);
+        assert_eq!(service.telemetry().queue_depth(), 0);
+    }
+
+    #[test]
+    fn chaos_panics_requeue_the_whole_batch_exactly_once() {
+        // panic_every 1 with max_panics 2: the first two drain boundaries
+        // panic with the full 3-proposal batch stashed; each recovery
+        // re-admits all 3, and the third incarnation decides them.
+        let plan = ChaosPlan::seeded(0xC4A0).panic_every(1, 2);
+        let service = ConsensusService::builder()
+            .n(1)
+            .values(64)
+            .participants(1)
+            .shards(1)
+            .workers(1)
+            .chaos(plan)
+            .supervisor(SupervisorOptions {
+                restart_budget: 4,
+                base_backoff: Duration::from_micros(50),
+                max_backoff: Duration::from_millis(1),
+            })
+            .build();
+        service.pause();
+        let handles: Vec<DecisionHandle> = (0..3u64)
+            .map(|id| service.submit(id, id).unwrap())
+            .collect();
+        service.resume();
+        for (id, handle) in handles.iter().enumerate() {
+            assert_eq!(handle.wait(), Ok(id as u64), "proposal {id}");
+        }
+        let t = Arc::clone(service.engine().telemetry_handle());
+        drop(service);
+        assert_eq!(t.worker_restarts(), 2);
+        assert_eq!(t.resubmitted_cells(), 6, "3 proposals × 2 recoveries");
+        assert_eq!(t.decisions(), 3, "each proposal decided exactly once");
+        assert_eq!(t.proposals_enqueued(), 3);
+        assert_eq!(t.queue_depth(), 0);
+    }
+
+    #[test]
+    fn chaos_stalls_delay_but_lose_nothing() {
+        let plan = ChaosPlan::seeded(7).stall_every(1, Duration::from_millis(2));
+        let service = ConsensusService::builder()
+            .n(1)
+            .values(64)
+            .participants(1)
+            .shards(1)
+            .workers(1)
+            .chaos(plan)
+            .build();
+        let handles: Vec<DecisionHandle> = (0..8u64)
+            .map(|id| service.submit(id, id).unwrap())
+            .collect();
+        for (id, handle) in handles.iter().enumerate() {
+            assert_eq!(handle.wait(), Ok(id as u64));
+        }
+        assert_eq!(service.telemetry().worker_restarts(), 0);
+    }
+
+    /// Panics while recording the FIRST `WorkerRestarted` event: proves a
+    /// panic during recovery itself burns restart budget instead of
+    /// killing the thread or double-admitting the stash.
+    struct PanicOnFirstRestartEvent {
+        fired: std::sync::atomic::AtomicBool,
+    }
+
+    impl mc_telemetry::Recorder for PanicOnFirstRestartEvent {
+        fn record(&self, event: &mc_telemetry::TelemetryEvent) {
+            if matches!(event, mc_telemetry::TelemetryEvent::WorkerRestarted { .. })
+                && !self.fired.swap(true, Ordering::Relaxed)
+            {
+                panic!("injected recovery failure");
+            }
+        }
+    }
+
+    #[test]
+    fn panic_during_recovery_counts_against_the_budget() {
+        let plan = ChaosPlan::seeded(3).panic_every(1, 1);
+        let service = ConsensusService::builder()
+            .n(1)
+            .values(64)
+            .participants(1)
+            .shards(1)
+            .workers(1)
+            .chaos(plan)
+            .supervisor(SupervisorOptions {
+                restart_budget: 3,
+                base_backoff: Duration::from_micros(50),
+                max_backoff: Duration::from_millis(1),
+            })
+            .recorder(Arc::new(PanicOnFirstRestartEvent {
+                fired: std::sync::atomic::AtomicBool::new(false),
+            }) as Arc<dyn mc_telemetry::Recorder>)
+            .build();
+        service.pause();
+        let handles: Vec<DecisionHandle> = (0..3u64)
+            .map(|id| service.submit(id, id).unwrap())
+            .collect();
+        service.resume();
+        // Chaos panic (restart 1) → recovery's restart event panics
+        // (restart 2) → second recovery succeeds, batch decides.
+        for (id, handle) in handles.iter().enumerate() {
+            assert_eq!(handle.wait(), Ok(id as u64));
+        }
+        let t = Arc::clone(service.engine().telemetry_handle());
+        drop(service);
+        assert_eq!(t.worker_restarts(), 2);
+        assert_eq!(t.decisions(), 3);
+    }
+
+    #[test]
+    fn submit_with_deadline_flows_into_the_handle() {
+        let service = single_worker_service(BackpressurePolicy::Block);
+        service.pause();
+        let opts = SubmitOptions::new().within(Duration::from_millis(20));
+        let handle = service.submit_with(0, 9, &opts).unwrap();
+        assert!(handle.deadline().is_some());
+        // The ring is paused: the deadline expires and wait() reports the
+        // spent budget, not Timeout.
+        assert_eq!(handle.wait(), Err(EngineError::DeadlineExceeded));
+        // wait_timeout under an earlier handle deadline also reports it.
+        assert_eq!(
+            handle.wait_timeout(Duration::from_secs(5)),
+            Err(EngineError::DeadlineExceeded)
+        );
+        service.resume();
+        assert_eq!(handle.wait_core(None, EngineError::Timeout), Ok(9));
+    }
+
+    #[test]
+    fn submit_with_retries_until_the_worker_drains() {
+        let service = ConsensusService::builder()
+            .n(1)
+            .values(64)
+            .participants(1)
+            .shards(1)
+            .workers(1)
+            .backpressure(BackpressurePolicy::Reject)
+            .ring_capacity(1)
+            .build();
+        service.pause();
+        service.submit(0, 1).unwrap();
+        // Plain submit fails fast against the full ring…
+        assert!(matches!(service.submit(1, 2), Err(EngineError::Rejected)));
+        // …and a retrying submit keeps failing while paused, reporting the
+        // spent budget.
+        let opts = SubmitOptions::new().retry(RetryPolicy {
+            max_retries: 2,
+            base_delay: Duration::from_micros(200),
+            max_delay: Duration::from_millis(1),
+            jitter: 0.5,
+            seed: 11,
+        });
+        assert!(matches!(
+            service.submit_with(1, 2, &opts),
+            Err(EngineError::RetriesExhausted { attempts: 3 })
+        ));
+        // Resume: a drain happens within the retry schedule and the
+        // submission lands.
+        service.resume();
+        let retry = SubmitOptions::new().retry(RetryPolicy::seeded(11));
+        let handle = service.submit_with(1, 2, &retry).unwrap();
+        assert_eq!(handle.wait(), Ok(2));
+    }
+
+    #[test]
+    fn submit_with_deadline_bounds_the_retry_loop() {
+        let service = ConsensusService::builder()
+            .n(1)
+            .values(64)
+            .participants(1)
+            .shards(1)
+            .workers(1)
+            .backpressure(BackpressurePolicy::Reject)
+            .ring_capacity(1)
+            .build();
+        service.pause();
+        service.submit(0, 1).unwrap();
+        let opts = SubmitOptions::new()
+            .within(Duration::from_millis(5))
+            .retry(RetryPolicy {
+                max_retries: u32::MAX,
+                base_delay: Duration::from_millis(1),
+                max_delay: Duration::from_millis(1),
+                jitter: 0.0,
+                seed: 0,
+            });
+        // Unbounded retries, bounded budget: the deadline ends the loop.
+        assert!(matches!(
+            service.submit_with(1, 2, &opts),
+            Err(EngineError::DeadlineExceeded)
+        ));
+        service.resume();
+    }
+
+    #[test]
+    fn circuit_trips_half_opens_and_closes() {
+        let service = ConsensusService::builder()
+            .n(1)
+            .values(64)
+            .participants(1)
+            .shards(1)
+            .workers(1)
+            .backpressure(BackpressurePolicy::Shed { max_queue_depth: 1 })
+            .circuit(CircuitOptions {
+                overload_threshold: 3,
+                trip_queue_depth: 0,
+                cooldown: Duration::from_millis(10),
+            })
+            .build();
+        assert_eq!(service.circuit_state(), Some(CircuitState::Closed));
+        service.pause();
+        service.submit(0, 1).unwrap();
+        // Three consecutive sheds trip the breaker…
+        for _ in 0..3 {
+            assert!(matches!(
+                service.submit(0, 2),
+                Err(EngineError::Shed { .. })
+            ));
+        }
+        assert_eq!(service.circuit_state(), Some(CircuitState::Open));
+        // …after which admission fast-fails without touching the ring.
+        assert!(matches!(
+            service.submit(0, 3),
+            Err(EngineError::CircuitOpen)
+        ));
+        assert_eq!(service.telemetry().circuit_state(), 1);
+        // Past the cooldown, one probe is admitted; the ring has drained
+        // (resume), so the probe succeeds and the breaker closes.
+        service.resume();
+        std::thread::sleep(Duration::from_millis(15));
+        let handle = loop {
+            // The first post-cooldown submit becomes the half-open probe;
+            // its own admission may still shed if the worker has not
+            // drained yet, re-opening — retry until the probe lands.
+            match service.submit(0, 5) {
+                Ok(handle) => break handle,
+                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            }
+        };
+        assert_eq!(handle.wait(), Ok(5));
+        assert_eq!(service.circuit_state(), Some(CircuitState::Closed));
+        assert_eq!(service.telemetry().circuit_state(), 0);
+    }
+
+    #[test]
+    fn failed_probe_reopens_the_circuit() {
+        let service = ConsensusService::builder()
+            .n(1)
+            .values(64)
+            .participants(1)
+            .shards(1)
+            .workers(1)
+            .backpressure(BackpressurePolicy::Shed { max_queue_depth: 1 })
+            .circuit(CircuitOptions {
+                overload_threshold: 1,
+                trip_queue_depth: 0,
+                cooldown: Duration::from_millis(5),
+            })
+            .build();
+        service.pause();
+        service.submit(0, 1).unwrap();
+        assert!(matches!(
+            service.submit(0, 2),
+            Err(EngineError::Shed { .. })
+        ));
+        assert_eq!(service.circuit_state(), Some(CircuitState::Open));
+        std::thread::sleep(Duration::from_millis(8));
+        // Still paused: the half-open probe sheds again and the breaker
+        // re-opens for another cooldown.
+        assert!(matches!(
+            service.submit(0, 3),
+            Err(EngineError::Shed { .. })
+        ));
+        assert_eq!(service.circuit_state(), Some(CircuitState::Open));
+        assert!(matches!(
+            service.submit(0, 4),
+            Err(EngineError::CircuitOpen)
+        ));
+        service.resume();
+    }
+
+    #[test]
+    fn wait_timeout_reports_poison_not_timeout_when_racing() {
+        // Deterministic half: an already-poisoned cell must never report
+        // Timeout, even with a zero timeout.
+        let cell = Cell::new();
+        let handle = DecisionHandle {
+            cell: Arc::clone(&cell),
+            deadline: None,
+        };
+        cell.fill(CellState::Poisoned);
+        assert_eq!(
+            handle.wait_timeout(Duration::ZERO),
+            Err(EngineError::Poisoned)
+        );
+
+        // Racing half: hammer a ~zero timeout against a concurrent
+        // poisoner. Any single run may legitimately see Timeout (the
+        // poison landed after expiry) — but a Timeout must never be
+        // final: once the cell IS poisoned, re-waiting must say so.
+        for i in 0..200 {
+            let cell = Cell::new();
+            let handle = DecisionHandle {
+                cell: Arc::clone(&cell),
+                deadline: None,
+            };
+            let poisoner = {
+                let cell = Arc::clone(&cell);
+                std::thread::spawn(move || {
+                    if i % 2 == 0 {
+                        std::thread::yield_now();
+                    }
+                    cell.fill(CellState::Poisoned);
+                })
+            };
+            let raced = handle.wait_timeout(Duration::from_nanos(1));
+            poisoner.join().unwrap();
+            match raced {
+                Err(EngineError::Poisoned) => {}
+                Err(EngineError::Timeout) => {
+                    assert_eq!(
+                        handle.wait_timeout(Duration::ZERO),
+                        Err(EngineError::Poisoned),
+                        "iteration {i}: poison visible after join must be reported"
+                    );
+                }
+                other => panic!("iteration {i}: unexpected result {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn retry_policy_schedule_is_deterministic_monotone_and_capped() {
+        let policy = RetryPolicy {
+            max_retries: 12,
+            base_delay: Duration::from_micros(100),
+            max_delay: Duration::from_millis(10),
+            jitter: 0.5,
+            seed: 0xDECAF,
+        };
+        let a = policy.schedule();
+        let b = policy.schedule();
+        assert_eq!(a, b, "same seed, same schedule");
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "monotone: {a:?}");
+        assert!(a.iter().all(|d| *d <= policy.max_delay), "capped: {a:?}");
+        assert!(a[0] >= policy.base_delay);
+        let reseeded = RetryPolicy { seed: 1, ..policy };
+        assert_ne!(a, reseeded.schedule(), "seed changes the jitter stream");
     }
 
     #[test]

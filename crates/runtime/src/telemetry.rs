@@ -17,8 +17,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use mc_telemetry::{
-    thread_shard, Counter, FaultClass, Gauge, Histogram, NoopRecorder, Recorder, ShardedCounter,
-    Snapshot, StageKind, TelemetryEvent,
+    thread_shard, CircuitState, Counter, FaultClass, Gauge, Histogram, NoopRecorder, Recorder,
+    ShardedCounter, Snapshot, StageKind, TelemetryEvent,
 };
 
 /// Aggregated metrics plus an event sink for runtime consensus objects.
@@ -59,6 +59,10 @@ pub struct RuntimeTelemetry {
     batches_drained: Counter,
     queue_depth: Gauge,
     service_wait_ns: Histogram,
+    worker_restarts: Counter,
+    resubmitted_cells: Counter,
+    circuit_state: Gauge,
+    worker_recovery_ns: Histogram,
 }
 
 impl std::fmt::Debug for RuntimeTelemetry {
@@ -106,6 +110,10 @@ impl RuntimeTelemetry {
             batches_drained: Counter::new(),
             queue_depth: Gauge::new(),
             service_wait_ns: Histogram::new(),
+            worker_restarts: Counter::new(),
+            resubmitted_cells: Counter::new(),
+            circuit_state: Gauge::new(),
+            worker_recovery_ns: Histogram::new(),
         }
     }
 
@@ -342,6 +350,44 @@ impl RuntimeTelemetry {
         self.service_wait_ns.record(wait_ns);
     }
 
+    /// `count` re-admitted proposals went back into an intake ring after a
+    /// worker panic. The queue-depth gauge climbs back by `count` (the
+    /// drain that preceded the panic already subtracted them);
+    /// `proposals_enqueued` is *not* re-incremented — a re-admission is the
+    /// same submission, so the enqueued ≡ decided + poisoned ledger holds.
+    #[inline]
+    pub(crate) fn on_proposals_requeued(&self, count: u64) {
+        self.resubmitted_cells.add(count);
+        self.queue_depth.add(count);
+    }
+
+    /// A supervised worker recovered from a panic and restarted its drain
+    /// loop. Like `on_batch_drained`, this is a batch-level event: it flows
+    /// to the recorder whenever events are on, amortized mode included.
+    #[inline]
+    pub(crate) fn on_worker_restart(&self, ring: u64, attempt: u64, resubmitted: u64, ns: u64) {
+        self.worker_restarts.incr();
+        self.worker_recovery_ns.record(ns);
+        if self.events_on {
+            self.recorder.record(&TelemetryEvent::WorkerRestarted {
+                ring,
+                attempt,
+                resubmitted,
+                recovery_ns: ns,
+            });
+        }
+    }
+
+    /// A service circuit breaker entered `state`.
+    #[inline]
+    pub(crate) fn on_circuit_transition(&self, state: CircuitState) {
+        self.circuit_state.set(state.as_u64());
+        if self.events_on {
+            self.recorder
+                .record(&TelemetryEvent::CircuitTransition { state });
+        }
+    }
+
     /// A consensus instance was served from the recycle pool.
     #[inline]
     pub(crate) fn on_pool_hit(&self) {
@@ -561,6 +607,39 @@ impl RuntimeTelemetry {
         self.service_wait_ns.quantile_upper(0.99)
     }
 
+    /// Worker panics a supervisor recovered from (drain loop restarted).
+    pub fn worker_restarts(&self) -> u64 {
+        self.worker_restarts.get()
+    }
+
+    /// Queued-but-unsubmitted cells re-admitted after worker panics.
+    pub fn resubmitted_cells(&self) -> u64 {
+        self.resubmitted_cells.get()
+    }
+
+    /// Current circuit-breaker state (numeric: closed 0, open 1, half-open
+    /// 2; see [`mc_telemetry::CircuitState::as_u64`]).
+    pub fn circuit_state(&self) -> u64 {
+        self.circuit_state.get()
+    }
+
+    /// Distribution of panic-catch → drain-loop-reentry recovery latency,
+    /// nanoseconds.
+    pub fn worker_recovery_ns(&self) -> &Histogram {
+        &self.worker_recovery_ns
+    }
+
+    /// Upper bound on the median worker recovery latency, nanoseconds.
+    pub fn worker_recovery_p50_ns(&self) -> u64 {
+        self.worker_recovery_ns.quantile_upper(0.50)
+    }
+
+    /// Upper bound on the 99th-percentile worker recovery latency,
+    /// nanoseconds.
+    pub fn worker_recovery_p99_ns(&self) -> u64 {
+        self.worker_recovery_ns.quantile_upper(0.99)
+    }
+
     /// A frozen copy of every metric, ready for text/JSON/Prometheus
     /// export.
     pub fn snapshot(&self) -> Snapshot {
@@ -586,6 +665,13 @@ impl RuntimeTelemetry {
             .counter("proposals_rejected", self.proposals_rejected())
             .counter("proposals_shed", self.proposals_shed())
             .counter("batches_drained", self.batches_drained())
+            .counter("worker_restarts", self.worker_restarts())
+            .counter("resubmitted_cells", self.resubmitted_cells())
+            .gauge(
+                "circuit_state",
+                self.circuit_state(),
+                self.circuit_state.max(),
+            )
             .gauge(
                 "max_conciliator_round",
                 self.max_conciliator_round.get(),
@@ -604,7 +690,8 @@ impl RuntimeTelemetry {
             .histogram("rounds_to_decide", self.rounds_to_decide.snapshot())
             .histogram("decide_latency_ns", self.decide_latency_ns.snapshot())
             .histogram("conciliator_rounds", self.conciliator_rounds.snapshot())
-            .histogram("service_wait_ns", self.service_wait_ns.snapshot());
+            .histogram("service_wait_ns", self.service_wait_ns.snapshot())
+            .histogram("worker_recovery_ns", self.worker_recovery_ns.snapshot());
         snap
     }
 }
@@ -770,6 +857,49 @@ mod tests {
         assert_eq!(snap.counter_value("batches_drained"), Some(1));
         assert_eq!(snap.histogram_value("service_wait_ns").unwrap().count, 2);
         mc_telemetry::json::validate(&snap.to_json()).unwrap();
+    }
+
+    #[test]
+    fn supervision_hooks_count_emit_and_snapshot() {
+        let agg = Arc::new(AggregatingRecorder::new());
+        let t = RuntimeTelemetry::new(2, Arc::clone(&agg) as Arc<dyn Recorder>);
+        // Requeue puts depth back without touching proposals_enqueued.
+        t.on_proposal_enqueued();
+        t.on_proposals_dequeued(1);
+        t.on_proposals_requeued(1);
+        assert_eq!(t.proposals_enqueued(), 1);
+        assert_eq!(t.queue_depth(), 1);
+        assert_eq!(t.resubmitted_cells(), 1);
+        t.on_worker_restart(0, 1, 1, 5_000);
+        t.on_circuit_transition(CircuitState::Open);
+        t.on_circuit_transition(CircuitState::HalfOpen);
+        t.on_circuit_transition(CircuitState::Closed);
+        assert_eq!(t.worker_restarts(), 1);
+        assert_eq!(t.worker_recovery_ns().count(), 1);
+        assert!(t.worker_recovery_p99_ns() >= 5_000);
+        assert_eq!(t.circuit_state(), 0);
+        assert_eq!(agg.worker_restarts(), 1);
+        assert_eq!(agg.resubmitted_cells(), 1);
+        assert_eq!(agg.circuit_transitions(), 3);
+        let snap = t.snapshot();
+        assert_eq!(snap.counter_value("worker_restarts"), Some(1));
+        assert_eq!(snap.counter_value("resubmitted_cells"), Some(1));
+        assert_eq!(snap.histogram_value("worker_recovery_ns").unwrap().count, 1);
+        mc_telemetry::json::validate(&snap.to_json()).unwrap();
+    }
+
+    #[test]
+    fn restart_events_flow_even_in_amortized_mode() {
+        let agg = Arc::new(AggregatingRecorder::new());
+        let t = RuntimeTelemetry::new(2, Arc::clone(&agg) as Arc<dyn Recorder>);
+        t.amortize_decide_events();
+        t.on_worker_restart(1, 1, 4, 800);
+        t.on_circuit_transition(CircuitState::Open);
+        // Like batch_drained, supervision events are batch-level: they are
+        // exactly what the amortized mode exists to keep.
+        assert_eq!(agg.worker_restarts(), 1);
+        assert_eq!(agg.circuit_transitions(), 1);
+        t.restore_decide_events();
     }
 
     #[test]

@@ -66,6 +66,41 @@ impl FaultClass {
     }
 }
 
+/// State of a service-level circuit breaker.
+///
+/// Mirrors `mc-runtime`'s breaker: `Closed` admits normally, `Open`
+/// fast-fails admission after sustained overload, and `HalfOpen` lets a
+/// single probe submission through to test recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CircuitState {
+    /// Admitting normally.
+    Closed,
+    /// Fast-failing admission after sustained overload.
+    Open,
+    /// Cooldown elapsed; one probe is in flight to test recovery.
+    HalfOpen,
+}
+
+impl CircuitState {
+    /// Stable lowercase name used in JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CircuitState::Closed => "closed",
+            CircuitState::Open => "open",
+            CircuitState::HalfOpen => "half_open",
+        }
+    }
+
+    /// Stable numeric encoding for gauges: closed 0, open 1, half-open 2.
+    pub fn as_u64(self) -> u64 {
+        match self {
+            CircuitState::Closed => 0,
+            CircuitState::Open => 1,
+            CircuitState::HalfOpen => 2,
+        }
+    }
+}
+
 /// Classification of a single shared-memory operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OpClass {
@@ -195,6 +230,23 @@ pub enum TelemetryEvent {
         /// Ring depth left behind after the drain.
         queue_depth: u64,
     },
+    /// A supervised service worker recovered from a panic: its unsubmitted
+    /// proposals were re-admitted and its drain loop restarted.
+    WorkerRestarted {
+        /// Intake ring (= worker index) that recovered.
+        ring: u64,
+        /// Restart attempt number for this worker, starting at 1.
+        attempt: u64,
+        /// Queued-but-unsubmitted cells re-admitted to the ring.
+        resubmitted: u64,
+        /// Wall-clock panic-catch → drain-loop-reentry latency, nanoseconds.
+        recovery_ns: u64,
+    },
+    /// A service circuit breaker changed state.
+    CircuitTransition {
+        /// The state entered.
+        state: CircuitState,
+    },
     /// End-of-run totals (mirrors `mc-sim`'s `WorkMetrics`).
     WorkSummary {
         /// Seed the run was driven with.
@@ -230,6 +282,8 @@ impl TelemetryEvent {
             TelemetryEvent::FaultInjected { .. } => "fault_injected",
             TelemetryEvent::FallbackTaken { .. } => "fallback_taken",
             TelemetryEvent::BatchDrained { .. } => "batch_drained",
+            TelemetryEvent::WorkerRestarted { .. } => "worker_restarted",
+            TelemetryEvent::CircuitTransition { .. } => "circuit_transition",
             TelemetryEvent::WorkSummary { .. } => "work_summary",
         }
     }
@@ -328,6 +382,20 @@ impl TelemetryEvent {
                 obj.u64_field("shard", *shard)
                     .u64_field("batch", *batch)
                     .u64_field("queue_depth", *queue_depth);
+            }
+            TelemetryEvent::WorkerRestarted {
+                ring,
+                attempt,
+                resubmitted,
+                recovery_ns,
+            } => {
+                obj.u64_field("ring", *ring)
+                    .u64_field("attempt", *attempt)
+                    .u64_field("resubmitted", *resubmitted)
+                    .u64_field("recovery_ns", *recovery_ns);
+            }
+            TelemetryEvent::CircuitTransition { state } => {
+                obj.str_field("state", state.as_str());
             }
             TelemetryEvent::WorkSummary {
                 seed,
@@ -504,6 +572,10 @@ pub struct AggregatingRecorder {
     fallbacks_taken: Counter,
     batches_drained: Counter,
     batched_proposals: Counter,
+    worker_restarts: Counter,
+    resubmitted_cells: Counter,
+    circuit_transitions: Counter,
+    circuit_state: Gauge,
     per_pid_ops: Mutex<Vec<u64>>,
 }
 
@@ -606,6 +678,26 @@ impl AggregatingRecorder {
     pub fn batched_proposals(&self) -> u64 {
         self.batched_proposals.get()
     }
+
+    /// `worker_restarted` events seen.
+    pub fn worker_restarts(&self) -> u64 {
+        self.worker_restarts.get()
+    }
+
+    /// Total cells re-admitted across all `worker_restarted` events.
+    pub fn resubmitted_cells(&self) -> u64 {
+        self.resubmitted_cells.get()
+    }
+
+    /// `circuit_transition` events seen.
+    pub fn circuit_transitions(&self) -> u64 {
+        self.circuit_transitions.get()
+    }
+
+    /// Last circuit state observed (numeric; see [`CircuitState::as_u64`]).
+    pub fn circuit_state(&self) -> u64 {
+        self.circuit_state.get()
+    }
 }
 
 impl Recorder for AggregatingRecorder {
@@ -663,6 +755,14 @@ impl Recorder for AggregatingRecorder {
             TelemetryEvent::BatchDrained { batch, .. } => {
                 self.batches_drained.incr();
                 self.batched_proposals.add(*batch);
+            }
+            TelemetryEvent::WorkerRestarted { resubmitted, .. } => {
+                self.worker_restarts.incr();
+                self.resubmitted_cells.add(*resubmitted);
+            }
+            TelemetryEvent::CircuitTransition { state } => {
+                self.circuit_transitions.incr();
+                self.circuit_state.set(state.as_u64());
             }
             TelemetryEvent::WorkSummary { .. } => {}
         }
@@ -777,6 +877,15 @@ mod tests {
                 batch: 8,
                 queue_depth: 2,
             },
+            TelemetryEvent::WorkerRestarted {
+                ring: 0,
+                attempt: 1,
+                resubmitted: 3,
+                recovery_ns: 2_000,
+            },
+            TelemetryEvent::CircuitTransition {
+                state: CircuitState::Open,
+            },
             TelemetryEvent::WorkSummary {
                 seed: 7,
                 total_work: 2,
@@ -823,11 +932,15 @@ mod tests {
         for event in sample_events() {
             agg.record(&event);
         }
-        assert_eq!(agg.events(), 13);
+        assert_eq!(agg.events(), 15);
         assert_eq!(agg.faults_injected(), 1);
         assert_eq!(agg.fallbacks_taken(), 1);
         assert_eq!(agg.batches_drained(), 1);
         assert_eq!(agg.batched_proposals(), 8);
+        assert_eq!(agg.worker_restarts(), 1);
+        assert_eq!(agg.resubmitted_cells(), 3);
+        assert_eq!(agg.circuit_transitions(), 1);
+        assert_eq!(agg.circuit_state(), CircuitState::Open.as_u64());
         assert_eq!(agg.stage_entries(), 1);
         assert_eq!(agg.fast_path_hits(), 1);
         assert_eq!(agg.conciliator_rounds(), 1);

@@ -58,6 +58,19 @@ echo "== graph checker (n=3 sweep) =="
 cargo run -p mc-bench --release --bin check_campaign -- --state-budget 2000000 > /dev/null
 test -s BENCH_check_campaign.json
 
+echo "== chaos campaign (exactly-once under worker failure) =="
+# Chaos plan x supervision policy sweep over the service: seeded worker
+# panics at drain boundaries, mid-drain stalls, and register faults. Every
+# submitted proposal must decide exactly once (zero lost, zero duplicate
+# ledger entries, restarts within budget), recovery latency quantiles land
+# in BENCH_chaos_recovery.json, and the supervised service with an empty
+# chaos plan must sustain >= 0.9x the legacy restart_budget=0 throughput
+# (the report carries the measured ratio; the gate is looser than the
+# ~1.0x measured on idle hardware so shared-runner noise cannot flake it).
+cargo run -p mc-bench --release --bin chaos_campaign -- --seeds 5 --min-ratio 0.9 > chaos_campaign.jsonl
+test -s chaos_campaign.jsonl
+test -s BENCH_chaos_recovery.json
+
 echo "== fault campaign (degradation smoke) =="
 # Fault class x rate x protocol sweep over fault-injected lab runs: safety
 # must hold with zero violations in every cell, bounded consensus must

@@ -252,3 +252,175 @@ proptest! {
         prop_assert_eq!(fallback_lines, tel_fallbacks);
     }
 }
+
+/// One seeded chaos-service run: drain-boundary panics force worker
+/// restarts with cell re-admission, then deterministic shedding with the
+/// workers paused trips the circuit breaker. Returns the runtime
+/// telemetry's own view — `[worker_restarts, resubmitted_cells,
+/// circuit_state]` — plus its rendered snapshot; the recorder's view stays
+/// with the caller.
+fn chaos_service_run(
+    seed: u64,
+    panics: u32,
+    recorder: std::sync::Arc<dyn Recorder>,
+) -> ([u64; 3], modular_consensus::telemetry::Snapshot) {
+    use modular_consensus::runtime::{
+        BackpressurePolicy, ChaosPlan, CircuitOptions, ConsensusService, SupervisorOptions,
+    };
+    use std::time::Duration;
+
+    let service = ConsensusService::builder()
+        .n(2)
+        .values(64)
+        .participants(1)
+        .shards(1)
+        .workers(1)
+        .seed(seed)
+        .chaos(ChaosPlan::seeded(seed).panic_every(1, panics))
+        .supervisor(SupervisorOptions {
+            restart_budget: panics + 1,
+            base_backoff: Duration::from_micros(50),
+            max_backoff: Duration::from_micros(200),
+        })
+        .backpressure(BackpressurePolicy::Shed {
+            max_queue_depth: 16,
+        })
+        .circuit(CircuitOptions {
+            overload_threshold: 3,
+            trip_queue_depth: 0,
+            cooldown: Duration::from_secs(3600),
+        })
+        .recorder(recorder)
+        .build();
+
+    // Phase 1 — decide through the chaos: every drain panics until the
+    // plan's budget is spent, so the worker restarts exactly `panics`
+    // times, re-admitting each drained batch exactly once.
+    let handles: Vec<_> = (0..8u64)
+        .map(|i| service.submit(i, i).expect("queue has room"))
+        .collect();
+    for (i, handle) in handles.into_iter().enumerate() {
+        assert_eq!(handle.wait(), Ok(i as u64), "seed {seed}: phase 1");
+    }
+
+    // Phase 2 — trip the breaker: with draining paused, admission alone
+    // decides each submission's fate. Fill the queue, then shed three
+    // consecutive proposals to cross the overload threshold.
+    service.pause();
+    let queued: Vec<_> = (0..16u64)
+        .map(|i| service.submit(1000 + i, i).expect("fills to the bound"))
+        .collect();
+    for i in 0..3u64 {
+        assert!(
+            service.submit(2000 + i, i).is_err(),
+            "seed {seed}: over-bound submit {i} must shed"
+        );
+    }
+    assert!(
+        matches!(service.submit(3000, 0), Err(EngineError::CircuitOpen)),
+        "seed {seed}: breaker must be open after sustained shedding"
+    );
+    service.resume();
+    for (i, handle) in queued.into_iter().enumerate() {
+        assert_eq!(handle.wait(), Ok(i as u64), "seed {seed}: phase 2");
+    }
+
+    let telemetry = std::sync::Arc::clone(service.engine().telemetry_handle());
+    drop(service);
+    let snapshot = telemetry.snapshot();
+    (
+        [
+            telemetry.worker_restarts(),
+            telemetry.resubmitted_cells(),
+            telemetry.circuit_state(),
+        ],
+        snapshot,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Supervision and circuit-breaker activity is triple-accounted: the
+    /// runtime telemetry counters, the recorder's aggregated event stream,
+    /// and the rendered snapshot (JSON and Prometheus included) agree on
+    /// restarts, re-admitted cells, and the final breaker state.
+    #[test]
+    fn chaos_metrics_reconcile_across_all_three_ledgers(
+        seed in 0u64..10_000,
+        panics in 1u32..4,
+    ) {
+        use std::sync::Arc;
+
+        let agg = Arc::new(AggregatingRecorder::new());
+        let ([restarts, resubmitted, circuit], snapshot) =
+            chaos_service_run(seed, panics, Arc::clone(&agg) as Arc<dyn Recorder>);
+
+        // The run is deterministic in shape: the chaos plan spends its full
+        // panic budget, and phase 2 leaves the breaker open.
+        prop_assert_eq!(restarts, u64::from(panics));
+        prop_assert_eq!(circuit, 1, "breaker left open");
+
+        // Ledger 2: the recorder folded the same events.
+        prop_assert_eq!(agg.worker_restarts(), restarts);
+        prop_assert_eq!(agg.resubmitted_cells(), resubmitted);
+        prop_assert_eq!(agg.circuit_state(), circuit);
+        prop_assert!(agg.circuit_transitions() >= 1);
+
+        // Ledger 3: the snapshot renders the same numbers everywhere.
+        prop_assert_eq!(snapshot.counter_value("worker_restarts"), Some(restarts));
+        prop_assert_eq!(snapshot.counter_value("resubmitted_cells"), Some(resubmitted));
+        let json = snapshot.to_json();
+        prop_assert!(
+            json.contains(&format!("\"circuit_state\":{{\"value\":{circuit},")),
+            "snapshot JSON lacks the circuit gauge: {json}"
+        );
+        let prom = snapshot.to_prometheus();
+        prop_assert!(
+            prom.contains(&format!("\ncircuit_state {circuit}\n")),
+            "Prometheus export lacks the circuit gauge: {prom}"
+        );
+        let restart_line = format!("\nworker_restarts {restarts}\n");
+        prop_assert!(prom.contains(&restart_line), "missing {}", restart_line.trim());
+        let resubmit_line = format!("\nresubmitted_cells {resubmitted}\n");
+        prop_assert!(prom.contains(&resubmit_line), "missing {}", resubmit_line.trim());
+    }
+
+    /// The JSONL export carries one well-formed `worker_restarted` line per
+    /// restart — attempts numbered consecutively from 1 — and a
+    /// `circuit_transition` line whose final state is `open`.
+    #[test]
+    fn chaos_events_export_one_jsonl_line_each(
+        seed in 0u64..10_000,
+        panics in 1u32..4,
+    ) {
+        use std::sync::Arc;
+
+        let (recorder, buf) = JsonlRecorder::in_memory();
+        let ([restarts, _, _], _) =
+            chaos_service_run(seed, panics, Arc::new(recorder) as Arc<dyn Recorder>);
+
+        let bytes = buf.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).expect("JSONL is UTF-8");
+        let mut restart_lines = 0u64;
+        let mut last_circuit_state = None;
+        for (ix, line) in text.lines().enumerate() {
+            json::validate(line)
+                .unwrap_or_else(|e| panic!("line {ix} is not valid JSON ({e}): {line}"));
+            if line.contains("\"ev\":\"worker_restarted\"") {
+                restart_lines += 1;
+                let stamp = format!("\"attempt\":{restart_lines}");
+                prop_assert!(line.contains(&stamp), "line {} lacks {}: {}", ix, stamp, line);
+            }
+            if line.contains("\"ev\":\"circuit_transition\"") {
+                last_circuit_state = Some(line.contains("\"state\":\"open\""));
+            }
+        }
+        prop_assert_eq!(restart_lines, restarts);
+        prop_assert_eq!(
+            last_circuit_state,
+            Some(true),
+            "final circuit_transition line must record the open state"
+        );
+    }
+}
