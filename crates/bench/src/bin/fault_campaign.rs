@@ -249,6 +249,7 @@ fn run_cell(cell: &Cell, proto: Proto, seeds: u64, n: usize, f: u32) -> CellStat
             schedule: WriteSchedule::impatient(),
             fast_path: true,
             max_conciliator_rounds: Some(f),
+            conciliator: mc_runtime::ConciliatorChoice::Impatient,
         };
         let consensus = BoundedConsensus::with_options_in(memory, options);
         let inputs = inputs_for(proto.capacity(), seed, n);

@@ -25,7 +25,11 @@ use mc_sim::adversary::{ImpatienceExploiter, RandomScheduler, RoundRobin, SplitK
 use mc_sim::sched::{PctScheduler, PriorityScheduler, QuantumScheduler};
 use mc_sim::Adversary;
 
-const PROTOCOLS: [Protocol; 2] = [Protocol::Binary, Protocol::Multivalued(6)];
+const PROTOCOLS: [Protocol; 3] = [
+    Protocol::Binary,
+    Protocol::Multivalued(6),
+    Protocol::Coin { quorum_factor: 1 },
+];
 
 type MakeAdversary = Box<dyn Fn() -> Box<dyn Adversary + Send>>;
 
@@ -61,7 +65,7 @@ fn adversary_for(seed: u64) -> (&'static str, MakeAdversary) {
 
 fn inputs_for(protocol: Protocol, seed: u64, n: usize) -> Vec<u64> {
     let m = match protocol {
-        Protocol::Binary => 2,
+        Protocol::Binary | Protocol::Coin { .. } => 2,
         Protocol::Multivalued(m) => m,
     };
     // Cheap deterministic spread: different seeds exercise different

@@ -166,13 +166,25 @@ impl TryRng for CheckRng {
     }
 }
 
+/// Mixes a run seed with a process id into a decorrelated per-process
+/// stream seed (full SplitMix64 finalizer). Must match `mc-sim`'s
+/// `mix_seed` and the lab workers exactly: conformance legs replay a
+/// runtime execution through the checker at the same `(seed, pid)` and
+/// expect identical coin streams.
+fn mix_seed(seed: u64, pid: u64) -> u64 {
+    let mut z = seed ^ pid.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 impl CheckRng {
     fn new(policy: CoinPolicy, pid: usize) -> CheckRng {
         match policy {
             CoinPolicy::Forbid => CheckRng::Forbid { used: false },
-            CoinPolicy::Fixed(seed) => CheckRng::Fixed(SmallRng::seed_from_u64(
-                seed ^ (pid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-            )),
+            CoinPolicy::Fixed(seed) => {
+                CheckRng::Fixed(SmallRng::seed_from_u64(mix_seed(seed, pid as u64)))
+            }
         }
     }
 

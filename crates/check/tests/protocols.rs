@@ -166,7 +166,9 @@ fn fixed_schedule_reports_truncation() {
 /// policy and accepted (conditionally) with a fixed seed.
 #[test]
 fn local_coin_protocols_are_rejected_then_sampled() {
-    let spec = CoinConciliator::new(Arc::new(VotingSharedCoin::with_quorum_factor(1)));
+    let spec = CoinConciliator::new(Arc::new(
+        VotingSharedCoin::with_quorum_factor(1).expect("positive factor"),
+    ));
     let err = Explorer::new(spec.clone(), vec![0, 1])
         .verify_safety()
         .unwrap_err();

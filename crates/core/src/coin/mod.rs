@@ -25,4 +25,4 @@ mod conciliator_coin;
 mod voting;
 
 pub use conciliator_coin::ConciliatorCoin;
-pub use voting::VotingSharedCoin;
+pub use voting::{InvalidQuorumFactor, VotingSharedCoin};

@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use mc_model::{
     Action, Ctx, DecidingObject, Decision, InstantiateCtx, ObjectSpec, Op, ProcessId, RegisterId,
-    Response, Session, Value,
+    Response, Session, StateSink, Value,
 };
 use rand::RngExt;
 
@@ -41,16 +41,38 @@ impl VotingSharedCoin {
     /// Larger factors raise the agreement probability toward 1 at
     /// proportional extra cost.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `factor` is 0.
-    pub fn with_quorum_factor(factor: u32) -> VotingSharedCoin {
-        assert!(factor > 0, "quorum factor must be positive");
-        VotingSharedCoin {
-            quorum_factor: factor,
+    /// Returns [`InvalidQuorumFactor`] if `factor` is 0 — a zero quorum
+    /// would let the first voter decide the "shared" coin alone, silently
+    /// destroying the agreement parameter, so the misconfiguration is
+    /// surfaced as a value instead of a panic.
+    pub fn with_quorum_factor(factor: u32) -> Result<VotingSharedCoin, InvalidQuorumFactor> {
+        if factor == 0 {
+            return Err(InvalidQuorumFactor);
         }
+        Ok(VotingSharedCoin {
+            quorum_factor: factor,
+        })
     }
 }
+
+/// Error from [`VotingSharedCoin::with_quorum_factor`]: the quorum factor
+/// must be positive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidQuorumFactor;
+
+impl std::fmt::Display for InvalidQuorumFactor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "quorum factor must be positive: a zero quorum lets the first \
+             voter decide the shared coin alone"
+        )
+    }
+}
+
+impl std::error::Error for InvalidQuorumFactor {}
 
 impl Default for VotingSharedCoin {
     fn default() -> Self {
@@ -164,6 +186,21 @@ impl Session for VotingSession {
             }
         }
     }
+
+    fn snapshot(&self, sink: &mut StateSink) {
+        sink.push_raw(match self.state {
+            State::Voting => 0,
+            State::Scanning => 1,
+        });
+        // `my_count` doubles as the session's rng-stream position (one draw
+        // per vote), so equal snapshots imply equal future vote sequences
+        // under a fixed coin policy.
+        sink.push_raw(u64::from(self.my_count));
+        sink.push_raw(self.my_sum as u64);
+        sink.push_raw(self.scan_ix as u64);
+        sink.push_raw(self.seen_count);
+        sink.push_raw(self.seen_sum as u64);
+    }
 }
 
 impl ObjectSpec for VotingSharedCoin {
@@ -274,7 +311,7 @@ mod tests {
     fn quorum_factor_scales_work() {
         let run = |factor| {
             harness::run_trials(
-                &VotingSharedCoin::with_quorum_factor(factor),
+                &VotingSharedCoin::with_quorum_factor(factor).expect("positive factor"),
                 20,
                 1,
                 &EngineConfig::default(),
@@ -288,8 +325,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "quorum factor")]
-    fn zero_factor_rejected() {
-        VotingSharedCoin::with_quorum_factor(0);
+    fn zero_factor_yields_a_structured_error() {
+        let err = VotingSharedCoin::with_quorum_factor(0).unwrap_err();
+        assert_eq!(err, InvalidQuorumFactor);
+        assert!(
+            err.to_string().contains("quorum factor must be positive"),
+            "unexpected message: {err}"
+        );
+        // Positive factors construct normally.
+        assert!(VotingSharedCoin::with_quorum_factor(1).is_ok());
     }
 }

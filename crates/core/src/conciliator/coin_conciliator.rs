@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use mc_model::{
     Action, Ctx, DecidingObject, Decision, InstantiateCtx, ObjectSpec, Op, ProcessId, RegisterId,
-    Response, Session, Value,
+    Response, Session, StateSink, Value,
 };
 
 /// Procedure CoinConciliator (§5.1):
@@ -125,6 +125,22 @@ impl Session for CoinConciliatorSession {
                     .expect("coin session active in RunningCoin state");
                 Self::map_coin(session.poll(response, ctx))
             }
+        }
+    }
+
+    fn snapshot(&self, sink: &mut StateSink) {
+        sink.push_raw(match self.state {
+            State::Announcing => 0,
+            State::CheckingOther => 1,
+            State::RunningCoin => 2,
+        });
+        sink.push_value(self.input);
+        match &self.coin_session {
+            Some(inner) => {
+                sink.push_raw(1);
+                inner.snapshot(sink);
+            }
+            None => sink.push_raw(0),
         }
     }
 }

@@ -57,7 +57,7 @@ pub mod conciliator;
 pub mod protocol;
 pub mod ratifier;
 
-pub use coin::{ConciliatorCoin, VotingSharedCoin};
+pub use coin::{ConciliatorCoin, InvalidQuorumFactor, VotingSharedCoin};
 pub use compose::{BoundedChain, Chain, ChainProbe, LazyChain};
 pub use conciliator::{
     CoinConciliator, DummyWriteConciliator, FirstMoverConciliator, WriteSchedule,

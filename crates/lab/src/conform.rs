@@ -19,11 +19,11 @@ use std::fmt;
 use std::sync::Arc;
 
 use mc_check::{replay_to_completion, CoinPolicy};
-use mc_core::ConsensusBuilder;
+use mc_core::{CoinConciliator, ConsensusBuilder, Ratifier, VotingSharedCoin};
 use mc_model::ObjectSpec;
 use mc_runtime::{
-    AtomicMemory, ChaosPlan, Consensus, ConsensusEngine, ConsensusService, FaultPlan, FaultyMemory,
-    SharedMemory, SupervisorOptions,
+    AtomicMemory, ChaosPlan, CoinKind, ConciliatorChoice, Consensus, ConsensusEngine,
+    ConsensusService, FaultPlan, FaultyMemory, SharedMemory, SupervisorOptions,
 };
 use mc_sim::harness::run_object;
 use mc_sim::{Adversary, EngineConfig, RunError, Trace, WorkMetrics};
@@ -43,6 +43,15 @@ pub enum Protocol {
     /// normalizes 2-valued to the binary scheme while the runtime would use
     /// a binomial scheme, so the pairing is only exact for `m > 2`.)
     Multivalued(u64),
+    /// Binary consensus via Theorem 6: [`CoinConciliator`] stages over the
+    /// Aspnes–Herlihy voting coin (vote quorum `quorum_factor · n²`) + the
+    /// 3-register binary ratifier. Unlike the impatient protocols, the coin
+    /// draws session-local randomness (its ±1 votes), which every substrate
+    /// takes from the same per-process `mix_seed(seed, pid)` streams.
+    Coin {
+        /// Vote quorum as a multiple of `n²`. Must be positive.
+        quorum_factor: u32,
+    },
 }
 
 impl Protocol {
@@ -53,6 +62,17 @@ impl Protocol {
             Protocol::Multivalued(m) => {
                 assert!(*m > 2, "use Protocol::Binary for m = 2");
                 Arc::new(ConsensusBuilder::multivalued(*m).build())
+            }
+            Protocol::Coin { quorum_factor } => {
+                let coin = VotingSharedCoin::with_quorum_factor(*quorum_factor)
+                    .expect("positive quorum factor");
+                Arc::new(
+                    ConsensusBuilder::new(
+                        Arc::new(CoinConciliator::new(Arc::new(coin))),
+                        Arc::new(Ratifier::binary()),
+                    )
+                    .build(),
+                )
             }
         }
     }
@@ -71,14 +91,35 @@ impl Protocol {
                 assert!(*m > 2, "use Protocol::Binary for m = 2");
                 Consensus::builder().n(n).values(*m).memory(memory).build()
             }
+            Protocol::Coin { quorum_factor } => Consensus::builder()
+                .n(n)
+                .memory(memory)
+                .conciliator(ConciliatorChoice::Coin(CoinKind::Voting {
+                    quorum_factor: *quorum_factor,
+                }))
+                .build(),
         }
     }
 
     /// Capacity of the protocol's value domain.
     pub fn capacity(&self) -> u64 {
         match self {
-            Protocol::Binary => 2,
+            Protocol::Binary | Protocol::Coin { .. } => 2,
             Protocol::Multivalued(m) => *m,
+        }
+    }
+
+    /// The `mc-check` coin policy that replays this protocol's lab script.
+    ///
+    /// The impatient protocols draw no session-local randomness, so local
+    /// coins are forbidden outright. The voting-coin protocol draws its ±1
+    /// votes from the per-process `mix_seed(seed, pid)` streams — the same
+    /// streams the sim engine and the lab workers use — so a
+    /// [`CoinPolicy::Fixed`] replay reproduces them exactly.
+    fn replay_policy(&self, seed: u64) -> CoinPolicy {
+        match self {
+            Protocol::Coin { .. } => CoinPolicy::Fixed(seed),
+            _ => CoinPolicy::Forbid,
         }
     }
 }
@@ -88,6 +129,7 @@ impl fmt::Display for Protocol {
         match self {
             Protocol::Binary => write!(f, "binary"),
             Protocol::Multivalued(m) => write!(f, "multivalued({m})"),
+            Protocol::Coin { quorum_factor } => write!(f, "coin[voting {quorum_factor}n^2]"),
         }
     }
 }
@@ -226,6 +268,41 @@ pub fn check_conformance(
     check_conformance_wrapped(protocol, inputs, make_adversary, seed, max_steps, |m| m)
 }
 
+/// [`check_conformance`] for the Theorem 6 protocol [`Protocol::Coin`]:
+/// binary consensus whose conciliator stages wrap the Aspnes–Herlihy voting
+/// coin with vote quorum `quorum_factor · n²`.
+///
+/// This is the coin-portfolio pin: the runtime's
+/// [`CoinConciliator`](mc_runtime::CoinConciliator) +
+/// [`VotingCoin`](mc_runtime::VotingCoin) must be operation-for-operation
+/// identical to the model's [`CoinConciliator`] +
+/// [`VotingSharedCoin`] specs, decisions, traces, work accounting and all —
+/// and the recorded schedule must replay through `mc-check` under
+/// [`CoinPolicy::Fixed`] to the same decisions.
+///
+/// # Errors
+///
+/// Returns the first [`Divergence`] found.
+///
+/// # Panics
+///
+/// Panics if `quorum_factor` is 0.
+pub fn check_coin_conformance(
+    quorum_factor: u32,
+    inputs: &[u64],
+    make_adversary: &dyn Fn() -> Box<dyn Adversary + Send>,
+    seed: u64,
+    max_steps: u64,
+) -> Result<Conformance, Divergence> {
+    check_conformance(
+        Protocol::Coin { quorum_factor },
+        inputs,
+        make_adversary,
+        seed,
+        max_steps,
+    )
+}
+
 /// [`check_conformance`] with the lab side running through a
 /// [`FaultyMemory`] layer under `plan`.
 ///
@@ -286,7 +363,7 @@ pub fn check_recycled_conformance(
 
     let mut lab = Lab::new(n, make_adversary(), &[], max_steps);
     let mut consensus = protocol.runtime(&lab, n);
-    let fresh = match lab.run(seed, |pid, rng| consensus.decide(inputs[pid], rng)) {
+    let fresh = match lab.run(seed, |pid, rng| consensus.decide_as(pid, inputs[pid], rng)) {
         Ok(report) => report,
         Err(LabError::StepLimitExceeded { .. }) => return Ok(Conformance::BothStepLimited),
         Err(err) => {
@@ -299,7 +376,7 @@ pub fn check_recycled_conformance(
 
     consensus.reset();
     lab.reset_epoch(make_adversary(), &[]);
-    let recycled = match lab.run(seed, |pid, rng| consensus.decide(inputs[pid], rng)) {
+    let recycled = match lab.run(seed, |pid, rng| consensus.decide_as(pid, inputs[pid], rng)) {
         Ok(report) => report,
         Err(err) => {
             // The fresh run completed at this (adversary, seed), so the
@@ -609,7 +686,10 @@ fn check_conformance_wrapped<M: SharedMemory>(
 
     let lab = Lab::new(n, make_adversary(), &[], max_steps);
     let consensus = protocol.runtime_in(wrap(lab.memory()), n);
-    let lab_report = lab.run(seed, |pid, rng| consensus.decide(inputs[pid], rng));
+    // `decide_as` binds the lab worker's pid to the runtime thread slot —
+    // the model's sessions are pid-addressed (the voting coin writes its
+    // own tally register), so the pairing must be explicit, not ticketed.
+    let lab_report = lab.run(seed, |pid, rng| consensus.decide_as(pid, inputs[pid], rng));
 
     let (sim_outcome, lab_report) = match (sim_outcome, lab_report) {
         (Ok(sim), Ok(lab)) => (sim, lab),
@@ -660,12 +740,13 @@ fn check_conformance_wrapped<M: SharedMemory>(
     }
 
     // Close the triangle: the recorded schedule/coin script must drive the
-    // *model* to the same decisions. These protocols use no session-local
-    // randomness, so local coins are forbidden outright.
+    // *model* to the same decisions. The per-protocol policy decides how
+    // session-local randomness replays (forbidden for the impatient
+    // protocols, pid-seeded streams for the voting coin).
     match replay_to_completion(
         spec.as_ref(),
         inputs,
-        CoinPolicy::Forbid,
+        protocol.replay_policy(seed),
         max_steps as usize,
         &lab_report.path,
     ) {
@@ -730,6 +811,49 @@ mod tests {
             for make in adversary_menu(seed) {
                 check_conformance(Protocol::Multivalued(5), &[4, 0, 2], &make, seed, 100_000)
                     .unwrap_or_else(|d| panic!("seed {seed}: {d}"));
+            }
+        }
+    }
+
+    #[test]
+    fn coin_consensus_conforms_across_seeds_and_adversaries() {
+        for seed in 0..8 {
+            for make in adversary_menu(seed) {
+                let outcome = check_coin_conformance(1, &[0, 1, 1], &make, seed, 200_000)
+                    .unwrap_or_else(|d| panic!("seed {seed}: {d}"));
+                if let Conformance::Agreed { decisions, .. } = outcome {
+                    assert!(decisions.iter().all(|&d| d == decisions[0]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coin_consensus_unanimous_inputs_conform_on_the_fast_path() {
+        for seed in 0..5 {
+            for make in adversary_menu(seed) {
+                let outcome = check_coin_conformance(1, &[1, 1, 1], &make, seed, 200_000)
+                    .unwrap_or_else(|d| panic!("seed {seed}: {d}"));
+                let Conformance::Agreed { decisions, .. } = outcome else {
+                    panic!("seed {seed}: unanimous run hit the step limit");
+                };
+                assert_eq!(decisions, vec![1, 1, 1], "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn recycled_coin_object_is_identical_to_fresh() {
+        for seed in 0..5 {
+            for make in adversary_menu(seed) {
+                check_recycled_conformance(
+                    Protocol::Coin { quorum_factor: 1 },
+                    &[0, 1, 1],
+                    &make,
+                    seed,
+                    200_000,
+                )
+                .unwrap_or_else(|d| panic!("seed {seed}: {d}"));
             }
         }
     }

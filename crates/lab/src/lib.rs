@@ -43,8 +43,9 @@ pub mod inject;
 pub mod toy;
 
 pub use conform::{
-    check_chaos_conformance, check_conformance, check_conformance_with_plan,
-    check_recycled_conformance, check_service_conformance, Conformance, Divergence, Protocol,
+    check_chaos_conformance, check_coin_conformance, check_conformance,
+    check_conformance_with_plan, check_recycled_conformance, check_service_conformance,
+    Conformance, Divergence, Protocol,
 };
 pub use control::{LabError, LabMemory, LabRegister};
 pub use harness::{Lab, LabReport};

@@ -27,6 +27,7 @@ use std::time::Instant;
 use mc_telemetry::{Recorder, StageKind};
 use rand::Rng;
 
+use crate::conciliator::ConciliatorChoice;
 use crate::consensus::{Consensus, ConsensusOptions, Stage};
 use crate::register::{AtomicMemory, SharedMemory, SharedRegister};
 use crate::telemetry::RuntimeTelemetry;
@@ -200,6 +201,7 @@ impl<M: SharedMemory> BoundedConsensus<M> {
                 schedule: mc_core::conciliator::WriteSchedule::impatient(),
                 fast_path: true,
                 max_conciliator_rounds: None,
+                conciliator: ConciliatorChoice::Impatient,
             },
             fallback,
         )
@@ -349,6 +351,7 @@ impl<M: SharedMemory, F: Fallback> BoundedConsensus<M, F> {
         let fast_prefix = if self.chain.options().fast_path { 2 } else { 0 };
         let total_stages = fast_prefix + 2 * self.rounds as usize;
         let mut current = value;
+        let mut conciliator_stages = 0u64;
         for ix in 0..total_stages {
             match &*self.chain.stage(ix) {
                 Stage::Ratifier(r) => {
@@ -360,6 +363,7 @@ impl<M: SharedMemory, F: Fallback> BoundedConsensus<M, F> {
                         self.fallback.publish(pid, d.value());
                         let latency_ns =
                             u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        telemetry.on_conciliator_stages(conciliator_stages);
                         telemetry.on_decided(d.value(), ix as u64, ix < fast_prefix, latency_ns);
                         return d.value();
                     }
@@ -367,13 +371,15 @@ impl<M: SharedMemory, F: Fallback> BoundedConsensus<M, F> {
                 }
                 Stage::Conciliator(c) => {
                     telemetry.on_stage_entered(ix as u64, StageKind::Conciliator);
-                    current = c.propose(current, rng);
+                    conciliator_stages += 1;
+                    current = c.propose(pid, current, rng);
                 }
             }
         }
         telemetry.on_fallback_taken(u64::from(self.rounds));
         let decided = self.fallback.decide(pid, current);
         let latency_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        telemetry.on_conciliator_stages(conciliator_stages);
         telemetry.on_decided(decided, total_stages as u64, false, latency_ns);
         decided
     }
@@ -434,6 +440,7 @@ mod tests {
                 schedule: mc_core::conciliator::WriteSchedule::impatient(),
                 fast_path: false,
                 max_conciliator_rounds: Some(0),
+                conciliator: ConciliatorChoice::Impatient,
             };
             let c = Arc::new(BoundedConsensus::with_options_in(AtomicMemory, options));
             let proposals: Vec<u64> = (0..4).map(|t| (t + trial) % 2).collect();
@@ -502,6 +509,7 @@ mod tests {
             schedule: mc_core::conciliator::WriteSchedule::impatient(),
             fast_path: false,
             max_conciliator_rounds: Some(0),
+            conciliator: ConciliatorChoice::Impatient,
         };
         let mut c = BoundedConsensus::with_options_in(AtomicMemory, options);
         let mut rng = SmallRng::seed_from_u64(0);

@@ -26,6 +26,7 @@ use mc_quorums::{BinaryScheme, BinomialScheme, QuorumScheme};
 use mc_telemetry::Recorder;
 
 use crate::bounded::{BoundedConsensus, Fallback, LeaderFallback};
+use crate::conciliator::ConciliatorChoice;
 use crate::consensus::{Consensus, ConsensusOptions};
 use crate::engine::{ConsensusEngine, EngineOptions};
 use crate::register::{AtomicMemory, SharedMemory};
@@ -47,6 +48,7 @@ pub struct ConsensusBuilder<M: SharedMemory = AtomicMemory> {
     schedule: WriteSchedule,
     fast_path: bool,
     max_conciliator_rounds: Option<u32>,
+    conciliator: ConciliatorChoice,
     recorder: Option<Arc<dyn Recorder>>,
 }
 
@@ -60,6 +62,7 @@ impl Default for ConsensusBuilder {
             schedule: WriteSchedule::impatient(),
             fast_path: true,
             max_conciliator_rounds: None,
+            conciliator: ConciliatorChoice::Impatient,
             recorder: None,
         }
     }
@@ -122,6 +125,16 @@ impl<M: SharedMemory> ConsensusBuilder<M> {
         self
     }
 
+    /// Which conciliator the `C` stages instantiate (default
+    /// [`ConciliatorChoice::Impatient`]): the impatient probabilistic-write
+    /// racer, the Theorem 6 coin wrapper, or the telemetry-fed adaptive
+    /// policy. Non-impatient choices require binary capacity.
+    #[must_use]
+    pub fn conciliator(mut self, choice: ConciliatorChoice) -> Self {
+        self.conciliator = choice;
+        self
+    }
+
     /// Telemetry event sink. Counters are collected either way; a recorder
     /// additionally streams structured [`TelemetryEvent`]s.
     ///
@@ -145,6 +158,7 @@ impl<M: SharedMemory> ConsensusBuilder<M> {
             schedule: self.schedule,
             fast_path: self.fast_path,
             max_conciliator_rounds: self.max_conciliator_rounds,
+            conciliator: self.conciliator,
             recorder: self.recorder,
         }
     }
@@ -175,6 +189,7 @@ impl<M: SharedMemory> ConsensusBuilder<M> {
             schedule: self.schedule,
             fast_path: self.fast_path,
             max_conciliator_rounds: self.max_conciliator_rounds,
+            conciliator: self.conciliator.clone(),
         }
     }
 
@@ -299,6 +314,14 @@ impl<M: SharedMemory> EngineBuilder<M> {
         self
     }
 
+    /// Conciliator portfolio choice for every pooled instance; see
+    /// [`ConsensusBuilder::conciliator`].
+    #[must_use]
+    pub fn conciliator(mut self, choice: ConciliatorChoice) -> Self {
+        self.consensus = self.consensus.conciliator(choice);
+        self
+    }
+
     /// Telemetry event sink; see [`ConsensusBuilder::recorder`].
     #[must_use]
     pub fn recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
@@ -374,6 +397,31 @@ mod tests {
         assert_eq!(options.scheme.capacity(), 2);
         assert!(options.fast_path);
         assert_eq!(options.max_conciliator_rounds, None);
+        assert_eq!(options.conciliator, ConciliatorChoice::Impatient);
+    }
+
+    #[test]
+    fn conciliator_choice_flows_through_all_builders() {
+        use crate::coin::CoinKind;
+        let choice = ConciliatorChoice::Coin(CoinKind::voting());
+        let options = Consensus::builder()
+            .n(2)
+            .conciliator(choice.clone())
+            .options();
+        assert_eq!(options.conciliator, choice);
+        let (engine_opts, _) = ConsensusEngine::builder()
+            .n(2)
+            .conciliator(choice.clone())
+            .options();
+        assert_eq!(engine_opts.conciliator, choice);
+        // And the built object actually runs on the coin path.
+        let c = Consensus::builder().n(1).conciliator(choice).build();
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(c.decide(1, &mut rng), 1);
+        assert_eq!(
+            c.selected_conciliator(),
+            mc_telemetry::ConciliatorKind::Coin
+        );
     }
 
     #[test]

@@ -1,12 +1,104 @@
-//! The impatient first-mover conciliator on real atomics.
+//! Runtime conciliators: the [`Conciliator`] trait, the impatient
+//! first-mover implementation on real atomics, and the portfolio
+//! [`ConciliatorChoice`] consumed by the consensus stack.
 
 use std::sync::Arc;
 
 use mc_core::conciliator::WriteSchedule;
 use rand::Rng;
 
+use crate::coin::CoinKind;
 use crate::register::{AtomicMemory, SharedMemory, SharedRegister};
 use crate::telemetry::RuntimeTelemetry;
+
+/// A conciliator as a thread-safe runtime object: a weak consensus object
+/// that *produces* agreement with probability at least `δ` while always
+/// returning some caller's proposal (validity) and never contradicting a
+/// coherent configuration (§3).
+///
+/// The trait is object-safe so the consensus chain can hold any portfolio
+/// member behind `Box<dyn Conciliator<M>>` without becoming generic itself.
+pub trait Conciliator<M: SharedMemory>: Send + Sync {
+    /// Runs the conciliator as thread `pid`: returns a value that equals
+    /// every other caller's return with probability at least `δ`, and
+    /// always equals some caller's proposal.
+    ///
+    /// One-shot semantics: each thread calls this at most once per object
+    /// instance. Implementations with per-thread shared state (e.g. the
+    /// voting coin's tally registers) require `pid` to be unique per
+    /// calling thread and below the configured thread count;
+    /// implementations without it ignore `pid`.
+    fn propose(&self, pid: usize, value: u64, rng: &mut dyn Rng) -> u64;
+
+    /// Recycles this one-shot object for a fresh instance, after which it
+    /// is indistinguishable from a fresh allocation.
+    ///
+    /// Exclusive access (`&mut`) guarantees no `propose` call is in flight.
+    fn reset(&mut self);
+
+    /// Number of shared registers this object touches — the accounting the
+    /// Theorem 6 cost bound (+2 registers over the wrapped coin) is checked
+    /// against.
+    fn register_count(&self) -> u64;
+
+    /// Stable display name for telemetry and diagnostics.
+    fn name(&self) -> &'static str;
+}
+
+/// Which conciliator implementation a consensus chain instantiates for its
+/// `C₁; C₂; …` stages.
+///
+/// The default is [`Impatient`](ConciliatorChoice::Impatient) — the paper's
+/// headline probabilistic-write conciliator (Theorem 7). Under schedulers
+/// that exploit impatience (degrading its effective `δ̂`), the Theorem 6
+/// coin wrapper over an adaptive-adversary-robust coin is the better trade;
+/// [`Adaptive`](ConciliatorChoice::Adaptive) makes that call per instance
+/// from the telemetry window.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum ConciliatorChoice {
+    /// The impatient first-mover conciliator (§5.2, the default).
+    #[default]
+    Impatient,
+    /// The Theorem 6 [`CoinConciliator`](crate::CoinConciliator) over the
+    /// given coin. Binary values only.
+    Coin(CoinKind),
+    /// Start impatient; per instance, fall back to the coin conciliator
+    /// when the telemetry window's δ̂ estimate degrades past the threshold.
+    /// Binary values only (the coin path is binary).
+    Adaptive(AdaptiveOptions),
+}
+
+/// Tuning for [`ConciliatorChoice::Adaptive`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdaptiveOptions {
+    /// How many recent decides the δ̂ estimate looks back over.
+    pub window: usize,
+    /// Minimum number of sampled decides before switching is even
+    /// considered — an empty or thin window never triggers a switch.
+    pub min_samples: usize,
+    /// Switch to the coin when the window estimate δ̂ falls below this.
+    ///
+    /// Theorem 7 guarantees δ ≈ 0.055 for the impatient conciliator against
+    /// the worst adversary; benign schedulers measure far higher, so a
+    /// threshold above the theoretical floor detects a hostile regime while
+    /// a healthy one stays impatient.
+    pub delta_threshold: f64,
+    /// The coin to fall back to. The default is the voting coin, the
+    /// portfolio member built for exactly the adversarial regime that
+    /// degrades δ̂.
+    pub coin: CoinKind,
+}
+
+impl Default for AdaptiveOptions {
+    fn default() -> Self {
+        AdaptiveOptions {
+            window: 32,
+            min_samples: 8,
+            delta_threshold: 0.2,
+            coin: CoinKind::voting(),
+        }
+    }
+}
 
 /// Procedure ImpatientFirstMoverConciliator (§5.2) as a thread-safe object:
 /// one shared register, raced by threads with doubling write probabilities.
@@ -110,6 +202,26 @@ impl<M: SharedMemory> ImpatientConciliator<M> {
             }
             k += 1;
         }
+    }
+}
+
+impl<M: SharedMemory> Conciliator<M> for ImpatientConciliator<M> {
+    /// The impatient conciliator has no per-thread shared state; `pid` is
+    /// ignored.
+    fn propose(&self, _pid: usize, value: u64, rng: &mut dyn Rng) -> u64 {
+        ImpatientConciliator::propose(self, value, rng)
+    }
+
+    fn reset(&mut self) {
+        ImpatientConciliator::reset(self);
+    }
+
+    fn register_count(&self) -> u64 {
+        1
+    }
+
+    fn name(&self) -> &'static str {
+        "impatient"
     }
 }
 

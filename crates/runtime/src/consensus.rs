@@ -1,15 +1,17 @@
 //! The full consensus object on real threads.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use mc_core::conciliator::WriteSchedule;
 use mc_quorums::{BinaryScheme, BinomialScheme, QuorumScheme};
-use mc_telemetry::{Recorder, StageKind};
+use mc_telemetry::{ConciliatorKind, Recorder, StageKind};
 use parking_lot::RwLock;
 use rand::Rng;
 
-use crate::conciliator::ImpatientConciliator;
+use crate::coin::{CoinConciliator, CoinKind, LocalCoin, VotingCoin};
+use crate::conciliator::{AdaptiveOptions, Conciliator, ConciliatorChoice, ImpatientConciliator};
 use crate::ratifier::AtomicRatifier;
 use crate::register::{AtomicMemory, SharedMemory};
 use crate::telemetry::RuntimeTelemetry;
@@ -30,6 +32,9 @@ pub struct ConsensusOptions {
     /// `None` means unbounded: [`Consensus::decide`] always ignores this
     /// field, and `BoundedConsensus` substitutes its default bound.
     pub max_conciliator_rounds: Option<u32>,
+    /// Which conciliator implementation the `C₁; C₂; …` stages instantiate
+    /// (§5.1 / §5.2 / Theorem 6). Non-impatient choices are binary only.
+    pub conciliator: ConciliatorChoice,
 }
 
 impl std::fmt::Debug for ConsensusOptions {
@@ -40,13 +45,32 @@ impl std::fmt::Debug for ConsensusOptions {
             .field("schedule", &self.schedule)
             .field("fast_path", &self.fast_path)
             .field("max_conciliator_rounds", &self.max_conciliator_rounds)
+            .field("conciliator", &self.conciliator)
             .finish()
+    }
+}
+
+/// The conciliator implementation a [`Consensus`] instance settled on for
+/// its current generation — a fixed choice resolved once, or the adaptive
+/// policy's per-instance verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ActiveConciliator {
+    Impatient,
+    Coin(CoinKind),
+}
+
+impl ActiveConciliator {
+    fn kind(self) -> ConciliatorKind {
+        match self {
+            ActiveConciliator::Impatient => ConciliatorKind::Impatient,
+            ActiveConciliator::Coin(_) => ConciliatorKind::Coin,
+        }
     }
 }
 
 pub(crate) enum Stage<M: SharedMemory> {
     Ratifier(AtomicRatifier<M>),
-    Conciliator(ImpatientConciliator<M>),
+    Conciliator(Box<dyn Conciliator<M>>),
 }
 
 impl<M: SharedMemory> Stage<M> {
@@ -91,6 +115,15 @@ pub struct Consensus<M: SharedMemory = AtomicMemory> {
     /// How many times this object has been recycled via
     /// [`reset`](Consensus::reset); fresh objects are in generation 0.
     generation: u64,
+    /// The conciliator implementation this instance's `C` stages use —
+    /// resolved from `options.conciliator` at construction and re-resolved
+    /// on every [`reset`](Consensus::reset) (where the adaptive policy gets
+    /// to change its mind between instances).
+    active: ActiveConciliator,
+    /// Hands each plain [`decide`](Consensus::decide) caller a distinct
+    /// thread slot; under one-shot semantics (≤ `n` calls per instance) the
+    /// slots are unique, which is what per-thread coin registers require.
+    ticket: AtomicUsize,
     telemetry: Arc<RuntimeTelemetry>,
 }
 
@@ -123,6 +156,7 @@ impl Consensus {
                 schedule: WriteSchedule::impatient(),
                 fast_path: true,
                 max_conciliator_rounds: None,
+                conciliator: ConciliatorChoice::Impatient,
             }),
         )
     }
@@ -148,6 +182,7 @@ impl Consensus {
             schedule: WriteSchedule::impatient(),
             fast_path: true,
             max_conciliator_rounds: None,
+            conciliator: ConciliatorChoice::Impatient,
         }
     }
 
@@ -190,6 +225,7 @@ impl<M: SharedMemory> Consensus<M> {
                 schedule: WriteSchedule::impatient(),
                 fast_path: true,
                 max_conciliator_rounds: None,
+                conciliator: ConciliatorChoice::Impatient,
             }),
         )
     }
@@ -249,12 +285,55 @@ impl<M: SharedMemory> Consensus<M> {
         telemetry: Arc<RuntimeTelemetry>,
     ) -> Consensus<M> {
         assert!(options.n > 0, "need at least one thread");
+        assert!(
+            matches!(options.conciliator, ConciliatorChoice::Impatient)
+                || options.scheme.capacity() <= 2,
+            "coin conciliators are binary: capacity {} exceeds 2",
+            options.scheme.capacity()
+        );
+        let active = Consensus::<M>::resolve_choice(&options.conciliator, 0, &telemetry);
         Consensus {
             options,
             memory,
             stages: RwLock::new(Vec::new()),
             generation: 0,
+            active,
+            ticket: AtomicUsize::new(0),
             telemetry,
+        }
+    }
+
+    /// Resolves the portfolio choice for the instance entering `generation`.
+    ///
+    /// Fixed choices are immediate. The adaptive policy consults the
+    /// telemetry window's δ̂ estimate: with enough samples and an estimate
+    /// below the threshold it selects the coin conciliator; otherwise (in
+    /// particular on an empty or thin window) it stays impatient. Adaptive
+    /// resolutions are announced via the `conciliator_selected` event.
+    fn resolve_choice(
+        choice: &ConciliatorChoice,
+        generation: u64,
+        telemetry: &RuntimeTelemetry,
+    ) -> ActiveConciliator {
+        match choice {
+            ConciliatorChoice::Impatient => ActiveConciliator::Impatient,
+            ConciliatorChoice::Coin(kind) => ActiveConciliator::Coin(*kind),
+            ConciliatorChoice::Adaptive(opts) => {
+                let AdaptiveOptions {
+                    window,
+                    min_samples,
+                    delta_threshold,
+                    coin,
+                } = *opts;
+                let estimate = telemetry.delta_hat_over(window, min_samples);
+                let samples = telemetry.delta_samples().min(window as u64);
+                let active = match estimate {
+                    Some(d) if d < delta_threshold => ActiveConciliator::Coin(coin),
+                    _ => ActiveConciliator::Impatient,
+                };
+                telemetry.on_conciliator_selected(generation, active.kind(), estimate, samples);
+                active
+            }
         }
     }
 
@@ -302,6 +381,13 @@ impl<M: SharedMemory> Consensus<M> {
     /// Stages stay materialized (that is the point: no reallocation), and
     /// cumulative telemetry is deliberately preserved across instances.
     ///
+    /// Under [`ConciliatorChoice::Adaptive`] the portfolio choice is
+    /// re-resolved for the next instance; if the verdict flips, the old
+    /// conciliator stages cannot be reused and the stage vector is cleared
+    /// instead (the next instance re-materializes lazily) — an accepted
+    /// deviation from the no-reallocation contract, taken only on an actual
+    /// regime change.
+    ///
     /// [`SharedRegister::retire_to`]: crate::SharedRegister::retire_to
     ///
     /// # Panics
@@ -309,12 +395,37 @@ impl<M: SharedMemory> Consensus<M> {
     /// Panics if any `decide` call is still in flight (a stage handle is
     /// still borrowed); recycling is only legal between instances.
     pub fn reset(&mut self) {
-        for stage in self.stages.get_mut().iter_mut() {
-            Arc::get_mut(stage)
-                .expect("reset with a decide call in flight")
-                .reset();
+        let next_generation = self.generation + 1;
+        let next = Consensus::<M>::resolve_choice(
+            &self.options.conciliator,
+            next_generation,
+            &self.telemetry,
+        );
+        let stages = self.stages.get_mut();
+        if next == self.active {
+            for stage in stages.iter_mut() {
+                Arc::get_mut(stage)
+                    .expect("reset with a decide call in flight")
+                    .reset();
+            }
+        } else {
+            assert!(
+                stages.iter_mut().all(|stage| Arc::get_mut(stage).is_some()),
+                "reset with a decide call in flight"
+            );
+            stages.clear();
+            self.active = next;
         }
-        self.generation += 1;
+        self.generation = next_generation;
+        self.ticket.store(0, Ordering::Relaxed);
+    }
+
+    /// Which conciliator implementation the current instance's `C` stages
+    /// use: the fixed choice, or — under
+    /// [`ConciliatorChoice::Adaptive`] — the verdict resolved at the last
+    /// construction/[`reset`](Consensus::reset).
+    pub fn selected_conciliator(&self) -> ConciliatorKind {
+        self.active.kind()
     }
 
     /// Shared handle to this object's telemetry, for wiring observers that
@@ -345,25 +456,63 @@ impl<M: SharedMemory> Consensus<M> {
                 Arc::clone(&self.options.scheme),
             ))
         } else {
-            Stage::Conciliator(
-                ImpatientConciliator::with_schedule_in(
-                    &self.memory,
-                    self.options.n,
-                    self.options.schedule,
-                )
-                .observed_by(Arc::clone(&self.telemetry)),
-            )
+            let conciliator: Box<dyn Conciliator<M>> = match self.active {
+                ActiveConciliator::Impatient => Box::new(
+                    ImpatientConciliator::with_schedule_in(
+                        &self.memory,
+                        self.options.n,
+                        self.options.schedule,
+                    )
+                    .observed_by(Arc::clone(&self.telemetry)),
+                ),
+                ActiveConciliator::Coin(CoinKind::Local) => Box::new(
+                    CoinConciliator::with_coin_in(&self.memory, |_| LocalCoin::new())
+                        .observed_by(Arc::clone(&self.telemetry)),
+                ),
+                ActiveConciliator::Coin(CoinKind::Voting { quorum_factor }) => Box::new(
+                    CoinConciliator::with_coin_in(&self.memory, |memory| {
+                        VotingCoin::with_quorum_factor_in(memory, self.options.n, quorum_factor)
+                            .observed_by(Arc::clone(&self.telemetry))
+                    })
+                    .observed_by(Arc::clone(&self.telemetry)),
+                ),
+            };
+            Stage::Conciliator(conciliator)
         }
     }
 
     /// Proposes `value` and returns the agreed decision.
     ///
     /// One-shot semantics: each thread calls this at most once per object.
+    /// The call is assigned the next free thread slot (unique while the
+    /// one-shot contract of ≤ `n` calls per instance holds); for explicit
+    /// slot control (lab harnesses pinning process ids) use
+    /// [`decide_as`](Consensus::decide_as).
     ///
     /// # Panics
     ///
     /// Panics if `value ≥ capacity()`.
     pub fn decide(&self, value: u64, rng: &mut dyn Rng) -> u64 {
+        let pid = self.ticket.fetch_add(1, Ordering::Relaxed);
+        self.decide_as(pid % self.options.n, value, rng)
+    }
+
+    /// Proposes `value` as thread `pid` and returns the agreed decision.
+    ///
+    /// One-shot semantics: each thread calls this at most once per object,
+    /// and each `pid < n` must be used by at most one caller per instance —
+    /// conciliators with per-thread shared state (the voting coin's tally
+    /// registers) require it. The impatient conciliator ignores `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid ≥ n` or `value ≥ capacity()`.
+    pub fn decide_as(&self, pid: usize, value: u64, rng: &mut dyn Rng) -> u64 {
+        assert!(
+            pid < self.options.n,
+            "pid {pid} out of range for {} threads",
+            self.options.n
+        );
         assert!(
             value < self.capacity(),
             "value {value} exceeds consensus capacity {}",
@@ -373,6 +522,7 @@ impl<M: SharedMemory> Consensus<M> {
         let start = Instant::now();
         let fast_prefix = if self.options.fast_path { 2 } else { 0 };
         let mut current = value;
+        let mut conciliator_stages = 0u64;
         let mut ix = 0;
         loop {
             match &*self.stage(ix) {
@@ -385,6 +535,7 @@ impl<M: SharedMemory> Consensus<M> {
                     if d.is_decided() {
                         let latency_ns =
                             u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        self.telemetry.on_conciliator_stages(conciliator_stages);
                         self.telemetry.on_decided(
                             d.value(),
                             ix as u64,
@@ -398,7 +549,8 @@ impl<M: SharedMemory> Consensus<M> {
                 Stage::Conciliator(c) => {
                     self.telemetry
                         .on_stage_entered(ix as u64, StageKind::Conciliator);
-                    current = c.propose(current, rng);
+                    conciliator_stages += 1;
+                    current = c.propose(pid, current, rng);
                 }
             }
             ix += 1;
@@ -412,6 +564,115 @@ impl<M: SharedMemory> std::fmt::Debug for Consensus<M> {
             .field("options", &self.options)
             .field("stages_used", &self.stages_used())
             .finish()
+    }
+}
+
+/// A [`Consensus`] object under [`ConciliatorChoice::Adaptive`], with the
+/// selection state surfaced: which portfolio member the current instance
+/// runs and what δ̂ the telemetry window reads.
+///
+/// The wrapper is thin — every consensus operation delegates to the inner
+/// object, and [`reset`](AdaptiveConsensus::reset) is where the policy gets
+/// to switch: each recycle re-reads the sliding window and falls back from
+/// the impatient conciliator to the configured coin when measured δ̂ has
+/// degraded past the threshold (and back, when it recovers).
+pub struct AdaptiveConsensus<M: SharedMemory = AtomicMemory> {
+    inner: Consensus<M>,
+    adaptive: AdaptiveOptions,
+}
+
+impl AdaptiveConsensus {
+    /// Binary adaptive consensus for up to `n` threads with the given
+    /// policy tuning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, options: AdaptiveOptions) -> AdaptiveConsensus {
+        AdaptiveConsensus::from_consensus(
+            Consensus::builder()
+                .n(n)
+                .conciliator(ConciliatorChoice::Adaptive(options))
+                .build(),
+        )
+    }
+}
+
+impl<M: SharedMemory> AdaptiveConsensus<M> {
+    /// Wraps an already-built consensus object (any substrate, any
+    /// recorder), surfacing its adaptive selection state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inner` was not built with [`ConciliatorChoice::Adaptive`].
+    pub fn from_consensus(inner: Consensus<M>) -> AdaptiveConsensus<M> {
+        let ConciliatorChoice::Adaptive(adaptive) = inner.options().conciliator else {
+            panic!("AdaptiveConsensus requires ConciliatorChoice::Adaptive");
+        };
+        AdaptiveConsensus { inner, adaptive }
+    }
+
+    /// The policy tuning this object adapts under.
+    pub fn adaptive_options(&self) -> AdaptiveOptions {
+        self.adaptive
+    }
+
+    /// Which portfolio member the current instance selected.
+    pub fn selected(&self) -> ConciliatorKind {
+        self.inner.selected_conciliator()
+    }
+
+    /// The sliding-window δ̂ estimate the *next* selection would see, or
+    /// `None` while the window holds fewer than `min_samples` decides.
+    pub fn delta_hat(&self) -> Option<f64> {
+        self.inner
+            .telemetry
+            .delta_hat_over(self.adaptive.window, self.adaptive.min_samples)
+    }
+
+    /// Proposes `value`; see [`Consensus::decide`].
+    pub fn decide(&self, value: u64, rng: &mut dyn Rng) -> u64 {
+        self.inner.decide(value, rng)
+    }
+
+    /// Proposes `value` as thread `pid`; see [`Consensus::decide_as`].
+    pub fn decide_as(&self, pid: usize, value: u64, rng: &mut dyn Rng) -> u64 {
+        self.inner.decide_as(pid, value, rng)
+    }
+
+    /// Recycles for a fresh instance, re-running the adaptive selection;
+    /// see [`Consensus::reset`].
+    pub fn reset(&mut self) {
+        self.inner.reset();
+    }
+
+    /// Live metrics; see [`Consensus::telemetry`].
+    pub fn telemetry(&self) -> &RuntimeTelemetry {
+        self.inner.telemetry()
+    }
+
+    /// Recycle count; see [`Consensus::generation`].
+    pub fn generation(&self) -> u64 {
+        self.inner.generation()
+    }
+
+    /// The wrapped consensus object.
+    pub fn inner(&self) -> &Consensus<M> {
+        &self.inner
+    }
+
+    /// Unwraps back into the plain consensus object.
+    pub fn into_inner(self) -> Consensus<M> {
+        self.inner
+    }
+}
+
+impl<M: SharedMemory> std::fmt::Debug for AdaptiveConsensus<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdaptiveConsensus")
+            .field("selected", &self.selected().as_str())
+            .field("adaptive", &self.adaptive)
+            .finish_non_exhaustive()
     }
 }
 
@@ -540,6 +801,149 @@ mod tests {
             );
             assert!(proposals.contains(&results[0]));
         }
+    }
+
+    #[test]
+    fn coin_choice_agreement_and_validity() {
+        for (kind, trials) in [
+            (CoinKind::Voting { quorum_factor: 1 }, 20u64),
+            (CoinKind::Local, 20u64),
+        ] {
+            for trial in 0..trials {
+                let c = Arc::new(
+                    Consensus::builder()
+                        .n(3)
+                        .conciliator(ConciliatorChoice::Coin(kind))
+                        .build(),
+                );
+                assert_eq!(c.selected_conciliator(), ConciliatorKind::Coin);
+                let proposals: Vec<u64> = (0..3).map(|t| (t as u64 + trial) % 2).collect();
+                let results = run_consensus(c, proposals.clone(), trial);
+                assert!(
+                    results.iter().all(|&r| r == results[0]),
+                    "{kind:?} trial {trial}: {results:?}"
+                );
+                assert!(proposals.contains(&results[0]));
+            }
+        }
+    }
+
+    #[test]
+    fn coin_choice_survives_reset() {
+        let mut c = Consensus::builder()
+            .n(1)
+            .conciliator(ConciliatorChoice::Coin(CoinKind::voting()))
+            .build();
+        let mut rng = SmallRng::seed_from_u64(9);
+        assert_eq!(c.decide(1, &mut rng), 1);
+        c.reset();
+        assert_eq!(c.selected_conciliator(), ConciliatorKind::Coin);
+        let mut rng = SmallRng::seed_from_u64(9);
+        assert_eq!(c.decide(0, &mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "binary")]
+    fn coin_choice_rejects_multivalued_capacity() {
+        Consensus::builder()
+            .n(2)
+            .values(8)
+            .conciliator(ConciliatorChoice::Coin(CoinKind::Local))
+            .build();
+    }
+
+    #[test]
+    fn ticketed_decide_assigns_distinct_pids() {
+        // n=2 with a per-thread-register coin: two plain decide() calls must
+        // land on distinct tally registers (distinct tickets) and agree.
+        let c = Arc::new(
+            Consensus::builder()
+                .n(2)
+                .conciliator(ConciliatorChoice::Coin(CoinKind::Voting {
+                    quorum_factor: 1,
+                }))
+                .build(),
+        );
+        let results = run_consensus(Arc::clone(&c), vec![0, 1], 11);
+        assert_eq!(results[0], results[1]);
+    }
+
+    #[test]
+    fn adaptive_starts_impatient_on_empty_window() {
+        let a = AdaptiveConsensus::new(2, AdaptiveOptions::default());
+        assert_eq!(a.selected(), ConciliatorKind::Impatient);
+        assert_eq!(a.delta_hat(), None, "no samples, no estimate");
+        // The selection itself was announced (counted), but never as a coin.
+        assert_eq!(a.telemetry().conciliator_selections(), 1);
+        assert_eq!(a.telemetry().coin_selections(), 0);
+    }
+
+    #[test]
+    fn adaptive_never_switches_on_empty_window() {
+        let mut a = AdaptiveConsensus::new(2, AdaptiveOptions::default());
+        for _ in 0..5 {
+            a.reset();
+            assert_eq!(a.selected(), ConciliatorKind::Impatient);
+        }
+        assert_eq!(a.telemetry().coin_selections(), 0);
+    }
+
+    #[test]
+    fn adaptive_switches_when_measured_delta_degrades() {
+        let mut a = AdaptiveConsensus::new(
+            2,
+            AdaptiveOptions {
+                window: 8,
+                min_samples: 4,
+                delta_threshold: 0.5,
+                ..AdaptiveOptions::default()
+            },
+        );
+        // Simulate a hostile regime: decides burning 10 conciliator stages
+        // each (δ̂ = 0.1, far below the 0.5 threshold).
+        for _ in 0..4 {
+            a.inner().telemetry.on_conciliator_stages(10);
+        }
+        let d = a.delta_hat().unwrap();
+        assert!((d - 0.1).abs() < 1e-9, "δ̂ {d}");
+        a.reset();
+        assert_eq!(a.selected(), ConciliatorKind::Coin);
+        assert_eq!(a.telemetry().coin_selections(), 1);
+        // The impatient stages could not be recycled across the flip.
+        assert_eq!(a.inner().stages_used(), 0);
+        // A decide on the switched instance still works end to end.
+        let mut rng = SmallRng::seed_from_u64(12);
+        assert!(a.decide(1, &mut rng) <= 1);
+    }
+
+    #[test]
+    fn adaptive_recovers_back_to_impatient() {
+        let mut a = AdaptiveConsensus::new(
+            2,
+            AdaptiveOptions {
+                window: 4,
+                min_samples: 2,
+                delta_threshold: 0.5,
+                ..AdaptiveOptions::default()
+            },
+        );
+        for _ in 0..4 {
+            a.inner().telemetry.on_conciliator_stages(10);
+        }
+        a.reset();
+        assert_eq!(a.selected(), ConciliatorKind::Coin);
+        // Healthy regime: decides resolving in one conciliator stage.
+        for _ in 0..4 {
+            a.inner().telemetry.on_conciliator_stages(1);
+        }
+        a.reset();
+        assert_eq!(a.selected(), ConciliatorKind::Impatient);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires ConciliatorChoice::Adaptive")]
+    fn adaptive_wrapper_rejects_fixed_choice() {
+        AdaptiveConsensus::from_consensus(Consensus::builder().n(2).build());
     }
 
     #[test]

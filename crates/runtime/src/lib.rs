@@ -40,6 +40,7 @@
 
 mod bounded;
 mod builder;
+mod coin;
 mod conciliator;
 mod consensus;
 mod derived;
@@ -55,8 +56,9 @@ mod typed;
 
 pub use bounded::{BoundedConsensus, Fallback, LeaderFallback, DEFAULT_MAX_CONCILIATOR_ROUNDS};
 pub use builder::{ConsensusBuilder, EngineBuilder};
-pub use conciliator::ImpatientConciliator;
-pub use consensus::{Consensus, ConsensusOptions};
+pub use coin::{CoinConciliator, CoinKind, LocalCoin, VotingCoin, WeakSharedCoin};
+pub use conciliator::{AdaptiveOptions, Conciliator, ConciliatorChoice, ImpatientConciliator};
+pub use consensus::{AdaptiveConsensus, Consensus, ConsensusOptions};
 pub use derived::{Election, TestAndSet};
 pub use engine::{ConsensusEngine, EngineOptions};
 pub use error::EngineError;

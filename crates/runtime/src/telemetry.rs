@@ -13,13 +13,21 @@
 //! instead receives one `BatchDrained` summary per drained batch. Counters
 //! and histograms keep their per-operation fidelity either way.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use mc_telemetry::{
-    thread_shard, CircuitState, Counter, FaultClass, Gauge, Histogram, NoopRecorder, Recorder,
-    ShardedCounter, Snapshot, StageKind, TelemetryEvent,
+    thread_shard, CircuitState, ConciliatorKind, Counter, FaultClass, Gauge, Histogram,
+    NoopRecorder, Recorder, ShardedCounter, Snapshot, StageKind, TelemetryEvent,
 };
+
+/// Hard cap on the δ̂ sliding window: samples older than this many decides
+/// are discarded regardless of the window a caller asks for.
+const DELTA_WINDOW_CAP: usize = 256;
+
+/// Fixed-point scale for the `observed_delta_hat` gauge (δ̂ in millionths).
+const DELTA_HAT_SCALE: f64 = 1_000_000.0;
 
 /// Aggregated metrics plus an event sink for runtime consensus objects.
 ///
@@ -40,6 +48,13 @@ pub struct RuntimeTelemetry {
     decide_latency_ns: Histogram,
     conciliator_rounds: Histogram,
     max_conciliator_round: Gauge,
+    coin_rounds: Histogram,
+    conciliator_selections: Counter,
+    coin_selections: Counter,
+    observed_delta_hat: Gauge,
+    /// Conciliator stages entered per completed decide, newest at the back.
+    /// Feeds the sliding-window δ̂ estimate for adaptive selection.
+    delta_window: Mutex<VecDeque<u64>>,
     prob_writes_attempted: ShardedCounter,
     prob_writes_performed: ShardedCounter,
     appends: Counter,
@@ -91,6 +106,11 @@ impl RuntimeTelemetry {
             decide_latency_ns: Histogram::new(),
             conciliator_rounds: Histogram::new(),
             max_conciliator_round: Gauge::new(),
+            coin_rounds: Histogram::new(),
+            conciliator_selections: Counter::new(),
+            coin_selections: Counter::new(),
+            observed_delta_hat: Gauge::new(),
+            delta_window: Mutex::new(VecDeque::new()),
             prob_writes_attempted: ShardedCounter::new(n),
             prob_writes_performed: ShardedCounter::new(n),
             appends: Counter::new(),
@@ -259,6 +279,50 @@ impl RuntimeTelemetry {
     #[inline]
     pub(crate) fn on_propose_done(&self, rounds: u64) {
         self.conciliator_rounds.record(rounds);
+    }
+
+    /// A shared-coin flip completed after `rounds` voting rounds (0 for the
+    /// local coin, which touches no shared registers).
+    #[inline]
+    pub(crate) fn on_coin_rounds(&self, rounds: u64) {
+        self.coin_rounds.record(rounds);
+    }
+
+    /// A decide completed after entering `stages` conciliator stages; feeds
+    /// the sliding window behind [`delta_hat_over`](Self::delta_hat_over).
+    pub(crate) fn on_conciliator_stages(&self, stages: u64) {
+        let mut window = self.delta_window.lock().expect("delta window poisoned");
+        if window.len() == DELTA_WINDOW_CAP {
+            window.pop_front();
+        }
+        window.push_back(stages);
+    }
+
+    /// A consensus instance resolved its conciliator portfolio choice.
+    /// Emitted only on the adaptive path — fixed choices are not news.
+    pub(crate) fn on_conciliator_selected(
+        &self,
+        generation: u64,
+        choice: ConciliatorKind,
+        delta_hat: Option<f64>,
+        samples: u64,
+    ) {
+        self.conciliator_selections.incr();
+        if choice == ConciliatorKind::Coin {
+            self.coin_selections.incr();
+        }
+        if let Some(d) = delta_hat {
+            self.observed_delta_hat
+                .set((d.clamp(0.0, 1.0) * DELTA_HAT_SCALE) as u64);
+        }
+        if self.events_on {
+            self.recorder.record(&TelemetryEvent::ConciliatorSelected {
+                generation,
+                choice,
+                delta_hat,
+                samples,
+            });
+        }
     }
 
     #[inline]
@@ -466,6 +530,62 @@ impl RuntimeTelemetry {
         self.max_conciliator_round.max()
     }
 
+    /// Distribution of voting rounds per shared-coin flip.
+    pub fn coin_rounds(&self) -> &Histogram {
+        &self.coin_rounds
+    }
+
+    /// Adaptive conciliator selections resolved (any outcome).
+    pub fn conciliator_selections(&self) -> u64 {
+        self.conciliator_selections.get()
+    }
+
+    /// Adaptive selections that chose the coin conciliator.
+    pub fn coin_selections(&self) -> u64 {
+        self.coin_selections.get()
+    }
+
+    /// Latest δ̂ published by an adaptive selection, or `None` before any
+    /// selection had enough samples to estimate one.
+    pub fn observed_delta_hat(&self) -> Option<f64> {
+        match self.observed_delta_hat.get() {
+            0 => None,
+            ppm => Some(ppm as f64 / DELTA_HAT_SCALE),
+        }
+    }
+
+    /// Number of per-decide samples currently in the δ̂ sliding window.
+    pub fn delta_samples(&self) -> u64 {
+        self.delta_window
+            .lock()
+            .expect("delta window poisoned")
+            .len() as u64
+    }
+
+    /// Sliding-window estimate of the per-stage agreement probability δ̂
+    /// over the most recent `window` decides.
+    ///
+    /// Each decide that entered `k ≥ 1` conciliator stages is a geometric
+    /// sample with success probability δ, so the maximum-likelihood
+    /// estimate over the window is `#decides / Σ stages`. Returns `None`
+    /// when fewer than `max(min_samples, 1)` decides have been observed —
+    /// an empty or thin window never produces an estimate (and therefore
+    /// never triggers an adaptive switch). Decides that never entered a
+    /// conciliator (pure fast path) contribute zero stages; a window of
+    /// only those yields `Some(1.0)`.
+    pub fn delta_hat_over(&self, window: usize, min_samples: usize) -> Option<f64> {
+        let guard = self.delta_window.lock().expect("delta window poisoned");
+        let take = window.min(guard.len());
+        if take < min_samples.max(1) {
+            return None;
+        }
+        let total: u64 = guard.iter().rev().take(take).sum();
+        if total == 0 {
+            return Some(1.0);
+        }
+        Some(take as f64 / total as f64)
+    }
+
     /// Probabilistic writes attempted (coin flips).
     pub fn prob_writes_attempted(&self) -> u64 {
         self.prob_writes_attempted.total()
@@ -661,6 +781,8 @@ impl RuntimeTelemetry {
             .counter("faults_delayed_commits", self.delayed_commits())
             .counter("faults_register_resets", self.register_resets())
             .counter("fallbacks_taken", self.fallbacks_taken())
+            .counter("conciliator_selections", self.conciliator_selections())
+            .counter("coin_selections", self.coin_selections())
             .counter("proposals_enqueued", self.proposals_enqueued())
             .counter("proposals_rejected", self.proposals_rejected())
             .counter("proposals_shed", self.proposals_shed())
@@ -678,6 +800,11 @@ impl RuntimeTelemetry {
                 self.max_conciliator_round(),
             )
             .gauge(
+                "observed_delta_hat_ppm",
+                self.observed_delta_hat.get(),
+                self.observed_delta_hat.max(),
+            )
+            .gauge(
                 "live_instances",
                 self.live_instances(),
                 self.live_instances(),
@@ -690,6 +817,7 @@ impl RuntimeTelemetry {
             .histogram("rounds_to_decide", self.rounds_to_decide.snapshot())
             .histogram("decide_latency_ns", self.decide_latency_ns.snapshot())
             .histogram("conciliator_rounds", self.conciliator_rounds.snapshot())
+            .histogram("coin_rounds", self.coin_rounds.snapshot())
             .histogram("service_wait_ns", self.service_wait_ns.snapshot())
             .histogram("worker_recovery_ns", self.worker_recovery_ns.snapshot());
         snap
@@ -913,6 +1041,67 @@ mod tests {
         assert!(p50 >= 200, "p50 {p50}");
         assert!(p99 >= 100_000, "p99 {p99}");
         assert!(p50 <= p99);
+    }
+
+    #[test]
+    fn delta_window_estimates_and_guards_thin_samples() {
+        let t = RuntimeTelemetry::noop(2);
+        // Empty window: never an estimate, regardless of min_samples.
+        assert_eq!(t.delta_hat_over(32, 0), None);
+        assert_eq!(t.delta_samples(), 0);
+        // Four decides taking 2 stages each: δ̂ = 4 / 8 = 0.5.
+        for _ in 0..4 {
+            t.on_conciliator_stages(2);
+        }
+        assert_eq!(t.delta_samples(), 4);
+        assert_eq!(t.delta_hat_over(32, 8), None, "below min_samples");
+        let d = t.delta_hat_over(32, 4).unwrap();
+        assert!((d - 0.5).abs() < 1e-9, "δ̂ {d}");
+        // A narrower window only sees the most recent samples.
+        t.on_conciliator_stages(10);
+        let recent = t.delta_hat_over(1, 1).unwrap();
+        assert!((recent - 0.1).abs() < 1e-9, "δ̂ {recent}");
+        // All-fast-path windows read as perfect agreement.
+        let t2 = RuntimeTelemetry::noop(2);
+        t2.on_conciliator_stages(0);
+        assert_eq!(t2.delta_hat_over(8, 1), Some(1.0));
+    }
+
+    #[test]
+    fn delta_window_is_bounded() {
+        let t = RuntimeTelemetry::noop(2);
+        for _ in 0..(super::DELTA_WINDOW_CAP + 10) {
+            t.on_conciliator_stages(1);
+        }
+        assert_eq!(t.delta_samples(), super::DELTA_WINDOW_CAP as u64);
+    }
+
+    #[test]
+    fn conciliator_selection_counts_emits_and_gauges() {
+        let agg = Arc::new(AggregatingRecorder::new());
+        let t = RuntimeTelemetry::new(2, Arc::clone(&agg) as Arc<dyn Recorder>);
+        assert_eq!(t.observed_delta_hat(), None);
+        t.on_conciliator_selected(1, ConciliatorKind::Impatient, None, 0);
+        t.on_conciliator_selected(2, ConciliatorKind::Coin, Some(0.125), 16);
+        assert_eq!(t.conciliator_selections(), 2);
+        assert_eq!(t.coin_selections(), 1);
+        let d = t.observed_delta_hat().unwrap();
+        assert!((d - 0.125).abs() < 1e-6, "δ̂ {d}");
+        assert_eq!(agg.conciliator_selections(), 2);
+        assert_eq!(agg.coin_selections(), 1);
+        let snap = t.snapshot();
+        assert_eq!(snap.counter_value("conciliator_selections"), Some(2));
+        assert_eq!(snap.counter_value("coin_selections"), Some(1));
+        mc_telemetry::json::validate(&snap.to_json()).unwrap();
+    }
+
+    #[test]
+    fn coin_rounds_histogram_records() {
+        let t = RuntimeTelemetry::noop(2);
+        t.on_coin_rounds(9);
+        t.on_coin_rounds(12);
+        assert_eq!(t.coin_rounds().count(), 2);
+        assert!(t.coin_rounds().max() >= 12);
     }
 
     #[test]

@@ -137,6 +137,7 @@ impl<T: ValueCode, M: SharedMemory> TypedConsensus<T, M> {
                     schedule: WriteSchedule::impatient(),
                     fast_path: true,
                     max_conciliator_rounds: None,
+                    conciliator: crate::ConciliatorChoice::Impatient,
                 }),
             ),
             _marker: PhantomData,

@@ -34,7 +34,7 @@ mod snapshot;
 pub use counter::{thread_shard, Counter, Gauge, ShardedCounter};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use recorder::{
-    AggregatingRecorder, CircuitState, FaultClass, JsonlRecorder, MultiRecorder, NoopRecorder,
-    OpClass, Recorder, StageKind, TelemetryEvent,
+    AggregatingRecorder, CircuitState, ConciliatorKind, FaultClass, JsonlRecorder, MultiRecorder,
+    NoopRecorder, OpClass, Recorder, StageKind, TelemetryEvent,
 };
 pub use snapshot::Snapshot;

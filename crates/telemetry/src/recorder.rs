@@ -35,6 +35,26 @@ impl StageKind {
     }
 }
 
+/// Which conciliator implementation an adaptive consensus instance selected
+/// (the `choice` field of `conciliator_selected` events).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConciliatorKind {
+    /// The impatient first-mover probabilistic-write conciliator.
+    Impatient,
+    /// The Theorem 6 wrapper over a weak shared coin.
+    Coin,
+}
+
+impl ConciliatorKind {
+    /// Stable lowercase name used in JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ConciliatorKind::Impatient => "impatient",
+            ConciliatorKind::Coin => "coin",
+        }
+    }
+}
+
 /// Which register-level fault a fault-injection layer delivered.
 ///
 /// The classes mirror `mc-runtime`'s `FaultPlan`: the probabilistic-write
@@ -211,6 +231,21 @@ pub enum TelemetryEvent {
         /// The fault layer's operation counter when the fault fired.
         step: u64,
     },
+    /// An adaptive consensus instance resolved which conciliator its
+    /// chain will use, from the sliding-window δ̂ estimate.
+    ConciliatorSelected {
+        /// Recycling generation of the instance the selection applies to
+        /// (0 for a fresh object).
+        generation: u64,
+        /// The conciliator selected.
+        choice: ConciliatorKind,
+        /// The window's δ̂ estimate driving the selection; `None` when the
+        /// window held fewer than the minimum samples (in which case the
+        /// selection always stays impatient).
+        delta_hat: Option<f64>,
+        /// Number of decides the estimate was computed over.
+        samples: u64,
+    },
     /// A bounded consensus exhausted its conciliator budget and fell back
     /// to the backup protocol `K` (Theorem 5).
     FallbackTaken {
@@ -280,6 +315,7 @@ impl TelemetryEvent {
             TelemetryEvent::Decided { .. } => "decided",
             TelemetryEvent::Op { .. } => "op",
             TelemetryEvent::FaultInjected { .. } => "fault_injected",
+            TelemetryEvent::ConciliatorSelected { .. } => "conciliator_selected",
             TelemetryEvent::FallbackTaken { .. } => "fallback_taken",
             TelemetryEvent::BatchDrained { .. } => "batch_drained",
             TelemetryEvent::WorkerRestarted { .. } => "worker_restarted",
@@ -366,6 +402,19 @@ impl TelemetryEvent {
                 obj.str_field("class", class.as_str())
                     .u64_field("register", *register)
                     .u64_field("step", *step);
+            }
+            TelemetryEvent::ConciliatorSelected {
+                generation,
+                choice,
+                delta_hat,
+                samples,
+            } => {
+                obj.u64_field("generation", *generation)
+                    .str_field("choice", choice.as_str());
+                if let Some(delta_hat) = delta_hat {
+                    obj.f64_field("delta_hat", *delta_hat);
+                }
+                obj.u64_field("samples", *samples);
             }
             TelemetryEvent::FallbackTaken {
                 pid,
@@ -569,6 +618,8 @@ pub struct AggregatingRecorder {
     writes: Counter,
     collects: Counter,
     faults_injected: Counter,
+    conciliator_selections: Counter,
+    coin_selections: Counter,
     fallbacks_taken: Counter,
     batches_drained: Counter,
     batched_proposals: Counter,
@@ -664,6 +715,16 @@ impl AggregatingRecorder {
         self.faults_injected.get()
     }
 
+    /// `conciliator_selected` events seen.
+    pub fn conciliator_selections(&self) -> u64 {
+        self.conciliator_selections.get()
+    }
+
+    /// `conciliator_selected` events that picked the coin conciliator.
+    pub fn coin_selections(&self) -> u64 {
+        self.coin_selections.get()
+    }
+
     /// `fallback_taken` events seen.
     pub fn fallbacks_taken(&self) -> u64 {
         self.fallbacks_taken.get()
@@ -751,6 +812,12 @@ impl Recorder for AggregatingRecorder {
                 }
             }
             TelemetryEvent::FaultInjected { .. } => self.faults_injected.incr(),
+            TelemetryEvent::ConciliatorSelected { choice, .. } => {
+                self.conciliator_selections.incr();
+                if *choice == ConciliatorKind::Coin {
+                    self.coin_selections.incr();
+                }
+            }
             TelemetryEvent::FallbackTaken { .. } => self.fallbacks_taken.incr(),
             TelemetryEvent::BatchDrained { batch, .. } => {
                 self.batches_drained.incr();
@@ -868,6 +935,12 @@ mod tests {
                 register: 4,
                 step: 17,
             },
+            TelemetryEvent::ConciliatorSelected {
+                generation: 2,
+                choice: ConciliatorKind::Coin,
+                delta_hat: Some(0.125),
+                samples: 16,
+            },
             TelemetryEvent::FallbackTaken {
                 pid: 2,
                 conciliator_stages: 6,
@@ -932,8 +1005,10 @@ mod tests {
         for event in sample_events() {
             agg.record(&event);
         }
-        assert_eq!(agg.events(), 15);
+        assert_eq!(agg.events(), 16);
         assert_eq!(agg.faults_injected(), 1);
+        assert_eq!(agg.conciliator_selections(), 1);
+        assert_eq!(agg.coin_selections(), 1);
         assert_eq!(agg.fallbacks_taken(), 1);
         assert_eq!(agg.batches_drained(), 1);
         assert_eq!(agg.batched_proposals(), 8);

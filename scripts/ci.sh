@@ -71,6 +71,17 @@ cargo run -p mc-bench --release --bin chaos_campaign -- --seeds 5 --min-ratio 0.
 test -s chaos_campaign.jsonl
 test -s BENCH_chaos_recovery.json
 
+echo "== coin campaign (portfolio δ̂ reconciliation) =="
+# Shared-coin portfolio x adversary-class matrix: every voting-coin cell's
+# measured agreement rate must clear twice the per-side theory δ lower
+# bound (Wilson 95%), the local coin must reproduce its exact 2^{1-n}
+# agreement probability, and the graph engine must exhaustively certify
+# CoinConciliator(voting coin) at n=3 plus the full coin-built chain at
+# n=2 under pinned vote streams. Trials are bounded for CI wall-clock; the
+# state budget must stay >= 2000000 so the n=3 certificates never truncate.
+cargo run -p mc-bench --release --bin coin_campaign -- --trials 120 --state-budget 2000000
+test -s BENCH_coin_campaign.json
+
 echo "== fault campaign (degradation smoke) =="
 # Fault class x rate x protocol sweep over fault-injected lab runs: safety
 # must hold with zero violations in every cell, bounded consensus must

@@ -90,17 +90,18 @@ pub mod prelude {
         FirstMoverConciliator, LazyChain, Ratifier, VotingSharedCoin, WriteSchedule,
     };
     pub use mc_lab::{
-        check_chaos_conformance, check_conformance, check_conformance_with_plan,
-        check_recycled_conformance, check_service_conformance, Conformance, Lab,
-        Protocol as LabProtocol,
+        check_chaos_conformance, check_coin_conformance, check_conformance,
+        check_conformance_with_plan, check_recycled_conformance, check_service_conformance,
+        Conformance, Lab, Protocol as LabProtocol,
     };
     pub use mc_model::{properties, Decision, ObjectSpec, ProcessId, Value};
     pub use mc_runtime::{
-        BackpressurePolicy, BoundedConsensus, ChaosPlan, CircuitOptions, Consensus,
-        ConsensusEngine, ConsensusService, DecisionHandle, Election, EngineBuilder, EngineError,
-        EngineOptions, FaultPlan, FaultyMemory, LeaderFallback, ReplicatedLog, ResetScope,
-        RetryPolicy, RingHealth, RuntimeTelemetry, ServiceBuilder, ServiceOptions, SubmitOptions,
-        SupervisorOptions, TestAndSet, TypedConsensus, ValueCode,
+        AdaptiveConsensus, AdaptiveOptions, BackpressurePolicy, BoundedConsensus, ChaosPlan,
+        CircuitOptions, CoinKind, ConciliatorChoice, Consensus, ConsensusEngine, ConsensusService,
+        DecisionHandle, Election, EngineBuilder, EngineError, EngineOptions, FaultPlan,
+        FaultyMemory, LeaderFallback, LocalCoin, ReplicatedLog, ResetScope, RetryPolicy,
+        RingHealth, RuntimeTelemetry, ServiceBuilder, ServiceOptions, SubmitOptions,
+        SupervisorOptions, TestAndSet, TypedConsensus, ValueCode, VotingCoin,
     };
     pub use mc_sim::{adversary, harness, observe, sched, EngineConfig};
     pub use mc_telemetry::{

@@ -180,6 +180,7 @@ fn faulted_bounded_run(
         schedule: WriteSchedule::impatient(),
         fast_path: true,
         max_conciliator_rounds: Some(2),
+        conciliator: mc_runtime::ConciliatorChoice::Impatient,
     };
     let consensus = BoundedConsensus::with_recorder_in(memory.clone(), options, recorder);
     let memory = memory.observed_by(Arc::clone(consensus.telemetry_handle()));

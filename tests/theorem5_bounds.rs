@@ -55,6 +55,7 @@ fn sweep_runtime(f: u32) -> Sweep {
             schedule: WriteSchedule::impatient(),
             fast_path: true,
             max_conciliator_rounds: Some(f),
+            conciliator: mc_runtime::ConciliatorChoice::Impatient,
         };
         let consensus = BoundedConsensus::with_options_in(lab.memory(), options);
         let report = lab

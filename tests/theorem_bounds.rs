@@ -170,6 +170,111 @@ fn theorem10_binary_ratifier_exact_bound_exhaustively() {
     }
 }
 
+/// Theorem 6 at its exact cost bound: the coin→conciliator construction
+/// adds exactly 2 registers and 2 operations per process over the
+/// underlying weak shared coin — in the model allocator's accounting, in an
+/// exhaustive checker sweep of every n = 2 schedule, and in the runtime's
+/// register accounting for both coins in the portfolio.
+#[test]
+fn theorem6_coin_conciliator_exact_overhead() {
+    use modular_consensus::check::{CoinPolicy, GraphConfig, GraphExplorer};
+    use modular_consensus::runtime::{self as rt, Conciliator as _, WeakSharedCoin as _};
+    use std::sync::Arc;
+
+    let coin = || Arc::new(VotingSharedCoin::with_quorum_factor(1).expect("positive factor"));
+
+    for n in [2usize, 3, 6] {
+        // Model allocator: composing adds exactly the two announce
+        // registers over the bare coin (allocation is eager, so any run
+        // observes it).
+        let bare = harness::run_object(
+            coin().as_ref(),
+            &harness::inputs::unanimous(n, 0),
+            &mut adversary::RoundRobin::new(),
+            5,
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        let composed = harness::run_object(
+            &CoinConciliator::new(coin()),
+            &harness::inputs::alternating(n, 2),
+            &mut adversary::RoundRobin::new(),
+            5,
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            composed.metrics.registers_allocated,
+            bare.metrics.registers_allocated + theory::COIN_CONCILIATOR_EXTRA_REGISTERS,
+            "n={n}"
+        );
+
+        // Unanimous inputs never reach the coin: the overhead is the whole
+        // cost — exactly one announce write and one announce read each.
+        let unanimous = harness::run_object(
+            &CoinConciliator::new(coin()),
+            &harness::inputs::unanimous(n, 1),
+            &mut adversary::RandomScheduler::new(5),
+            5,
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            unanimous.metrics.total_work(),
+            theory::COIN_CONCILIATOR_EXTRA_OPS * n as u64,
+            "n={n}"
+        );
+        assert_eq!(
+            unanimous.metrics.individual_work(),
+            theory::COIN_CONCILIATOR_EXTRA_OPS,
+            "n={n}"
+        );
+    }
+
+    // Exhaustive at n = 2: with the vote streams pinned, the checker walks
+    // every schedule of the bare coin and of the composed conciliator; the
+    // worst-case individual work differs by exactly the two announce ops.
+    let sweep = |spec: Arc<dyn modular_consensus::model::ObjectSpec>, inputs: Vec<u64>| {
+        GraphExplorer::new(spec, inputs)
+            .with_config(GraphConfig {
+                max_steps: 400,
+                coin_policy: CoinPolicy::Fixed(7),
+                ..GraphConfig::default()
+            })
+            .verify_safety()
+            .unwrap()
+    };
+    // Inputs {0, 1} for the bare coin: a shared coin ignores inputs and may
+    // output either bit, so validity only holds when both bits are proposed.
+    let bare = sweep(coin(), vec![0, 1]);
+    let composed = sweep(Arc::new(CoinConciliator::new(coin())), vec![0, 1]);
+    assert!(bare.is_exhaustive_pass(), "{:?}", bare.violation);
+    assert!(composed.is_exhaustive_pass(), "{:?}", composed.violation);
+    assert_eq!(
+        composed.max_individual_ops,
+        bare.max_individual_ops + theory::COIN_CONCILIATOR_EXTRA_OPS,
+        "bare worst case {} ops",
+        bare.max_individual_ops
+    );
+
+    // Runtime register accounting mirrors Theorem 6 for both portfolio
+    // coins: +2 over the voting coin's n tallies, +2 over the local coin's
+    // zero shared registers.
+    for n in [2usize, 3, 8] {
+        let voting = rt::VotingCoin::new(n);
+        let coin_regs = voting.register_count();
+        assert_eq!(
+            rt::CoinConciliator::new(voting).register_count(),
+            coin_regs + theory::COIN_CONCILIATOR_EXTRA_REGISTERS,
+            "n={n}"
+        );
+    }
+    assert_eq!(
+        rt::CoinConciliator::new(rt::LocalCoin).register_count(),
+        theory::COIN_CONCILIATOR_EXTRA_REGISTERS
+    );
+}
+
 /// §1 headline: binary consensus total work is O(n) — total/n stays bounded
 /// as n grows (Attiya–Censor tightness).
 #[test]
