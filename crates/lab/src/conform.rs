@@ -192,6 +192,13 @@ pub enum Divergence {
         /// What failed to reconcile.
         detail: String,
     },
+    /// The replicated store diverged from sequential application: a
+    /// response, the final state, or the exactly-once ledger differed
+    /// from replaying the same commands on a bare state machine.
+    Store {
+        /// What diverged.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Divergence {
@@ -225,6 +232,7 @@ impl fmt::Display for Divergence {
                 "service divergence at proposal {at}: submit={submit}, service={service}",
             ),
             Divergence::Chaos { detail } => write!(f, "chaos divergence: {detail}"),
+            Divergence::Store { detail } => write!(f, "store divergence: {detail}"),
         }
     }
 }
@@ -657,6 +665,180 @@ pub fn check_chaos_conformance(
         });
     }
     Ok(decisions)
+}
+
+/// Replicated-store ≡ sequential-apply conformance: drives a seeded
+/// script of KV commands from `clients` interleaved sessions through a
+/// [`ReplicatedStore`] and replays the identical stream on a bare
+/// [`KvStore`], demanding equality end to end.
+///
+/// The driver issues commands round-robin across the sessions and waits
+/// for each response before the next command, so the store's apply order
+/// is exactly the issue order and the bare machine is a complete oracle:
+///
+/// * **Responses.** Every store response must equal the sequential
+///   machine's response for the same command — `Get`s observing earlier
+///   writes, `Cas` outcomes, previous values on `Put`/`Delete`.
+/// * **Duplicate delivery.** A seeded subset of commands is re-delivered
+///   (several extra copies under the same sequence number, the client
+///   retry path). Every copy must return the originally-cached response,
+///   and none may re-apply: the exactly-once ledger
+///   (`commands_applied` = distinct commands, `duplicates_served` =
+///   extra copies) must reconcile, and stale re-delivery of the
+///   *previous* sequence number must be refused as
+///   [`StoreError::Stale`].
+/// * **Final state.** The store's machine (read through a lease-gated
+///   fast read) must equal the sequential machine, snapshot for
+///   snapshot.
+///
+/// Returns the number of distinct commands applied.
+///
+/// # Errors
+///
+/// Returns [`Divergence::Store`] naming the first inequality.
+///
+/// # Panics
+///
+/// Panics if `clients` or `commands_per_client` is zero.
+pub fn check_store_conformance(
+    clients: u64,
+    commands_per_client: u64,
+    sequencers: usize,
+    seed: u64,
+) -> Result<u64, Divergence> {
+    use mc_store::{KvCommand, KvStore, ReplicatedStore, StateMachine, StoreError};
+    use rand::RngExt;
+
+    assert!(clients > 0, "need at least one client");
+    assert!(commands_per_client > 0, "need at least one command");
+
+    let mut store = ReplicatedStore::<KvStore>::builder()
+        .sequencers(sequencers)
+        .batch_commands(8)
+        .snapshot_every(16)
+        .seed(seed)
+        .build();
+    let mut reference = KvStore::new();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Small key space shared by every client, so sessions interact.
+    let keys = (clients * 4).max(8);
+
+    let mut distinct = 0u64;
+    let mut duplicates = 0u64;
+    let mut stale_probes = 0u64;
+    for round in 0..commands_per_client {
+        for client in 1..=clients {
+            let key = rng.random_range(0..keys);
+            let command = match rng.random_range(0u32..4) {
+                0 => KvCommand::Get { key },
+                1 => KvCommand::Put {
+                    key,
+                    value: rng.random_range(0u64..1_000),
+                },
+                2 => KvCommand::Cas {
+                    key,
+                    expect: reference.get(key),
+                    value: rng.random_range(0u64..1_000),
+                },
+                _ => KvCommand::Delete { key },
+            };
+            let expected = reference.apply(&command);
+            distinct += 1;
+            let got = store.submit(client, round + 1, command).wait();
+            if got != Ok(expected) {
+                return Err(Divergence::Store {
+                    detail: format!(
+                        "client {client} round {round}: store answered {got:?}, \
+                         sequential apply {expected:?} for {command:?}"
+                    ),
+                });
+            }
+            // Duplicate-delivery leg: re-deliver this command a few more
+            // times under the same sequence number; every copy must be
+            // served from the session cache with the original response.
+            if rng.random_bool(0.25) {
+                for copy in 0..rng.random_range(1u32..4) {
+                    duplicates += 1;
+                    let again = store.submit(client, round + 1, command).wait();
+                    if again != Ok(expected) {
+                        return Err(Divergence::Store {
+                            detail: format!(
+                                "client {client} round {round} duplicate copy {copy}: \
+                                 got {again:?}, cached response was {expected:?}"
+                            ),
+                        });
+                    }
+                }
+            }
+            // Stale leg: a copy of the *previous* command must be refused
+            // (its cached response is already overwritten).
+            if round > 0 && rng.random_bool(0.1) {
+                stale_probes += 1;
+                let stale = store.submit(client, round, command).wait();
+                if stale
+                    != Err(StoreError::Stale {
+                        last_seq: round + 1,
+                    })
+                {
+                    return Err(Divergence::Store {
+                        detail: format!(
+                            "client {client} round {round}: stale re-delivery \
+                             answered {stale:?} instead of Stale"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // Exactly-once ledger.
+    let telemetry = store.telemetry();
+    if telemetry.commands_applied() != distinct {
+        return Err(Divergence::Store {
+            detail: format!(
+                "{} commands applied, {distinct} distinct submitted",
+                telemetry.commands_applied()
+            ),
+        });
+    }
+    if telemetry.duplicates_served() != duplicates {
+        return Err(Divergence::Store {
+            detail: format!(
+                "{} duplicates served, {duplicates} re-delivered",
+                telemetry.duplicates_served()
+            ),
+        });
+    }
+    if telemetry.stale_commands() != stale_probes {
+        return Err(Divergence::Store {
+            detail: format!(
+                "{} stale commands counted, {stale_probes} probed",
+                telemetry.stale_commands()
+            ),
+        });
+    }
+    if telemetry.sessions_created() != clients {
+        return Err(Divergence::Store {
+            detail: format!(
+                "{} sessions created for {clients} clients",
+                telemetry.sessions_created()
+            ),
+        });
+    }
+
+    // Final state, observed through the lease-gated fast-read path.
+    let store_snapshot = store.read_with(u64::MAX, |kv| kv.snapshot());
+    if store_snapshot != reference.snapshot() {
+        return Err(Divergence::Store {
+            detail: format!(
+                "final state diverged: store {} pairs, sequential {} pairs",
+                store_snapshot.len(),
+                reference.snapshot().len()
+            ),
+        });
+    }
+    store.shutdown();
+    Ok(distinct)
 }
 
 fn check_conformance_wrapped<M: SharedMemory>(

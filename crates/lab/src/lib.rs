@@ -45,7 +45,7 @@ pub mod toy;
 pub use conform::{
     check_chaos_conformance, check_coin_conformance, check_conformance,
     check_conformance_with_plan, check_recycled_conformance, check_service_conformance,
-    Conformance, Divergence, Protocol,
+    check_store_conformance, Conformance, Divergence, Protocol,
 };
 pub use control::{LabError, LabMemory, LabRegister};
 pub use harness::{Lab, LabReport};
@@ -236,6 +236,18 @@ mod tests {
             }
         }
         assert!(caught, "no schedule exhibited the agreement violation");
+    }
+
+    #[test]
+    fn store_conforms_to_sequential_apply_on_fixed_seeds() {
+        // Interleaved sessions, duplicate re-delivery, stale probes, final
+        // state — all against the bare-machine oracle, on pinned seeds
+        // with single- and multi-sequencer stores.
+        for (seed, sequencers) in [(5u64, 1usize), (23, 2), (71, 3)] {
+            let applied = check_store_conformance(4, 24, sequencers, seed)
+                .unwrap_or_else(|d| panic!("seed {seed}, {sequencers} sequencers: {d}"));
+            assert_eq!(applied, 4 * 24, "every distinct command applies once");
+        }
     }
 
     #[test]

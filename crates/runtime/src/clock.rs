@@ -1,0 +1,83 @@
+//! The one monotonic-clock helper behind every deadline in the runtime.
+//!
+//! Before this module, [`SubmitOptions::within`](crate::SubmitOptions::within)
+//! and [`DecisionHandle::wait_timeout`](crate::DecisionHandle::wait_timeout)
+//! each computed `Instant::now() + budget` independently. Two reads of the
+//! clock microseconds apart are enough for a submission admitted under one
+//! deadline to start a wait whose separately-derived deadline has already
+//! passed — the admission says "in budget", the wait immediately answers
+//! `DeadlineExceeded`. Routing both through [`now`] + [`deadline_within`]
+//! makes every deadline in one submission derive from a single clock read
+//! discipline, and centralizes the overflow handling (`now + Duration::MAX`
+//! panics with a bare `+`; [`deadline_within`] saturates instead).
+//!
+//! The store layer's read leases reuse the same helpers, so lease expiry
+//! and submission deadlines cannot drift against each other either.
+
+use std::time::{Duration, Instant};
+
+/// Reads the monotonic clock. The single `Instant::now()` call site for
+/// deadline arithmetic: everything that compares against a deadline built
+/// by [`deadline_within`] should measure "now" with this function.
+#[inline]
+pub fn now() -> Instant {
+    Instant::now()
+}
+
+/// An absolute deadline `budget` from now, saturating instead of
+/// panicking when the budget does not fit in an [`Instant`].
+///
+/// `Instant::now() + Duration::MAX` aborts with an overflow panic on every
+/// platform; callers that mean "effectively forever" (tests, belt-and-
+/// suspenders waits) should still get a usable deadline. On overflow the
+/// budget is halved until the addition fits — the result is still
+/// centuries out, which is the same thing as forever for a wait loop.
+#[inline]
+pub fn deadline_within(budget: Duration) -> Instant {
+    deadline_from(now(), budget)
+}
+
+/// [`deadline_within`] against a caller-supplied clock reading, for call
+/// sites that already read [`now`] and must not read it twice (the drift
+/// this module exists to remove).
+#[inline]
+pub fn deadline_from(now: Instant, budget: Duration) -> Instant {
+    let mut budget = budget;
+    loop {
+        if let Some(deadline) = now.checked_add(budget) {
+            return deadline;
+        }
+        // Duration::ZERO always fits, so this terminates.
+        budget /= 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_is_budget_from_now() {
+        let before = now();
+        let deadline = deadline_within(Duration::from_secs(5));
+        let after = now();
+        assert!(deadline >= before + Duration::from_secs(5));
+        assert!(deadline <= after + Duration::from_secs(5));
+    }
+
+    #[test]
+    fn duration_max_saturates_instead_of_panicking() {
+        let deadline = deadline_within(Duration::MAX);
+        // Still far enough out that no real wait ever reaches it.
+        assert!(deadline > now() + Duration::from_secs(60 * 60 * 24 * 365));
+    }
+
+    #[test]
+    fn deadline_from_is_deterministic_in_its_clock() {
+        let base = now();
+        assert_eq!(
+            deadline_from(base, Duration::from_millis(250)),
+            base + Duration::from_millis(250)
+        );
+    }
+}

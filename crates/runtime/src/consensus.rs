@@ -5,8 +5,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use mc_core::conciliator::WriteSchedule;
-use mc_quorums::{BinaryScheme, BinomialScheme, QuorumScheme};
-use mc_telemetry::{ConciliatorKind, Recorder, StageKind};
+use mc_quorums::{BinomialScheme, QuorumScheme};
+use mc_telemetry::{ConciliatorKind, StageKind};
 use parking_lot::RwLock;
 use rand::Rng;
 
@@ -141,39 +141,6 @@ impl Consensus {
         crate::ConsensusBuilder::new()
     }
 
-    /// Binary consensus for up to `n` threads.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n == 0`.
-    #[deprecated(note = "use `Consensus::builder().n(n)`")]
-    pub fn binary(n: usize) -> Consensus {
-        Consensus::with_shared_options_in(
-            AtomicMemory,
-            Arc::new(ConsensusOptions {
-                n,
-                scheme: Arc::new(BinaryScheme::new()),
-                schedule: WriteSchedule::impatient(),
-                fast_path: true,
-                max_conciliator_rounds: None,
-                conciliator: ConciliatorChoice::Impatient,
-            }),
-        )
-    }
-
-    /// `m`-valued consensus for up to `n` threads (binomial quorums).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n == 0` or `m < 2`.
-    #[deprecated(note = "use `Consensus::builder().n(n).values(m)`")]
-    pub fn multivalued(n: usize, m: u64) -> Consensus {
-        Consensus::with_shared_options_in(
-            AtomicMemory,
-            Arc::new(Consensus::multivalued_options(n, m)),
-        )
-    }
-
     pub(crate) fn multivalued_options(n: usize, m: u64) -> ConsensusOptions {
         assert!(m >= 2, "consensus needs at least 2 values");
         ConsensusOptions {
@@ -194,63 +161,9 @@ impl Consensus {
     pub fn with_options(options: ConsensusOptions) -> Consensus {
         Consensus::with_shared_options_in(AtomicMemory, Arc::new(options))
     }
-
-    /// Consensus with explicit options, emitting telemetry events to
-    /// `recorder`. Counters are collected either way; see
-    /// [`telemetry`](Consensus::telemetry).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `options.n == 0`.
-    #[deprecated(note = "use `Consensus::builder().recorder(r)`")]
-    pub fn with_recorder(options: ConsensusOptions, recorder: Arc<dyn Recorder>) -> Consensus {
-        let telemetry = Arc::new(RuntimeTelemetry::new(options.n, recorder));
-        Consensus::with_telemetry_in(AtomicMemory, Arc::new(options), telemetry)
-    }
 }
 
 impl<M: SharedMemory> Consensus<M> {
-    /// Binary consensus whose registers live in `memory`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n == 0`.
-    #[deprecated(note = "use `Consensus::builder().n(n).memory(memory)`")]
-    pub fn binary_in(memory: M, n: usize) -> Consensus<M> {
-        Consensus::with_shared_options_in(
-            memory,
-            Arc::new(ConsensusOptions {
-                n,
-                scheme: Arc::new(BinaryScheme::new()),
-                schedule: WriteSchedule::impatient(),
-                fast_path: true,
-                max_conciliator_rounds: None,
-                conciliator: ConciliatorChoice::Impatient,
-            }),
-        )
-    }
-
-    /// `m`-valued consensus (binomial quorums) whose registers live in
-    /// `memory`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n == 0` or `m < 2`.
-    #[deprecated(note = "use `Consensus::builder().n(n).values(m).memory(memory)`")]
-    pub fn multivalued_in(memory: M, n: usize, m: u64) -> Consensus<M> {
-        Consensus::with_shared_options_in(memory, Arc::new(Consensus::multivalued_options(n, m)))
-    }
-
-    /// Consensus with explicit options whose registers live in `memory`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `options.n == 0`.
-    #[deprecated(note = "use `Consensus::builder().memory(memory)` or `with_shared_options_in`")]
-    pub fn with_options_in(memory: M, options: ConsensusOptions) -> Consensus<M> {
-        Consensus::with_shared_options_in(memory, Arc::new(options))
-    }
-
     /// Consensus whose options are *shared by reference*: repeated instance
     /// setup (a pooling engine, one [`ReplicatedLog`](crate::ReplicatedLog)
     /// slot per append) clones only the `Arc`, so the quorum scheme inside
@@ -262,21 +175,6 @@ impl<M: SharedMemory> Consensus<M> {
     pub fn with_shared_options_in(memory: M, options: Arc<ConsensusOptions>) -> Consensus<M> {
         let telemetry = Arc::new(RuntimeTelemetry::noop(options.n));
         Consensus::with_telemetry_in(memory, options, telemetry)
-    }
-
-    /// Consensus over `memory` with telemetry events going to `recorder`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `options.n == 0`.
-    #[deprecated(note = "use `Consensus::builder().recorder(r).memory(memory)`")]
-    pub fn with_recorder_in(
-        memory: M,
-        options: ConsensusOptions,
-        recorder: Arc<dyn Recorder>,
-    ) -> Consensus<M> {
-        let telemetry = Arc::new(RuntimeTelemetry::new(options.n, recorder));
-        Consensus::with_telemetry_in(memory, Arc::new(options), telemetry)
     }
 
     pub(crate) fn with_telemetry_in(

@@ -131,54 +131,9 @@ impl ConsensusEngine {
     pub fn builder() -> EngineBuilder {
         EngineBuilder::new()
     }
-
-    /// An engine over plain atomics.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `options.n == 0`, `engine.max_live_per_shard == 0`, or
-    /// `engine.participants > options.n`.
-    #[deprecated(note = "use `ConsensusEngine::builder()`")]
-    pub fn new(options: ConsensusOptions, engine: EngineOptions) -> ConsensusEngine {
-        let telemetry = Arc::new(RuntimeTelemetry::noop(options.n));
-        ConsensusEngine::with_telemetry_in(AtomicMemory, options, engine, telemetry)
-    }
-
-    /// An engine over plain atomics, emitting telemetry events to
-    /// `recorder`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `options.n == 0`, `engine.max_live_per_shard == 0`, or
-    /// `engine.participants > options.n`.
-    #[deprecated(note = "use `ConsensusEngine::builder().recorder(r)`")]
-    pub fn with_recorder(
-        options: ConsensusOptions,
-        engine: EngineOptions,
-        recorder: std::sync::Arc<dyn mc_telemetry::Recorder>,
-    ) -> ConsensusEngine {
-        let telemetry = Arc::new(RuntimeTelemetry::new(options.n, recorder));
-        ConsensusEngine::with_telemetry_in(AtomicMemory, options, engine, telemetry)
-    }
 }
 
 impl<M: SharedMemory> ConsensusEngine<M> {
-    /// An engine whose registers live in `memory`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `options.n == 0`, `engine.max_live_per_shard == 0`, or
-    /// `engine.participants > options.n`.
-    #[deprecated(note = "use `ConsensusEngine::builder().memory(m)`")]
-    pub fn new_in(
-        memory: M,
-        options: ConsensusOptions,
-        engine: EngineOptions,
-    ) -> ConsensusEngine<M> {
-        let telemetry = Arc::new(RuntimeTelemetry::noop(options.n));
-        ConsensusEngine::with_telemetry_in(memory, options, engine, telemetry)
-    }
-
     pub(crate) fn with_telemetry_in(
         memory: M,
         options: ConsensusOptions,

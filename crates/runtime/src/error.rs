@@ -84,10 +84,6 @@ impl fmt::Display for EngineError {
 
 impl Error for EngineError {}
 
-/// The pre-service name for [`EngineError`].
-#[deprecated(note = "use `EngineError`; the service layer folded every submission failure into it")]
-pub type SubmitError = EngineError;
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,12 +137,5 @@ mod tests {
             EngineError::RetriesExhausted { attempts: 3 }.to_string(),
             "admission refused all 3 attempts"
         );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_alias_still_names_the_same_type() {
-        let e: SubmitError = EngineError::Saturated;
-        assert_eq!(e, EngineError::Saturated);
     }
 }

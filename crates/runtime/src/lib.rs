@@ -40,6 +40,7 @@
 
 mod bounded;
 mod builder;
+pub mod clock;
 mod coin;
 mod conciliator;
 mod consensus;
@@ -62,8 +63,6 @@ pub use consensus::{AdaptiveConsensus, Consensus, ConsensusOptions};
 pub use derived::{Election, TestAndSet};
 pub use engine::{ConsensusEngine, EngineOptions};
 pub use error::EngineError;
-#[allow(deprecated)]
-pub use error::SubmitError;
 pub use faults::{FaultCounts, FaultPlan, FaultyMemory, FaultyRegister, ResetScope};
 pub use log::ReplicatedLog;
 pub use ratifier::AtomicRatifier;

@@ -5,7 +5,19 @@ use mc_telemetry::Recorder;
 use parking_lot::RwLock;
 use rand::Rng;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
+
+/// Who drives this log's decisions: nobody yet, [`ReplicatedLog::append`]
+/// (the log runs its own per-slot consensus), or
+/// [`ReplicatedLog::learn_decided`] (an external sequencer — the store
+/// layer — runs consensus elsewhere and records outcomes). The two must
+/// not mix on one log: `append` assumes an unlearned slot has live
+/// machinery it can decide through, which externally-learned logs never
+/// materialize.
+const DRIVE_UNSET: u8 = 0;
+const DRIVE_APPEND: u8 = 1;
+const DRIVE_EXTERNAL: u8 = 2;
 
 use crate::consensus::{Consensus, ConsensusOptions};
 use crate::register::{AtomicMemory, SharedMemory};
@@ -108,6 +120,9 @@ pub struct ReplicatedLog<M: SharedMemory = AtomicMemory> {
     /// Slots the learned prefix must clear a slot by before it is retired
     /// (0 = retire as soon as learned).
     retire_lag: usize,
+    /// Which decision driver claimed this log (`DRIVE_*`), settled by the
+    /// first `append`/`learn_decided` call.
+    drive: AtomicU8,
     slots: RwLock<SlotTable<M>>,
     learned: RwLock<LearnedLog>,
     /// Shared by every slot's consensus instance, so the log reports one
@@ -163,6 +178,7 @@ impl<M: SharedMemory> ReplicatedLog<M> {
             memory,
             options: Arc::new(Consensus::multivalued_options(n, capacity)),
             retire_lag: 0,
+            drive: AtomicU8::new(DRIVE_UNSET),
             slots: RwLock::new(SlotTable {
                 base: 0,
                 live: VecDeque::new(),
@@ -326,6 +342,7 @@ impl<M: SharedMemory> ReplicatedLog<M> {
             "command {command} exceeds capacity {}",
             self.capacity
         );
+        self.claim_drive(DRIVE_APPEND);
         let start_ix = self.first_unknown();
         let mut ix = start_ix;
         loop {
@@ -355,6 +372,53 @@ impl<M: SharedMemory> ReplicatedLog<M> {
     /// First slot index this log has not yet learned.
     fn first_unknown(&self) -> usize {
         self.learned.read().prefix
+    }
+
+    /// Settles (or checks) the log's decision driver: the first caller
+    /// fixes the mode, later callers of the *other* mode panic.
+    fn claim_drive(&self, wanted: u8) {
+        if let Err(current) =
+            self.drive
+                .compare_exchange(DRIVE_UNSET, wanted, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            assert!(
+                current == wanted,
+                "a ReplicatedLog is driven by append() or learn_decided(), never both: \
+                 append runs per-slot consensus inside the log, learn_decided records \
+                 decisions an external sequencer already agreed on"
+            );
+        }
+    }
+
+    /// Records a decision an *external* sequencer reached for `slot` —
+    /// the store layer's path, where commands are ordered through a
+    /// [`ConsensusService`](crate::ConsensusService) (one instance per
+    /// slot) and this log only keeps the learned prefix, entry storage,
+    /// and compaction machinery. Idempotent: re-learning a slot with the
+    /// same value, or a slot already compacted away, is a no-op.
+    ///
+    /// Slots may be learned out of order; [`learned_prefix`] advances
+    /// only over the contiguous run, exactly as with append-driven logs.
+    ///
+    /// [`learned_prefix`]: ReplicatedLog::learned_prefix
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value ≥ capacity()`, or if this log has ever been
+    /// driven by [`append`](ReplicatedLog::append) — the two decision
+    /// drivers must not mix on one log (`append` assumes unlearned slots
+    /// have live consensus machinery, which external learning never
+    /// materializes). Debug builds also catch re-learning a slot with a
+    /// *different* value, which would mean the external sequencer
+    /// diverged.
+    pub fn learn_decided(&self, slot: usize, value: u64) {
+        assert!(
+            value < self.capacity,
+            "value {value} exceeds capacity {}",
+            self.capacity
+        );
+        self.claim_drive(DRIVE_EXTERNAL);
+        self.learn(slot, value);
     }
 
     /// Length of the contiguous decided prefix: every slot in
@@ -623,5 +687,40 @@ mod tests {
     fn oversized_command_rejected() {
         let log = ReplicatedLog::new(1, 4);
         log.append(4, &mut SmallRng::seed_from_u64(0));
+    }
+
+    #[test]
+    fn externally_learned_slots_advance_the_prefix_in_order() {
+        let log = ReplicatedLog::new(2, 16);
+        // Out-of-order learning: prefix waits for the gap.
+        log.learn_decided(1, 9);
+        assert_eq!(log.learned_prefix(), 0);
+        log.learn_decided(0, 5);
+        assert_eq!(log.learned_prefix(), 2);
+        assert_eq!(log.snapshot(), vec![5, 9]);
+        // Idempotent re-learn and compaction behave as with append.
+        log.learn_decided(1, 9);
+        assert_eq!(log.compact_below(1), 1);
+        log.learn_decided(0, 5);
+        assert_eq!(log.learned_prefix(), 2);
+        assert_eq!(log.snapshot(), vec![9]);
+        // No consensus machinery ever materialized.
+        assert_eq!(log.live_slots(), 0);
+        assert_eq!(log.pooled_instances(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "never both")]
+    fn mixing_append_and_learn_decided_panics() {
+        let log = ReplicatedLog::new(1, 16);
+        log.append(3, &mut SmallRng::seed_from_u64(0));
+        log.learn_decided(1, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn oversized_external_decision_rejected() {
+        let log = ReplicatedLog::new(1, 4);
+        log.learn_decided(0, 4);
     }
 }

@@ -204,10 +204,13 @@ impl SubmitOptions {
         self
     }
 
-    /// Sets the deadline `budget` from now.
+    /// Sets the deadline `budget` from now, via the shared
+    /// [`clock`](crate::clock) helper — the same computation
+    /// [`DecisionHandle::wait_timeout`] uses, so an admission deadline and
+    /// the wait deadline derived from the same budget cannot drift.
     #[must_use]
     pub fn within(self, budget: Duration) -> SubmitOptions {
-        self.deadline(Instant::now() + budget)
+        self.deadline(crate::clock::deadline_within(budget))
     }
 
     /// Sets the admission retry policy.
@@ -580,7 +583,7 @@ impl DecisionHandle {
                 CellState::Poisoned => return Err(EngineError::Poisoned),
             }
             if let Some(deadline) = deadline {
-                let now = Instant::now();
+                let now = crate::clock::now();
                 if now >= deadline {
                     return match self.cell.read() {
                         CellState::Done(v) => Ok(v),
@@ -651,7 +654,7 @@ impl DecisionHandle {
     /// [`EngineError::Poisoned`] as [`wait`](DecisionHandle::wait) — a
     /// poison that races the timeout reports `Poisoned`, not `Timeout`.
     pub fn wait_timeout(&self, timeout: Duration) -> Result<u64, EngineError> {
-        let candidate = Instant::now() + timeout;
+        let candidate = crate::clock::deadline_within(timeout);
         match self.deadline {
             Some(own) if own <= candidate => {
                 self.wait_core(Some(own), EngineError::DeadlineExceeded)
@@ -1199,12 +1202,12 @@ impl<M: SharedMemory> ConsensusService<M> {
                     match opts.deadline {
                         None => std::thread::sleep(delay),
                         Some(deadline) => {
-                            let now = Instant::now();
+                            let now = crate::clock::now();
                             if now >= deadline {
                                 return Err(EngineError::DeadlineExceeded);
                             }
                             std::thread::sleep(delay.min(deadline - now));
-                            if Instant::now() >= deadline {
+                            if crate::clock::now() >= deadline {
                                 return Err(EngineError::DeadlineExceeded);
                             }
                         }

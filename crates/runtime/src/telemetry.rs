@@ -78,6 +78,14 @@ pub struct RuntimeTelemetry {
     resubmitted_cells: Counter,
     circuit_state: Gauge,
     worker_recovery_ns: Histogram,
+    applied_index: Gauge,
+    commands_applied: Counter,
+    sessions_created: Counter,
+    duplicates_served: Counter,
+    stale_commands: Counter,
+    lease_grants: Counter,
+    fast_reads: Counter,
+    store_snapshots: Counter,
 }
 
 impl std::fmt::Debug for RuntimeTelemetry {
@@ -134,6 +142,14 @@ impl RuntimeTelemetry {
             resubmitted_cells: Counter::new(),
             circuit_state: Gauge::new(),
             worker_recovery_ns: Histogram::new(),
+            applied_index: Gauge::new(),
+            commands_applied: Counter::new(),
+            sessions_created: Counter::new(),
+            duplicates_served: Counter::new(),
+            stale_commands: Counter::new(),
+            lease_grants: Counter::new(),
+            fast_reads: Counter::new(),
+            store_snapshots: Counter::new(),
         }
     }
 
@@ -478,6 +494,65 @@ impl RuntimeTelemetry {
         self.slot_conflicts.add(slots_walked.saturating_sub(1));
     }
 
+    // --- store-layer hooks (public: `mc-store` is a separate crate) ---
+
+    /// The store's apply worker applied `count` commands, leaving the
+    /// contiguous applied prefix at `applied_index` entries.
+    #[inline]
+    pub fn on_commands_applied(&self, count: u64, applied_index: u64) {
+        self.commands_applied.add(count);
+        self.applied_index.set(applied_index);
+    }
+
+    /// A store session table admitted a client id it had not seen.
+    #[inline]
+    pub fn on_session_created(&self) {
+        self.sessions_created.incr();
+    }
+
+    /// A duplicate command (same client, same sequence number) was
+    /// answered from the session table's cached response without
+    /// re-applying.
+    #[inline]
+    pub fn on_duplicate_served(&self) {
+        self.duplicates_served.incr();
+    }
+
+    /// A command arrived with a sequence number *below* the session's
+    /// last applied one — too stale for even the cached response.
+    #[inline]
+    pub fn on_stale_command(&self) {
+        self.stale_commands.incr();
+    }
+
+    /// A client session was granted (or re-granted) a read lease valid
+    /// for `ttl_ns`; `renewed` is false for the session's first lease.
+    #[inline]
+    pub fn on_lease_granted(&self, client: u64, renewed: bool, ttl_ns: u64) {
+        self.lease_grants.incr();
+        if self.events_on {
+            self.recorder.record(&TelemetryEvent::ReadLease {
+                client,
+                renewed,
+                ttl_ns,
+            });
+        }
+    }
+
+    /// A read was served from the applied state under a live lease,
+    /// without occupying a log slot.
+    #[inline]
+    pub fn on_fast_read(&self) {
+        self.fast_reads.incr();
+    }
+
+    /// The store captured a state-machine snapshot and compacted the log
+    /// below the applied index.
+    #[inline]
+    pub fn on_store_snapshot(&self) {
+        self.store_snapshots.incr();
+    }
+
     // --- accessors ---
 
     /// `decide` calls started.
@@ -749,6 +824,50 @@ impl RuntimeTelemetry {
         &self.worker_recovery_ns
     }
 
+    /// Length of the store's contiguous applied prefix (entries applied to
+    /// the state machine).
+    pub fn applied_index(&self) -> u64 {
+        self.applied_index.get()
+    }
+
+    /// Commands applied to the store's state machine (duplicates excluded).
+    pub fn commands_applied(&self) -> u64 {
+        self.commands_applied.get()
+    }
+
+    /// Distinct client sessions the store's session table has admitted.
+    pub fn sessions_created(&self) -> u64 {
+        self.sessions_created.get()
+    }
+
+    /// Duplicate commands answered from the session table's cached
+    /// response instead of re-applying.
+    pub fn duplicates_served(&self) -> u64 {
+        self.duplicates_served.get()
+    }
+
+    /// Commands refused because their sequence number predates the
+    /// session's cached response.
+    pub fn stale_commands(&self) -> u64 {
+        self.stale_commands.get()
+    }
+
+    /// Read leases granted or renewed.
+    pub fn lease_grants(&self) -> u64 {
+        self.lease_grants.get()
+    }
+
+    /// Reads served from the applied state under a live lease (no log
+    /// slot consumed).
+    pub fn fast_reads(&self) -> u64 {
+        self.fast_reads.get()
+    }
+
+    /// State-machine snapshots captured (each rides a `compact_below`).
+    pub fn store_snapshots(&self) -> u64 {
+        self.store_snapshots.get()
+    }
+
     /// Upper bound on the median worker recovery latency, nanoseconds.
     pub fn worker_recovery_p50_ns(&self) -> u64 {
         self.worker_recovery_ns.quantile_upper(0.50)
@@ -789,6 +908,18 @@ impl RuntimeTelemetry {
             .counter("batches_drained", self.batches_drained())
             .counter("worker_restarts", self.worker_restarts())
             .counter("resubmitted_cells", self.resubmitted_cells())
+            .counter("commands_applied", self.commands_applied())
+            .counter("sessions_created", self.sessions_created())
+            .counter("duplicates_served", self.duplicates_served())
+            .counter("stale_commands", self.stale_commands())
+            .counter("lease_grants", self.lease_grants())
+            .counter("fast_reads", self.fast_reads())
+            .counter("store_snapshots", self.store_snapshots())
+            .gauge(
+                "applied_index",
+                self.applied_index(),
+                self.applied_index.max(),
+            )
             .gauge(
                 "circuit_state",
                 self.circuit_state(),

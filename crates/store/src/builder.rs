@@ -1,0 +1,331 @@
+//! The store end of the unified builder chain:
+//! `ConsensusBuilder → EngineBuilder → ServiceBuilder → StoreBuilder`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mc_runtime::{
+    AtomicMemory, BackpressurePolicy, ChaosPlan, CircuitOptions, ConciliatorChoice, ReplicatedLog,
+    ServiceBuilder, SharedMemory, SupervisorOptions,
+};
+use mc_telemetry::Recorder;
+
+use crate::machine::StateMachine;
+use crate::store::ReplicatedStore;
+
+/// Store-layer knobs, separate from the consensus/engine/service knobs
+/// the builder passes through.
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Proposer threads ordering batches — also the consensus `n` and the
+    /// engine's `participants` (each sequencer submits exactly once per
+    /// slot, retiring the instance). Default 2.
+    pub sequencers: usize,
+    /// Maximum commands drafted into one batch (one log slot). Group
+    /// commit: one consensus round orders up to this many commands.
+    /// Default 512.
+    pub batch_commands: usize,
+    /// Command-slab capacity: batches formed but not yet applied. Bounds
+    /// the consensus value space to `max_inflight_batches + 1` codes.
+    /// Default 1024.
+    pub max_inflight_batches: usize,
+    /// Capture a state-machine snapshot every this many applied slots
+    /// (riding the same pass that compacts the log). `0` disables
+    /// snapshots. Default 1024.
+    pub snapshot_every: u64,
+    /// Read-lease lifetime for lease-gated fast reads. Default 5ms.
+    pub lease_ttl: Duration,
+    /// Capacity hint for the session table. Workloads that open sessions
+    /// by the million (one per client id) pay a full-table rehash every
+    /// time the map doubles; pre-sizing to the expected session count
+    /// removes that from the apply worker's critical path. `0` (the
+    /// default) starts empty and grows on demand.
+    pub expected_sessions: usize,
+}
+
+impl Default for StoreOptions {
+    fn default() -> StoreOptions {
+        StoreOptions {
+            sequencers: 2,
+            batch_commands: 512,
+            max_inflight_batches: 1024,
+            snapshot_every: 1024,
+            lease_ttl: Duration::from_millis(5),
+            expected_sessions: 0,
+        }
+    }
+}
+
+/// Builds a [`ReplicatedStore`]: store knobs here, everything beneath
+/// (conciliator choice, sharding, workers, backpressure, supervision,
+/// chaos, circuit breaker) passed through to the wrapped
+/// [`ServiceBuilder`] — one fluent chain from coin flips to KV responses.
+///
+/// ```
+/// use mc_store::{KvStore, ReplicatedStore};
+///
+/// let store = ReplicatedStore::<KvStore>::builder()
+///     .sequencers(3)
+///     .batch_commands(64)
+///     .build();
+/// # drop(store);
+/// ```
+#[derive(Debug)]
+pub struct StoreBuilder<S: StateMachine, M: SharedMemory = AtomicMemory> {
+    service: ServiceBuilder<M>,
+    options: StoreOptions,
+    initial: S,
+}
+
+impl<S: StateMachine + Default> StoreBuilder<S> {
+    /// A builder with default options and `S::default()` as the initial
+    /// state.
+    pub fn new() -> StoreBuilder<S> {
+        StoreBuilder {
+            service: ServiceBuilder::new(),
+            options: StoreOptions::default(),
+            initial: S::default(),
+        }
+    }
+}
+
+impl<S: StateMachine + Default> Default for StoreBuilder<S> {
+    fn default() -> StoreBuilder<S> {
+        StoreBuilder::new()
+    }
+}
+
+impl<S: StateMachine, M: SharedMemory> StoreBuilder<S, M> {
+    // ---- store knobs -------------------------------------------------
+
+    /// Proposer threads (consensus `n` / engine `participants`).
+    pub fn sequencers(mut self, sequencers: usize) -> Self {
+        self.options.sequencers = sequencers.max(1);
+        self
+    }
+
+    /// Maximum commands per batch (per log slot).
+    pub fn batch_commands(mut self, commands: usize) -> Self {
+        self.options.batch_commands = commands.max(1);
+        self
+    }
+
+    /// Command-slab capacity (batches in flight between formation and
+    /// apply).
+    pub fn max_inflight_batches(mut self, batches: usize) -> Self {
+        self.options.max_inflight_batches = batches.max(1);
+        self
+    }
+
+    /// Snapshot cadence in applied slots (`0` disables).
+    pub fn snapshot_every(mut self, slots: u64) -> Self {
+        self.options.snapshot_every = slots;
+        self
+    }
+
+    /// Read-lease lifetime for fast reads.
+    pub fn lease_ttl(mut self, ttl: Duration) -> Self {
+        self.options.lease_ttl = ttl;
+        self
+    }
+
+    /// Pre-sizes the session table for workloads with a known client
+    /// population; see [`StoreOptions::expected_sessions`].
+    pub fn expected_sessions(mut self, sessions: usize) -> Self {
+        self.options.expected_sessions = sessions;
+        self
+    }
+
+    /// Replaces every store knob at once.
+    pub fn options(mut self, options: StoreOptions) -> Self {
+        self.options = options;
+        self.options.sequencers = self.options.sequencers.max(1);
+        self.options.batch_commands = self.options.batch_commands.max(1);
+        self.options.max_inflight_batches = self.options.max_inflight_batches.max(1);
+        self
+    }
+
+    /// Starts the machine from `initial` instead of `S::default()`.
+    pub fn initial_state(mut self, initial: S) -> Self {
+        self.initial = initial;
+        self
+    }
+
+    /// Starts the machine from a snapshot — [`StateMachine::restore`]'s
+    /// builder-side entry point.
+    pub fn restore_from(mut self, snapshot: &S::Snapshot) -> Self {
+        self.initial = S::restore(snapshot);
+        self
+    }
+
+    // ---- service/engine/consensus passthroughs -----------------------
+
+    /// Conciliator powering each slot's consensus; see
+    /// [`ServiceBuilder::conciliator`].
+    pub fn conciliator(mut self, choice: ConciliatorChoice) -> Self {
+        self.service = self.service.conciliator(choice);
+        self
+    }
+
+    /// Telemetry recorder threaded down the whole stack.
+    pub fn recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.service = self.service.recorder(recorder);
+        self
+    }
+
+    /// Swaps the shared-memory implementation (chaos memory, recorders).
+    pub fn memory<M2: SharedMemory>(self, memory: M2) -> StoreBuilder<S, M2> {
+        StoreBuilder {
+            service: self.service.memory(memory),
+            options: self.options,
+            initial: self.initial,
+        }
+    }
+
+    /// Engine shard count; see [`ServiceBuilder::shards`].
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.service = self.service.shards(shards);
+        self
+    }
+
+    /// Service worker threads; see [`ServiceBuilder::workers`].
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.service = self.service.workers(workers);
+        self
+    }
+
+    /// Intake-ring capacity; see [`ServiceBuilder::ring_capacity`].
+    pub fn ring_capacity(mut self, capacity: usize) -> Self {
+        self.service = self.service.ring_capacity(capacity);
+        self
+    }
+
+    /// Worker drain batch bound; see [`ServiceBuilder::batch_max`].
+    pub fn batch_max(mut self, batch: usize) -> Self {
+        self.service = self.service.batch_max(batch);
+        self
+    }
+
+    /// Admission policy when the intake ring is full; see
+    /// [`ServiceBuilder::backpressure`].
+    pub fn backpressure(mut self, policy: BackpressurePolicy) -> Self {
+        self.service = self.service.backpressure(policy);
+        self
+    }
+
+    /// Seed for the stack's deterministic randomness.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.service = self.service.seed(seed);
+        self
+    }
+
+    /// Worker supervision; see [`ServiceBuilder::supervisor`].
+    pub fn supervisor(mut self, supervisor: SupervisorOptions) -> Self {
+        self.service = self.service.supervisor(supervisor);
+        self
+    }
+
+    /// Worker restart budget; see [`ServiceBuilder::restart_budget`].
+    pub fn restart_budget(mut self, budget: u32) -> Self {
+        self.service = self.service.restart_budget(budget);
+        self
+    }
+
+    /// Fault-injection plan; see [`ServiceBuilder::chaos`].
+    pub fn chaos(mut self, plan: ChaosPlan) -> Self {
+        self.service = self.service.chaos(plan);
+        self
+    }
+
+    /// Circuit breaker; see [`ServiceBuilder::circuit`].
+    pub fn circuit(mut self, circuit: CircuitOptions) -> Self {
+        self.service = self.service.circuit(circuit);
+        self
+    }
+
+    // ---- build -------------------------------------------------------
+
+    /// Builds the service (consensus `n` = engine `participants` =
+    /// `sequencers`; value space = slab capacity + 1 for the no-op code),
+    /// wires an externally-driven [`ReplicatedLog`], and starts the
+    /// store's sequencer and apply threads.
+    pub fn build(self) -> ReplicatedStore<S, M> {
+        let values = self.options.max_inflight_batches as u64 + 1;
+        let service = self
+            .service
+            .n(self.options.sequencers)
+            .values(values)
+            .participants(self.options.sequencers)
+            .build();
+        let log = ReplicatedLog::new(self.options.sequencers, values);
+        ReplicatedStore::start(service, log, self.options, self.initial)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv::{KvCommand, KvResponse, KvStore};
+
+    #[test]
+    fn defaults_are_documented() {
+        let options = StoreOptions::default();
+        assert_eq!(options.sequencers, 2);
+        assert_eq!(options.batch_commands, 512);
+        assert_eq!(options.max_inflight_batches, 1024);
+        assert_eq!(options.snapshot_every, 1024);
+        assert_eq!(options.lease_ttl, Duration::from_millis(5));
+        assert_eq!(options.expected_sessions, 0);
+    }
+
+    #[test]
+    fn degenerate_knobs_are_clamped_to_one() {
+        let mut store = StoreBuilder::<KvStore>::new()
+            .sequencers(0)
+            .batch_commands(0)
+            .max_inflight_batches(0)
+            .snapshot_every(0)
+            .build();
+        let mut client = store.client();
+        assert_eq!(
+            client.call(KvCommand::Put { key: 1, value: 1 }).unwrap(),
+            KvResponse::Stored(None)
+        );
+        store.shutdown();
+    }
+
+    #[test]
+    fn restore_from_resumes_a_snapshotted_machine() {
+        let snapshot = vec![(1u64, 10u64), (2, 20)];
+        let mut store = StoreBuilder::<KvStore>::new()
+            .restore_from(&snapshot)
+            .sequencers(1)
+            .build();
+        assert_eq!(store.read_with(1, |kv| kv.get(2)), Some(20));
+        let mut client = store.client();
+        assert_eq!(
+            client.call(KvCommand::Get { key: 1 }).unwrap(),
+            KvResponse::Value(Some(10))
+        );
+        store.shutdown();
+    }
+
+    #[test]
+    fn passthroughs_compose_with_store_knobs() {
+        let mut store = StoreBuilder::<KvStore>::new()
+            .seed(7)
+            .workers(2)
+            .shards(2)
+            .ring_capacity(256)
+            .sequencers(2)
+            .batch_commands(4)
+            .lease_ttl(Duration::from_millis(1))
+            .build();
+        let mut client = store.client();
+        for i in 0..10 {
+            client.call(KvCommand::Put { key: i, value: i }).unwrap();
+        }
+        assert_eq!(store.applied_commands(), 10);
+        store.shutdown();
+    }
+}

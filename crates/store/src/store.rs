@@ -1,0 +1,955 @@
+//! The replicated store: group-commit sequencers ordering command batches
+//! through the consensus service, a dedicated apply worker, and the
+//! session table that makes delivery exactly-once.
+//!
+//! # How a command becomes a response
+//!
+//! 1. [`ReplicatedStore::submit`] parks the command (with its client id,
+//!    sequence number, and a response cell) in the intake queue.
+//! 2. A **sequencer** drains up to `batch_commands` pending commands into
+//!    a batch, interns it in the command slab (its index + 1 is the
+//!    batch's *code* — code 0 is the no-op), and proposes the code for
+//!    its current slot through the [`ConsensusService`]. Consensus picks
+//!    one code per slot; a losing sequencer re-proposes the same batch at
+//!    the next slot. Decisions are recorded into the [`ReplicatedLog`]
+//!    via [`learn_decided`](ReplicatedLog::learn_decided).
+//! 3. The **apply worker** walks the log's learned prefix in slot order,
+//!    resolves each code back to its batch, applies each command through
+//!    the session table (duplicates answered from the cache, never
+//!    re-applied), fills the response cells, and compacts the log below
+//!    the applied index — capturing a state-machine snapshot at the
+//!    configured cadence.
+//!
+//! # Why every sequencer touches every slot
+//!
+//! The engine retires a consensus instance after exactly `participants`
+//! submissions, so the store runs `sequencers` proposer threads and each
+//! submits exactly once per slot — a real batch when it has one, the
+//! no-op code when idle or catching up to the decision frontier. An idle
+//! sequencer therefore trails the frontier retiring decided slots, and
+//! the whole store quiesces (no spinning) when no commands are pending.
+
+use std::collections::hash_map::Entry;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use mc_runtime::clock;
+use mc_runtime::{
+    AtomicMemory, ConsensusService, EngineError, ReplicatedLog, RuntimeTelemetry, SharedMemory,
+};
+
+use crate::builder::{StoreBuilder, StoreOptions};
+use crate::cell::{CommandHandle, ResponseCell};
+use crate::error::StoreError;
+use crate::hash::FastMap;
+use crate::kv::KvStore;
+use crate::machine::StateMachine;
+
+/// The reserved "empty slot" command code. Real batch codes are
+/// `1..=max_inflight_batches`.
+const NOOP: u64 = 0;
+
+/// Admission-refusal retries a sequencer attempts (50µs apart) before
+/// declaring the ordering path dead. Only reachable under non-blocking
+/// backpressure policies; the default `Block` policy never refuses.
+const ORDER_RETRY_LIMIT: u32 = 2_000;
+
+/// One submitted command waiting to be ordered and applied.
+struct Pending<S: StateMachine> {
+    client: u64,
+    seq: u64,
+    command: S::Command,
+    cell: Arc<ResponseCell<S::Response>>,
+}
+
+/// Intake queue: commands submitted but not yet drafted into a batch.
+struct Intake<S: StateMachine> {
+    queue: VecDeque<Pending<S>>,
+    closed: bool,
+}
+
+/// The command table: in-flight batches, addressed by code − 1. A code is
+/// allocated when a sequencer forms a batch and freed when the apply
+/// worker consumes the batch at its decided slot — so a code can never
+/// denote two different batches among unapplied slots.
+struct Slab<S: StateMachine> {
+    entries: Vec<Option<Vec<Pending<S>>>>,
+    free: Vec<usize>,
+}
+
+impl<S: StateMachine> Slab<S> {
+    fn with_capacity(cap: usize) -> Slab<S> {
+        Slab {
+            entries: (0..cap).map(|_| None).collect(),
+            free: (0..cap).rev().collect(),
+        }
+    }
+
+    fn alloc(&mut self, batch: Vec<Pending<S>>) -> Option<u64> {
+        let ix = self.free.pop()?;
+        self.entries[ix] = Some(batch);
+        Some(ix as u64 + 1)
+    }
+
+    fn take(&mut self, code: u64) -> Vec<Pending<S>> {
+        let ix = (code - 1) as usize;
+        let batch = self.entries[ix].take().expect("code maps to a live batch");
+        self.free.push(ix);
+        batch
+    }
+}
+
+/// One client session's exactly-once state: the last applied sequence
+/// number and its cached response. Clients are sequential (a command is
+/// retried only until its response arrives), so one cached response per
+/// session suffices — the viewstamped-replication client-table model.
+struct Session<R> {
+    last_seq: u64,
+    last_response: R,
+}
+
+struct StoreInner<S: StateMachine, M: SharedMemory> {
+    service: ConsensusService<M>,
+    /// External-drive mode: sequencers run consensus through `service`
+    /// and record outcomes with `learn_decided`; the log keeps the
+    /// learned prefix, entry storage, and compaction machinery.
+    log: ReplicatedLog,
+    options: StoreOptions,
+    intake: Mutex<Intake<S>>,
+    /// Paired with `intake`: wakes sequencers on new work, frontier
+    /// advance, apply progress (slab space), and shutdown.
+    work_cv: Condvar,
+    slab: Mutex<Slab<S>>,
+    state: Mutex<S>,
+    sessions: Mutex<FastMap<u64, Session<S::Response>>>,
+    /// Read leases by client id: expiry instants from the shared
+    /// monotonic-clock helper.
+    leases: Mutex<FastMap<u64, Instant>>,
+    latest_snapshot: Mutex<Option<(u64, S::Snapshot)>>,
+    /// 1 + highest slot any sequencer has learned decided; the next fresh
+    /// slot. Idle sequencers trail this, retiring decided slots.
+    frontier: AtomicU64,
+    apply_mx: Mutex<()>,
+    apply_cv: Condvar,
+    shutdown: AtomicBool,
+    sequencers_live: AtomicU64,
+    next_client: AtomicU64,
+}
+
+impl<S: StateMachine, M: SharedMemory> StoreInner<S, M> {
+    fn telemetry(&self) -> &RuntimeTelemetry {
+        self.service.telemetry()
+    }
+
+    fn lock_intake(&self) -> std::sync::MutexGuard<'_, Intake<S>> {
+        self.intake.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Enqueues one command, returning its handle. A closed intake
+    /// answers [`StoreError::Shutdown`] immediately.
+    fn submit(&self, client: u64, seq: u64, command: S::Command) -> CommandHandle<S::Response> {
+        let cell = Arc::new(ResponseCell::new());
+        let handle = CommandHandle::new(Arc::clone(&cell));
+        let mut intake = self.lock_intake();
+        if intake.closed {
+            drop(intake);
+            cell.fill(Err(StoreError::Shutdown));
+            return handle;
+        }
+        intake.queue.push_back(Pending {
+            client,
+            seq,
+            command,
+            cell,
+        });
+        drop(intake);
+        self.work_cv.notify_one();
+        handle
+    }
+
+    /// Drafts up to `batch_commands` pending commands into a slab batch,
+    /// returning its code — `None` when the slab is full (apply lag; the
+    /// apply worker's progress will wake us).
+    fn try_form_batch(&self, intake: &mut Intake<S>) -> Option<u64> {
+        let mut slab = self.slab.lock().unwrap_or_else(PoisonError::into_inner);
+        if slab.free.is_empty() {
+            return None;
+        }
+        let take = intake.queue.len().min(self.options.batch_commands);
+        let batch: Vec<Pending<S>> = intake.queue.drain(..take).collect();
+        slab.alloc(batch)
+    }
+
+    /// Proposes `code` for `slot` through the consensus service and waits
+    /// for the slot's decision.
+    fn order(&self, slot: u64, code: u64) -> Result<u64, StoreError> {
+        let mut refusals = 0u32;
+        loop {
+            match self.service.submit(slot, code) {
+                Ok(handle) => return handle.wait().map_err(StoreError::Ordering),
+                Err(
+                    e @ (EngineError::Rejected
+                    | EngineError::Shed { .. }
+                    | EngineError::CircuitOpen
+                    | EngineError::RetriesExhausted { .. }),
+                ) => {
+                    refusals += 1;
+                    if refusals > ORDER_RETRY_LIMIT {
+                        return Err(StoreError::Ordering(e));
+                    }
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                }
+                Err(e) => return Err(StoreError::Ordering(e)),
+            }
+        }
+    }
+
+    /// Fails every command of a fatally-stranded batch and poisons the
+    /// store so later submissions are refused at intake.
+    fn fail_batch(&self, code: Option<u64>, error: StoreError) {
+        if let Some(code) = code {
+            let batch = {
+                let mut slab = self.slab.lock().unwrap_or_else(PoisonError::into_inner);
+                slab.take(code)
+            };
+            for pending in batch {
+                pending.cell.fill(Err(error));
+            }
+        }
+        self.shutdown.store(true, Ordering::Release);
+        {
+            let mut intake = self.lock_intake();
+            intake.closed = true;
+            self.work_cv.notify_all();
+        }
+        let _g = self.apply_mx.lock().unwrap_or_else(PoisonError::into_inner);
+        self.apply_cv.notify_all();
+    }
+
+    /// One sequencer's life: visit slots in order, proposing a real batch
+    /// when one is pending and the no-op when idle-but-behind, learning
+    /// every decision into the log.
+    fn run_sequencer(self: &Arc<Self>) {
+        let mut cursor: u64 = 0;
+        let mut current: Option<u64> = None;
+        loop {
+            if current.is_none() {
+                let mut intake = self.lock_intake();
+                loop {
+                    if !intake.queue.is_empty() {
+                        current = self.try_form_batch(&mut intake);
+                        if current.is_some() {
+                            break;
+                        }
+                        // Slab full: if behind the frontier we can still
+                        // do useful catch-up work; otherwise wait for the
+                        // apply worker to free a code.
+                    }
+                    if cursor < self.frontier.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if self.shutdown.load(Ordering::Acquire) && intake.queue.is_empty() {
+                        self.note_sequencer_exit();
+                        return;
+                    }
+                    intake = self
+                        .work_cv
+                        .wait(intake)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+            // Propose the real batch only at a slot at (or past) the
+            // observed frontier. A slot behind the frontier is already
+            // decided, and its stale decision can equal our code from the
+            // code's *previous* life in the slab — which would read as "we
+            // won" and strand the batch. At `cursor >= frontier` that
+            // aliasing is impossible: the code's previous owner stopped
+            // proposing at its winning slot, which apply passed before the
+            // code was recycled to us, so `decided == code` here can only
+            // mean this very batch won.
+            let proposal = if current.is_some() && cursor >= self.frontier.load(Ordering::Acquire) {
+                current.unwrap_or(NOOP)
+            } else {
+                NOOP
+            };
+            let decided = match self.order(cursor, proposal) {
+                Ok(v) => v,
+                Err(e) => {
+                    self.fail_batch(current.take(), e);
+                    self.note_sequencer_exit();
+                    return;
+                }
+            };
+            self.log.learn_decided(cursor as usize, decided);
+            let next = cursor + 1;
+            if self.frontier.fetch_max(next, Ordering::AcqRel) < next {
+                let _g = self.lock_intake();
+                self.work_cv.notify_all();
+            }
+            {
+                let _g = self.apply_mx.lock().unwrap_or_else(PoisonError::into_inner);
+                self.apply_cv.notify_all();
+            }
+            if proposal != NOOP && decided == proposal {
+                current = None;
+            }
+            cursor = next;
+        }
+    }
+
+    fn note_sequencer_exit(&self) {
+        self.sequencers_live.fetch_sub(1, Ordering::AcqRel);
+        let _g = self.apply_mx.lock().unwrap_or_else(PoisonError::into_inner);
+        self.apply_cv.notify_all();
+    }
+
+    /// The apply worker: walks the learned prefix in slot order, applies
+    /// batches through the session table, fills response cells, snapshots
+    /// at the configured cadence, and compacts the log behind itself.
+    fn run_apply(self: &Arc<Self>) {
+        let mut applied_slots: u64 = 0;
+        let mut applied_commands: u64 = 0;
+        let mut last_snapshot_slot: u64 = 0;
+        loop {
+            {
+                let mut g = self.apply_mx.lock().unwrap_or_else(PoisonError::into_inner);
+                loop {
+                    if (self.log.learned_prefix() as u64) > applied_slots {
+                        break;
+                    }
+                    if self.sequencers_live.load(Ordering::Acquire) == 0 {
+                        return;
+                    }
+                    g = self
+                        .apply_cv
+                        .wait(g)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+            let prefix = self.log.learned_prefix() as u64;
+            while applied_slots < prefix {
+                let code = self
+                    .log
+                    .get(applied_slots as usize)
+                    .expect("slot below the learned prefix is readable");
+                if code != NOOP {
+                    let batch = {
+                        let mut slab = self.slab.lock().unwrap_or_else(PoisonError::into_inner);
+                        slab.take(code)
+                    };
+                    applied_commands += self.apply_batch(batch, applied_commands);
+                }
+                applied_slots += 1;
+            }
+            if self.options.snapshot_every > 0
+                && applied_slots - last_snapshot_slot >= self.options.snapshot_every
+            {
+                let snapshot = {
+                    let state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+                    state.snapshot()
+                };
+                *self
+                    .latest_snapshot
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner) = Some((applied_commands, snapshot));
+                self.telemetry().on_store_snapshot();
+                last_snapshot_slot = applied_slots;
+            }
+            // Retained log stays bounded by apply lag.
+            self.log.compact_below(applied_slots as usize);
+            // Freed slab codes may unblock batch formation.
+            {
+                let _g = self.lock_intake();
+                self.work_cv.notify_all();
+            }
+        }
+    }
+
+    /// Applies one decided batch through the session table, returning how
+    /// many commands actually mutated the machine (duplicates and stale
+    /// retries excluded).
+    fn apply_batch(&self, batch: Vec<Pending<S>>, applied_before: u64) -> u64 {
+        let telemetry = self.telemetry();
+        // Responses are buffered and released only after every counter for
+        // the batch has been bumped: a caller that has observed its
+        // response (and anything it implies completed) must also observe
+        // that work in the telemetry ledger.
+        let mut fills = Vec::with_capacity(batch.len());
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut sessions = self.sessions.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut applied = 0u64;
+        for pending in batch {
+            match sessions.entry(pending.client) {
+                Entry::Vacant(vacant) => {
+                    telemetry.on_session_created();
+                    let response = state.apply(&pending.command);
+                    vacant.insert(Session {
+                        last_seq: pending.seq,
+                        last_response: response.clone(),
+                    });
+                    fills.push((pending.cell, Ok(response)));
+                    applied += 1;
+                }
+                Entry::Occupied(mut occupied) => {
+                    let session = occupied.get_mut();
+                    if pending.seq > session.last_seq {
+                        let response = state.apply(&pending.command);
+                        session.last_seq = pending.seq;
+                        session.last_response = response.clone();
+                        fills.push((pending.cell, Ok(response)));
+                        applied += 1;
+                    } else if pending.seq == session.last_seq {
+                        telemetry.on_duplicate_served();
+                        fills.push((pending.cell, Ok(session.last_response.clone())));
+                    } else {
+                        telemetry.on_stale_command();
+                        fills.push((
+                            pending.cell,
+                            Err(StoreError::Stale {
+                                last_seq: session.last_seq,
+                            }),
+                        ));
+                    }
+                }
+            }
+        }
+        drop(sessions);
+        drop(state);
+        telemetry.on_commands_applied(applied, applied_before + applied);
+        for (cell, result) in fills {
+            cell.fill(result);
+        }
+        applied
+    }
+
+    /// Lease-gated fast read: checks (or grants) the client's read lease,
+    /// then runs `f` against the applied state — no log slot consumed.
+    fn read_with<R>(&self, client: u64, f: impl FnOnce(&S) -> R) -> R {
+        let now = clock::now();
+        let ttl = self.options.lease_ttl;
+        {
+            let mut leases = self.leases.lock().unwrap_or_else(PoisonError::into_inner);
+            match leases.entry(client) {
+                Entry::Occupied(mut occupied) => {
+                    if *occupied.get() <= now {
+                        *occupied.get_mut() = clock::deadline_from(now, ttl);
+                        self.telemetry()
+                            .on_lease_granted(client, true, ttl.as_nanos() as u64);
+                    }
+                }
+                Entry::Vacant(vacant) => {
+                    vacant.insert(clock::deadline_from(now, ttl));
+                    self.telemetry()
+                        .on_lease_granted(client, false, ttl.as_nanos() as u64);
+                }
+            }
+        }
+        self.telemetry().on_fast_read();
+        let state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        f(&state)
+    }
+}
+
+/// A linearizable replicated state machine over the consensus stack.
+///
+/// Construct with [`ReplicatedStore::builder`] (the end of the
+/// `ConsensusBuilder → EngineBuilder → ServiceBuilder → StoreBuilder`
+/// chain), obtain sessions with [`client`](ReplicatedStore::client), and
+/// see the [crate docs](crate) for the data path. Dropping the store
+/// drains in-flight commands and joins its worker threads.
+pub struct ReplicatedStore<S: StateMachine, M: SharedMemory = AtomicMemory> {
+    inner: Arc<StoreInner<S, M>>,
+    sequencers: Vec<JoinHandle<()>>,
+    apply: Option<JoinHandle<()>>,
+}
+
+impl<S: StateMachine + Default> ReplicatedStore<S> {
+    /// The store end of the unified builder chain.
+    pub fn builder() -> StoreBuilder<S> {
+        StoreBuilder::new()
+    }
+}
+
+impl<S: StateMachine, M: SharedMemory> ReplicatedStore<S, M> {
+    /// Wires the store over an already-built service and log and starts
+    /// its worker threads. Called by [`StoreBuilder::build`].
+    pub(crate) fn start(
+        service: ConsensusService<M>,
+        log: ReplicatedLog,
+        options: StoreOptions,
+        initial: S,
+    ) -> ReplicatedStore<S, M> {
+        let sequencer_count = options.sequencers;
+        let slab_capacity = options.max_inflight_batches;
+        let mut sessions = FastMap::default();
+        sessions.reserve(options.expected_sessions);
+        let inner = Arc::new(StoreInner {
+            service,
+            log,
+            options,
+            intake: Mutex::new(Intake {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            work_cv: Condvar::new(),
+            slab: Mutex::new(Slab::with_capacity(slab_capacity)),
+            state: Mutex::new(initial),
+            sessions: Mutex::new(sessions),
+            leases: Mutex::new(FastMap::default()),
+            latest_snapshot: Mutex::new(None),
+            frontier: AtomicU64::new(0),
+            apply_mx: Mutex::new(()),
+            apply_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            sequencers_live: AtomicU64::new(sequencer_count as u64),
+            next_client: AtomicU64::new(1),
+        });
+        let sequencers = (0..sequencer_count)
+            .map(|ix| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("mc-store-seq-{ix}"))
+                    .spawn(move || inner.run_sequencer())
+                    .expect("spawn sequencer")
+            })
+            .collect();
+        let apply = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("mc-store-apply".into())
+                .spawn(move || inner.run_apply())
+                .expect("spawn apply worker")
+        };
+        ReplicatedStore {
+            inner,
+            sequencers,
+            apply: Some(apply),
+        }
+    }
+
+    /// A fresh client session with a store-unique client id.
+    pub fn client(&self) -> StoreClient<S, M> {
+        let id = self.inner.next_client.fetch_add(1, Ordering::Relaxed);
+        self.client_with_id(id)
+    }
+
+    /// A session with an explicit client id — for tests and benchmarks
+    /// that simulate many sessions, and for a client resuming an id it
+    /// used before (the session table remembers its last sequence
+    /// number). Two *concurrent* sessions sharing an id violate the
+    /// sequential-session model and will see each other's commands as
+    /// duplicates or stale.
+    pub fn client_with_id(&self, client: u64) -> StoreClient<S, M> {
+        StoreClient {
+            inner: Arc::clone(&self.inner),
+            client,
+            seq: 0,
+        }
+    }
+
+    /// Raw session-interface submit: enqueues `(client, seq, command)`
+    /// for ordering and returns the response handle. Duplicate
+    /// submissions of the same `(client, seq)` are answered exactly once
+    /// from the session table's cache. Prefer [`StoreClient`] — it stamps
+    /// the sequence numbers.
+    pub fn submit(&self, client: u64, seq: u64, command: S::Command) -> CommandHandle<S::Response> {
+        self.inner.submit(client, seq, command)
+    }
+
+    /// Batch submit under one intake lock — the producer-side
+    /// amortization benchmarks use. Handles come back in input order.
+    pub fn submit_batch(
+        &self,
+        items: impl IntoIterator<Item = (u64, u64, S::Command)>,
+    ) -> Vec<CommandHandle<S::Response>> {
+        let mut cells = Vec::new();
+        let mut intake = self.inner.lock_intake();
+        let closed = intake.closed;
+        for (client, seq, command) in items {
+            let cell = Arc::new(ResponseCell::new());
+            cells.push(CommandHandle::new(Arc::clone(&cell)));
+            if closed {
+                cell.fill(Err(StoreError::Shutdown));
+            } else {
+                intake.queue.push_back(Pending {
+                    client,
+                    seq,
+                    command,
+                    cell,
+                });
+            }
+        }
+        drop(intake);
+        self.inner.work_cv.notify_all();
+        cells
+    }
+
+    /// Lease-gated fast read: runs `f` against the applied state under
+    /// `client`'s read lease (granting or renewing it as needed), without
+    /// consuming a log slot. Linearizable because responses are released
+    /// only at apply time: every command whose response the caller could
+    /// have observed is already in the applied state. The slow path — the
+    /// read as a logged command, e.g. [`KvCommand::Get`] — is the
+    /// conformance oracle for this fast path.
+    ///
+    /// [`KvCommand::Get`]: crate::KvCommand::Get
+    pub fn read_with<R>(&self, client: u64, f: impl FnOnce(&S) -> R) -> R {
+        self.inner.read_with(client, f)
+    }
+
+    /// The latest state-machine snapshot the apply worker captured, with
+    /// the number of commands applied when it was taken. `None` before
+    /// the first snapshot cadence elapses.
+    pub fn latest_snapshot(&self) -> Option<(u64, S::Snapshot)> {
+        self.inner
+            .latest_snapshot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Aggregate metrics: the applied-index gauge, session-table
+    /// counters, lease grants, plus everything the underlying service and
+    /// engine count.
+    pub fn telemetry(&self) -> &RuntimeTelemetry {
+        self.inner.telemetry()
+    }
+
+    /// Slots the log has learned decided (contiguous prefix).
+    pub fn learned_slots(&self) -> usize {
+        self.inner.log.learned_prefix()
+    }
+
+    /// Commands applied to the state machine so far (duplicates excluded).
+    pub fn applied_commands(&self) -> u64 {
+        self.telemetry().commands_applied()
+    }
+
+    /// Drains in-flight commands and joins the worker threads. Called by
+    /// `Drop`; explicit calls are idempotent. Every handle not yet
+    /// answered resolves — applied commands with their responses, never-
+    /// ordered ones with [`StoreError::Shutdown`].
+    pub fn shutdown(&mut self) {
+        {
+            let mut intake = self.inner.lock_intake();
+            intake.closed = true;
+            self.inner.shutdown.store(true, Ordering::Release);
+            self.inner.work_cv.notify_all();
+        }
+        for handle in self.sequencers.drain(..) {
+            let _ = handle.join();
+        }
+        {
+            let _g = self
+                .inner
+                .apply_mx
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            self.inner.apply_cv.notify_all();
+        }
+        if let Some(handle) = self.apply.take() {
+            let _ = handle.join();
+        }
+        // A fatal sequencer exit can strand queued commands; fail them so
+        // no waiter hangs.
+        let leftovers: Vec<Pending<S>> = {
+            let mut intake = self.inner.lock_intake();
+            intake.queue.drain(..).collect()
+        };
+        for pending in leftovers {
+            pending.cell.fill(Err(StoreError::Shutdown));
+        }
+    }
+}
+
+impl<S: StateMachine, M: SharedMemory> Drop for ReplicatedStore<S, M> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl<S: StateMachine, M: SharedMemory> std::fmt::Debug for ReplicatedStore<S, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicatedStore")
+            .field("learned_slots", &self.learned_slots())
+            .field("applied_commands", &self.applied_commands())
+            .field("sequencers", &self.inner.options.sequencers)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A client session: owns a client id and stamps per-session sequence
+/// numbers, giving exactly-once application under retry. Sessions are
+/// sequential — issue (and retry) one command until its response arrives
+/// before moving to the next — which is what lets the session table cache
+/// a single response per client.
+pub struct StoreClient<S: StateMachine, M: SharedMemory = AtomicMemory> {
+    inner: Arc<StoreInner<S, M>>,
+    client: u64,
+    seq: u64,
+}
+
+impl<S: StateMachine, M: SharedMemory> StoreClient<S, M> {
+    /// This session's client id.
+    pub fn id(&self) -> u64 {
+        self.client
+    }
+
+    /// The sequence number of the most recently submitted command (0
+    /// before the first).
+    pub fn last_seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Submits the next command and blocks for its response.
+    ///
+    /// # Errors
+    ///
+    /// As [`CommandHandle::wait`].
+    pub fn call(&mut self, command: S::Command) -> Result<S::Response, StoreError> {
+        self.submit(command).wait()
+    }
+
+    /// Submits the next command (stamping the next sequence number) and
+    /// returns without waiting.
+    pub fn submit(&mut self, command: S::Command) -> CommandHandle<S::Response> {
+        self.seq += 1;
+        self.inner.submit(self.client, self.seq, command)
+    }
+
+    /// Re-submits a command under an already-used sequence number — the
+    /// retry path. However many copies land in the log, the command
+    /// applies once; every copy's handle resolves with the same response
+    /// (the extra copies served from the session cache).
+    pub fn resend(&self, seq: u64, command: S::Command) -> CommandHandle<S::Response> {
+        self.inner.submit(self.client, seq, command)
+    }
+
+    /// Lease-gated fast read under this session's lease; see
+    /// [`ReplicatedStore::read_with`].
+    pub fn read<R>(&self, f: impl FnOnce(&S) -> R) -> R {
+        self.inner.read_with(self.client, f)
+    }
+}
+
+impl<S: StateMachine, M: SharedMemory> std::fmt::Debug for StoreClient<S, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreClient")
+            .field("client", &self.client)
+            .field("seq", &self.seq)
+            .finish()
+    }
+}
+
+// The default store type parameter wants a name in rustdoc examples.
+impl ReplicatedStore<KvStore> {
+    /// A ready-to-use linearizable KV store with default options —
+    /// shorthand for `ReplicatedStore::<KvStore>::builder().build()`.
+    pub fn kv() -> ReplicatedStore<KvStore> {
+        ReplicatedStore::<KvStore>::builder().build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv::{KvCommand, KvResponse};
+
+    fn small_store() -> ReplicatedStore<KvStore> {
+        ReplicatedStore::<KvStore>::builder()
+            .sequencers(2)
+            .batch_commands(8)
+            .snapshot_every(4)
+            .build()
+    }
+
+    #[test]
+    fn single_client_round_trips() {
+        let mut store = small_store();
+        let mut client = store.client();
+        assert_eq!(
+            client.call(KvCommand::Put { key: 1, value: 5 }).unwrap(),
+            KvResponse::Stored(None)
+        );
+        assert_eq!(
+            client.call(KvCommand::Get { key: 1 }).unwrap(),
+            KvResponse::Value(Some(5))
+        );
+        assert_eq!(
+            client
+                .call(KvCommand::Cas {
+                    key: 1,
+                    expect: Some(5),
+                    value: 6
+                })
+                .unwrap(),
+            KvResponse::Swapped {
+                applied: true,
+                actual: Some(5)
+            }
+        );
+        assert_eq!(
+            client.call(KvCommand::Delete { key: 1 }).unwrap(),
+            KvResponse::Removed(Some(6))
+        );
+        assert_eq!(store.applied_commands(), 4);
+        store.shutdown();
+    }
+
+    #[test]
+    fn duplicate_resends_apply_once_and_share_the_response() {
+        let mut store = small_store();
+        let mut client = store.client();
+        client.call(KvCommand::Put { key: 9, value: 1 }).unwrap();
+        let seq = client.last_seq();
+        // Three duplicate deliveries of the same logical command.
+        let retries: Vec<_> = (0..3)
+            .map(|_| client.resend(seq, KvCommand::Put { key: 9, value: 1 }))
+            .collect();
+        for handle in retries {
+            assert_eq!(handle.wait().unwrap(), KvResponse::Stored(None));
+        }
+        // The put applied exactly once: the stored "previous value" stayed
+        // None, and the machine still holds 1.
+        assert_eq!(
+            client.call(KvCommand::Get { key: 9 }).unwrap(),
+            KvResponse::Value(Some(1))
+        );
+        assert_eq!(store.telemetry().duplicates_served(), 3);
+        assert_eq!(store.applied_commands(), 2);
+        store.shutdown();
+    }
+
+    #[test]
+    fn stale_sequence_numbers_are_refused() {
+        let mut store = small_store();
+        let mut client = store.client();
+        client.call(KvCommand::Put { key: 1, value: 1 }).unwrap();
+        client.call(KvCommand::Put { key: 1, value: 2 }).unwrap();
+        let stale = client.resend(1, KvCommand::Put { key: 1, value: 1 });
+        assert_eq!(stale.wait(), Err(StoreError::Stale { last_seq: 2 }));
+        assert_eq!(store.telemetry().stale_commands(), 1);
+        store.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_all_get_applied_exactly_once() {
+        let mut store = ReplicatedStore::<KvStore>::builder()
+            .sequencers(3)
+            .batch_commands(16)
+            .build();
+        let clients = 6u64;
+        let per_client = 40u64;
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let mut session = store.client_with_id(100 + c);
+                std::thread::spawn(move || {
+                    for i in 0..per_client {
+                        let resp = session
+                            .call(KvCommand::Put {
+                                key: (100 + c) * 1_000 + i,
+                                value: i,
+                            })
+                            .unwrap();
+                        assert_eq!(resp, KvResponse::Stored(None));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.applied_commands(), clients * per_client);
+        assert_eq!(store.telemetry().sessions_created(), clients);
+        let total = store.read_with(999, |kv| kv.len());
+        assert_eq!(total as u64, clients * per_client);
+        store.shutdown();
+    }
+
+    #[test]
+    fn fast_reads_observe_completed_writes_and_grant_leases() {
+        let mut store = small_store();
+        let mut client = store.client();
+        client.call(KvCommand::Put { key: 3, value: 30 }).unwrap();
+        assert_eq!(client.read(|kv| kv.get(3)), Some(30));
+        let t = store.telemetry();
+        assert_eq!(t.fast_reads(), 1);
+        assert_eq!(t.lease_grants(), 1);
+        // Within the TTL the second read rides the same lease.
+        assert_eq!(client.read(|kv| kv.get(3)), Some(30));
+        assert_eq!(store.telemetry().lease_grants(), 1);
+        store.shutdown();
+    }
+
+    #[test]
+    fn snapshots_ride_compaction_at_the_configured_cadence() {
+        let mut store = ReplicatedStore::<KvStore>::builder()
+            .sequencers(1)
+            .batch_commands(1)
+            .snapshot_every(2)
+            .build();
+        let mut client = store.client();
+        for i in 0..20 {
+            client.call(KvCommand::Put { key: i, value: i }).unwrap();
+        }
+        assert!(store.telemetry().store_snapshots() >= 1);
+        let (applied_at, snapshot) = store.latest_snapshot().expect("cadence elapsed");
+        assert!(applied_at >= 2);
+        assert_eq!(snapshot.len() as u64, applied_at);
+        // Compaction kept retention bounded: the log has dropped slots.
+        assert!(store.inner.log.compacted_below() > 0);
+        // Restore is snapshot's inverse.
+        let restored = KvStore::restore(&snapshot);
+        assert_eq!(restored.snapshot(), snapshot);
+        store.shutdown();
+    }
+
+    #[test]
+    fn submissions_after_shutdown_are_refused() {
+        let mut store = small_store();
+        let mut client = store.client();
+        client.call(KvCommand::Put { key: 1, value: 1 }).unwrap();
+        store.shutdown();
+        assert_eq!(
+            client.call(KvCommand::Put { key: 2, value: 2 }),
+            Err(StoreError::Shutdown)
+        );
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drop_is_clean() {
+        let mut store = small_store();
+        let mut client = store.client();
+        client.call(KvCommand::Put { key: 1, value: 1 }).unwrap();
+        store.shutdown();
+        store.shutdown();
+        drop(store);
+    }
+
+    #[test]
+    fn batch_submit_preserves_input_order_of_handles() {
+        let mut store = small_store();
+        let handles = store.submit_batch((1..=10u64).map(|i| {
+            (
+                77,
+                i,
+                KvCommand::Put {
+                    key: i,
+                    value: i * 2,
+                },
+            )
+        }));
+        for (i, handle) in handles.iter().enumerate() {
+            assert_eq!(
+                handle.wait().unwrap(),
+                KvResponse::Stored(None),
+                "command {i}"
+            );
+        }
+        assert_eq!(store.read_with(77, |kv| kv.get(10)), Some(20));
+        store.shutdown();
+    }
+}

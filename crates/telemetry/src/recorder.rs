@@ -282,6 +282,18 @@ pub enum TelemetryEvent {
         /// The state entered.
         state: CircuitState,
     },
+    /// The store layer granted or renewed a client session's read lease
+    /// (lease-gated reads are then served from the applied state without
+    /// occupying a log slot).
+    ReadLease {
+        /// Client session the lease belongs to.
+        client: u64,
+        /// `false` for the session's first lease, `true` for a renewal
+        /// after expiry.
+        renewed: bool,
+        /// Lease validity from grant, nanoseconds.
+        ttl_ns: u64,
+    },
     /// End-of-run totals (mirrors `mc-sim`'s `WorkMetrics`).
     WorkSummary {
         /// Seed the run was driven with.
@@ -320,6 +332,7 @@ impl TelemetryEvent {
             TelemetryEvent::BatchDrained { .. } => "batch_drained",
             TelemetryEvent::WorkerRestarted { .. } => "worker_restarted",
             TelemetryEvent::CircuitTransition { .. } => "circuit_transition",
+            TelemetryEvent::ReadLease { .. } => "read_lease",
             TelemetryEvent::WorkSummary { .. } => "work_summary",
         }
     }
@@ -445,6 +458,15 @@ impl TelemetryEvent {
             }
             TelemetryEvent::CircuitTransition { state } => {
                 obj.str_field("state", state.as_str());
+            }
+            TelemetryEvent::ReadLease {
+                client,
+                renewed,
+                ttl_ns,
+            } => {
+                obj.u64_field("client", *client)
+                    .bool_field("renewed", *renewed)
+                    .u64_field("ttl_ns", *ttl_ns);
             }
             TelemetryEvent::WorkSummary {
                 seed,
@@ -627,6 +649,8 @@ pub struct AggregatingRecorder {
     resubmitted_cells: Counter,
     circuit_transitions: Counter,
     circuit_state: Gauge,
+    read_leases: Counter,
+    read_lease_renewals: Counter,
     per_pid_ops: Mutex<Vec<u64>>,
 }
 
@@ -759,6 +783,16 @@ impl AggregatingRecorder {
     pub fn circuit_state(&self) -> u64 {
         self.circuit_state.get()
     }
+
+    /// `read_lease` events seen (grants plus renewals).
+    pub fn read_leases(&self) -> u64 {
+        self.read_leases.get()
+    }
+
+    /// `read_lease` events that were renewals of an expired lease.
+    pub fn read_lease_renewals(&self) -> u64 {
+        self.read_lease_renewals.get()
+    }
 }
 
 impl Recorder for AggregatingRecorder {
@@ -830,6 +864,12 @@ impl Recorder for AggregatingRecorder {
             TelemetryEvent::CircuitTransition { state } => {
                 self.circuit_transitions.incr();
                 self.circuit_state.set(state.as_u64());
+            }
+            TelemetryEvent::ReadLease { renewed, .. } => {
+                self.read_leases.incr();
+                if *renewed {
+                    self.read_lease_renewals.incr();
+                }
             }
             TelemetryEvent::WorkSummary { .. } => {}
         }

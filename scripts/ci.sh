@@ -17,6 +17,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== build (all targets) =="
 cargo build --workspace --all-targets
 
+echo "== deprecation-free build =="
+# The PR-5..PR-10 API redesign removed every #[deprecated] item; this leg
+# keeps the workspace clean of both new deprecations and uses of any
+# deprecated std/vendored API.
+RUSTFLAGS="-D deprecated" cargo check --workspace --all-targets
+
 echo "== tests =="
 cargo test --workspace
 
@@ -48,6 +54,16 @@ echo "== service throughput (batching gate) =="
 # proposal count reconciles exactly on every trial.
 cargo run -p mc-bench --release --bin service_throughput -- --ops 20000
 test -s BENCH_service_throughput.json
+
+echo "== store throughput (state-machine SLO gate) =="
+# Replicated KV store end to end: the open-loop leg must sustain >= 1M
+# applied commands/sec across 1.25M distinct client sessions (telemetry
+# reconciled exactly), and the closed-loop call p99 must stay under 20ms
+# at 8 synchronous clients. Both gates are far looser than the ~2.5-3M/s
+# and sub-millisecond p99 measured on idle hardware so shared-runner
+# noise cannot flake them; the report carries the strict figures.
+cargo run -p mc-bench --release --bin store_throughput
+test -s BENCH_store_throughput.json
 
 echo "== graph checker (n=3 sweep) =="
 # Graph-based model checker over every composed protocol at n=3 (full

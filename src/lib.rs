@@ -25,6 +25,7 @@
 //! | [`check`] | `mc-check` | exhaustive bounded model checker: every schedule, every coin |
 //! | [`telemetry`] | `mc-telemetry` | lock-free counters, work/round histograms, JSONL event export |
 //! | [`lab`] | `mc-lab` | deterministic interleaving lab: the real-thread runtime under seeded adversarial schedulers, with cross-substrate conformance |
+//! | [`store`] | `mc-store` | linearizable replicated state machine and KV store over repeated consensus (Corollary 4 as a service) |
 //!
 //! # Two ways to run consensus
 //!
@@ -80,6 +81,7 @@ pub use mc_model as model;
 pub use mc_quorums as quorums;
 pub use mc_runtime as runtime;
 pub use mc_sim as sim;
+pub use mc_store as store;
 pub use mc_telemetry as telemetry;
 
 /// Convenience re-exports of the most commonly used items.
@@ -92,7 +94,7 @@ pub mod prelude {
     pub use mc_lab::{
         check_chaos_conformance, check_coin_conformance, check_conformance,
         check_conformance_with_plan, check_recycled_conformance, check_service_conformance,
-        Conformance, Lab, Protocol as LabProtocol,
+        check_store_conformance, Conformance, Lab, Protocol as LabProtocol,
     };
     pub use mc_model::{properties, Decision, ObjectSpec, ProcessId, Value};
     pub use mc_runtime::{
@@ -104,6 +106,10 @@ pub mod prelude {
         SupervisorOptions, TestAndSet, TypedConsensus, ValueCode, VotingCoin,
     };
     pub use mc_sim::{adversary, harness, observe, sched, EngineConfig};
+    pub use mc_store::{
+        CommandHandle, KvCommand, KvResponse, KvStore, ReplicatedStore, StateMachine, StoreBuilder,
+        StoreClient, StoreError, StoreOptions,
+    };
     pub use mc_telemetry::{
         AggregatingRecorder, JsonlRecorder, NoopRecorder, Recorder, TelemetryEvent,
     };
@@ -122,6 +128,7 @@ mod tests {
         let _ = crate::quorums::binomial(4, 2);
         let _ = crate::runtime::AtomicRegister::new();
         let _ = crate::sim::EngineConfig::default();
+        let _ = crate::store::KvStore::new();
         let _ = crate::telemetry::NoopRecorder;
     }
 }
